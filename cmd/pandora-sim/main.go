@@ -1,0 +1,105 @@
+// Command pandora-sim runs a configurable multi-box Pandora
+// simulation: N boxes in a full-mesh audio conference, optionally
+// with video between the first pair, over links of a chosen
+// bandwidth, and prints per-box stream statistics — the quickest way
+// to poke at the system's behaviour under different loads.
+//
+// Usage:
+//
+//	pandora-sim -boxes 4 -seconds 10 -bandwidth 100000000 -video
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/box"
+	"repro/internal/core"
+	"repro/internal/occam"
+	"repro/internal/video"
+	"repro/internal/workload"
+)
+
+func main() {
+	boxes := flag.Int("boxes", 3, "number of boxes in the conference")
+	seconds := flag.Int("seconds", 5, "virtual seconds to simulate")
+	bandwidth := flag.Int64("bandwidth", 100_000_000, "link bandwidth, bits/s")
+	loss := flag.Float64("loss", 0, "link loss rate (0..1)")
+	withVideo := flag.Bool("video", false, "also send video between the first two boxes")
+	muting := flag.Bool("muting", false, "enable echo muting on every box")
+	flag.Parse()
+	if *boxes < 2 {
+		fmt.Fprintln(os.Stderr, "need at least 2 boxes")
+		os.Exit(1)
+	}
+
+	s := core.NewSystem()
+	defer s.Shutdown()
+	var names []string
+	for i := 0; i < *boxes; i++ {
+		name := fmt.Sprintf("box%d", i)
+		names = append(names, name)
+		s.AddBox(box.Config{
+			Name: name,
+			Mic:  workload.NewSpeech(uint64(i+1), 12000),
+			Features: box.Features{
+				JitterCorrection: true,
+				Muting:           *muting,
+			},
+		})
+	}
+	for i := 0; i < *boxes; i++ {
+		for j := i + 1; j < *boxes; j++ {
+			s.Connect(names[i], names[j], atm.LinkConfig{
+				Bandwidth: *bandwidth,
+				LossRate:  *loss,
+				Seed:      uint64(i*100 + j),
+			})
+		}
+	}
+
+	var streams []*core.Stream
+	s.Control(func(p *occam.Proc) {
+		streams = s.Conference(p, names...)
+		if *withVideo {
+			s.SendVideo(p, names[0], box.CameraStream{
+				Rect: video.Rect{W: 128, H: 64},
+				Rate: video.Rate{Num: 2, Den: 5},
+			}, names[1])
+		}
+	})
+
+	fmt.Printf("simulating %d boxes for %ds of stream time...\n", *boxes, *seconds)
+	wall := time.Now()
+	if err := s.RunFor(time.Duration(*seconds) * time.Second); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("done in %.2fs wall (%.0fx faster than real time)\n\n",
+		time.Since(wall).Seconds(), float64(*seconds)/time.Since(wall).Seconds())
+
+	for _, st := range streams {
+		for dst, vci := range st.VCIs {
+			m := s.Box(dst).Mixer().Stats(vci)
+			lat := s.Box(dst).PlayoutLatency(vci)
+			fmt.Printf("%s → %s: %6d segs, lost %4d, concealed %4d, silences %4d, latency mean %6.2fms p99 %6.2fms\n",
+				st.From, dst, m.Segments, m.LostSegments, m.Concealed,
+				m.Clawback.SilenceInserted,
+				float64(lat.Mean())/1e6, float64(lat.Percentile(99))/1e6)
+		}
+	}
+	if *withVideo {
+		d := s.Box(names[1]).DisplayStats()
+		fmt.Printf("video %s → %s: %d frames, %d decode errors, frame latency mean %v\n",
+			names[0], names[1], d.Frames, d.DecodeErrs, d.FrameLat.Mean())
+	}
+	for _, n := range names {
+		a := s.Box(n).AudioStats()
+		if a.LateTicks > 0 || a.MicDrops > 0 {
+			fmt.Printf("%s overloaded: %d late ticks, %d mic drops\n", n, a.LateTicks, a.MicDrops)
+		}
+	}
+}

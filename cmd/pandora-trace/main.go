@@ -1,0 +1,41 @@
+// Command pandora-trace dumps the figure-style time series behind the
+// paper's mechanisms: the clawback buffer's jitter-correction delay
+// adapting after a burst (§3.7.2), and the muting factor timeline of
+// figure 4.1 — as tab-separated values ready for plotting.
+//
+// Usage:
+//
+//	pandora-trace -series clawback > clawback.tsv
+//	pandora-trace -series muting   > muting.tsv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	series := flag.String("series", "clawback", "which series to dump: clawback | muting")
+	flag.Parse()
+
+	switch *series {
+	case "clawback":
+		_, s := experiment.E5()
+		fmt.Println("# seconds\tjitter-correction-ms")
+		for _, p := range s.Points {
+			fmt.Printf("%.1f\t%.1f\n", p.At.Seconds(), p.Value)
+		}
+	case "muting":
+		_, s := experiment.E8()
+		fmt.Println("# ms\tmute-factor")
+		for _, p := range s.Points {
+			fmt.Printf("%.1f\t%.2f\n", p.At.Seconds()*1000, p.Value)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown series %q\n", *series)
+		os.Exit(1)
+	}
+}

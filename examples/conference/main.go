@@ -1,0 +1,69 @@
+// Conference: a four-way audio conference with speech-like sources
+// and echo muting — the paper's multi-way video call scenario (§4.1).
+// Every box mixes the other three streams in real time, and each
+// box's muting function suppresses the echo of its own loudspeaker
+// (§4.3).
+//
+//	go run ./examples/conference
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/box"
+	"repro/internal/core"
+	"repro/internal/occam"
+	"repro/internal/workload"
+)
+
+func main() {
+	sys := core.NewSystem()
+	defer sys.Shutdown()
+
+	members := []string{"olivetti", "camlab", "engdept", "ucl"}
+	for i, name := range members {
+		sys.AddBox(box.Config{
+			Name: name,
+			// Speech-like on/off sources so the talk spurts interleave.
+			Mic: workload.NewSpeech(uint64(i+1), 14000),
+			Features: box.Features{
+				JitterCorrection: true,
+				Muting:           true,
+			},
+		})
+	}
+	for i := range members {
+		for j := i + 1; j < len(members); j++ {
+			sys.Connect(members[i], members[j], atm.LinkConfig{Bandwidth: 100_000_000})
+		}
+	}
+
+	var streams []*core.Stream
+	sys.Control(func(p *occam.Proc) {
+		streams = sys.Conference(p, members...)
+	})
+
+	if err := sys.RunFor(30 * time.Second); err != nil {
+		panic(err)
+	}
+
+	fmt.Println("four-way conference, 30 s of stream time:")
+	for _, st := range streams {
+		for dst, vci := range st.VCIs {
+			m := sys.Box(dst).Mixer().Stats(vci)
+			fmt.Printf("  %-8s → %-8s  %5d segments, %d lost\n",
+				st.From, dst, m.Segments, m.LostSegments)
+		}
+	}
+	fmt.Println()
+	for _, name := range members {
+		b := sys.Box(name)
+		fmt.Printf("  %-8s mixing %d streams; muting crossings=%d muted blocks=%d; late ticks=%d\n",
+			name, b.Mixer().ActiveStreams(), b.Muter().Crossings(),
+			b.Muter().MutedBlocks(), b.AudioStats().LateTicks)
+	}
+	fmt.Println("\nno box is overloaded: three incoming streams is within the")
+	fmt.Println("loaded audio-board capacity the paper reports (§4.2)")
+}

@@ -1,0 +1,194 @@
+// Package allocator implements the server transputer's segment buffer
+// allocator of paper §3.4 (figure 3.4): a shared pool of segment
+// buffers whose reference counts track how many processes hold each
+// buffer. Input handlers obtain empty buffers in advance, fill them,
+// and pass buffer *indices* through the rest of the system — data is
+// copied "once into memory, and once out for each output device".
+//
+// The allocator is an Occam process. Its defining behaviour, straight
+// from the paper: "If there are no buffers available, then the
+// allocator will not listen for any requests, and the requesting
+// processes will be descheduled by the usual channel synchronisation
+// mechanism until the allocator is ready to receive again. The
+// allocator reports this (serious) fault on its report channel so
+// that it can be logged."
+//
+// Reference-count protocol (§3.4): a process must inform the
+// allocator when it finishes with a buffer without passing it on
+// (decrement) and when it sends a descriptor to more than one other
+// process (increment). Passing to exactly one process needs no
+// traffic.
+package allocator
+
+import (
+	"fmt"
+
+	"repro/internal/occam"
+)
+
+// Buffer is one shared segment buffer.
+type Buffer struct {
+	// Index is the buffer's identity within the pool — what actually
+	// travels between processes on the transputer.
+	Index int
+	// Payload holds the segment occupying the buffer (a
+	// *segment.Audio or *segment.Video in normal use).
+	Payload any
+	// Stream is the Pandora stream number the segment belongs to
+	// ("streams within pandora pass the stream number in an extra
+	// field preceding the segment header").
+	Stream uint32
+}
+
+// Report is an allocator fault or status report.
+type Report struct {
+	Starved bool // a request arrived while no buffers were free
+	Free    int
+	Total   int
+}
+
+func (r Report) String() string {
+	if r.Starved {
+		return fmt.Sprintf("allocator: STARVED (%d/%d free)", r.Free, r.Total)
+	}
+	return fmt.Sprintf("allocator: %d/%d free", r.Free, r.Total)
+}
+
+// refChange adjusts a buffer's reference count by Delta.
+type refChange struct {
+	Index int
+	Delta int
+}
+
+// Pool is the allocator process handle. Create with New, then call
+// Get/Retain/Release from Occam processes.
+type Pool struct {
+	rt      *occam.Runtime
+	bufs    []*Buffer
+	refs    []int
+	free    []int
+	req     *occam.Chan[*occam.Chan[*Buffer]]
+	rel     *occam.Chan[refChange]
+	cmd     *occam.Chan[struct{}] // report request
+	reports *occam.Chan[Report]
+
+	starvations uint64
+	grants      uint64
+}
+
+// New creates a pool of n buffers and starts the allocator process on
+// node. reports may be nil.
+func New(rt *occam.Runtime, node *occam.Node, n int, reports *occam.Chan[Report]) *Pool {
+	if n <= 0 {
+		panic("allocator: pool size must be positive")
+	}
+	pl := &Pool{
+		rt:      rt,
+		bufs:    make([]*Buffer, n),
+		refs:    make([]int, n),
+		free:    make([]int, 0, n),
+		req:     occam.NewChan[*occam.Chan[*Buffer]](rt, "alloc.req"),
+		rel:     occam.NewChan[refChange](rt, "alloc.rel"),
+		cmd:     occam.NewChan[struct{}](rt, "alloc.cmd"),
+		reports: reports,
+	}
+	for i := n - 1; i >= 0; i-- {
+		pl.bufs[i] = &Buffer{Index: i}
+		pl.free = append(pl.free, i)
+	}
+	rt.Go("allocator", node, occam.High, pl.run)
+	return pl
+}
+
+// run is the allocator process: reference-count changes are always
+// served; requests only when buffers are free.
+func (pl *Pool) run(p *occam.Proc) {
+	wasStarved := false
+	for {
+		var (
+			ch     refChange
+			reply  *occam.Chan[*Buffer]
+			report struct{}
+		)
+		switch p.Alt(
+			occam.Recv(pl.rel, &ch),
+			occam.Recv(pl.cmd, &report),
+			occam.When(len(pl.free) > 0, occam.Recv(pl.req, &reply)),
+		) {
+		case 0:
+			pl.applyRefChange(ch)
+			if wasStarved && len(pl.free) > 0 {
+				wasStarved = false
+			}
+		case 1:
+			if pl.reports != nil {
+				pl.reports.Send(p, Report{Free: len(pl.free), Total: len(pl.bufs)})
+			}
+		case 2:
+			idx := pl.free[len(pl.free)-1]
+			pl.free = pl.free[:len(pl.free)-1]
+			pl.refs[idx] = 1
+			pl.grants++
+			buf := pl.bufs[idx]
+			buf.Payload = nil
+			buf.Stream = 0
+			reply.Send(p, buf)
+			if len(pl.free) == 0 && !wasStarved {
+				// The next request will block: log the fault.
+				wasStarved = true
+				pl.starvations++
+				if pl.reports != nil {
+					pl.reports.TrySend(p, Report{Starved: true, Free: 0, Total: len(pl.bufs)})
+				}
+			}
+		}
+	}
+}
+
+func (pl *Pool) applyRefChange(ch refChange) {
+	if ch.Index < 0 || ch.Index >= len(pl.refs) {
+		panic(fmt.Sprintf("allocator: ref change for bad index %d", ch.Index))
+	}
+	pl.refs[ch.Index] += ch.Delta
+	switch {
+	case pl.refs[ch.Index] < 0:
+		panic(fmt.Sprintf("allocator: buffer %d reference count went negative", ch.Index))
+	case pl.refs[ch.Index] == 0:
+		pl.free = append(pl.free, ch.Index)
+	}
+}
+
+// Get obtains an empty buffer, blocking while none are free.
+func (pl *Pool) Get(p *occam.Proc) *Buffer {
+	reply := occam.NewChan[*Buffer](pl.rt, "alloc.reply")
+	pl.req.Send(p, reply)
+	return reply.Recv(p)
+}
+
+// Retain adds extra references before a buffer descriptor is sent to
+// more than one downstream process ("to increment the reference
+// count").
+func (pl *Pool) Retain(p *occam.Proc, b *Buffer, extra int) {
+	if extra <= 0 {
+		return
+	}
+	pl.rel.Send(p, refChange{Index: b.Index, Delta: extra})
+}
+
+// Release drops one reference when a process has finished with a
+// buffer without passing it on. At zero references the buffer returns
+// to the free list.
+func (pl *Pool) Release(p *occam.Proc, b *Buffer) {
+	pl.rel.Send(p, refChange{Index: b.Index, Delta: -1})
+}
+
+// RequestReport asks the allocator to emit a status report.
+func (pl *Pool) RequestReport(p *occam.Proc) {
+	pl.cmd.Send(p, struct{}{})
+}
+
+// Size returns the pool size.
+func (pl *Pool) Size() int { return len(pl.bufs) }
+
+// Starvations returns how many times the pool ran dry.
+func (pl *Pool) Starvations() uint64 { return pl.starvations }

@@ -1,0 +1,191 @@
+package allocator
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/occam"
+)
+
+func run(t *testing.T, rt *occam.Runtime, d time.Duration) {
+	t.Helper()
+	if err := rt.RunUntil(occam.Time(d)); err != nil {
+		t.Fatal(err)
+	}
+	rt.Shutdown()
+}
+
+func TestGetGrantsDistinctBuffers(t *testing.T) {
+	rt := occam.NewRuntime()
+	pl := New(rt, nil, 4, nil)
+	var got []*Buffer
+	rt.Go("user", nil, occam.Low, func(p *occam.Proc) {
+		for i := 0; i < 4; i++ {
+			got = append(got, pl.Get(p))
+		}
+	})
+	run(t, rt, time.Second)
+	if len(got) != 4 {
+		t.Fatalf("got %d buffers", len(got))
+	}
+	seen := map[int]bool{}
+	for _, b := range got {
+		if seen[b.Index] {
+			t.Fatalf("buffer %d granted twice", b.Index)
+		}
+		seen[b.Index] = true
+	}
+}
+
+func TestGetBlocksWhenExhaustedUntilRelease(t *testing.T) {
+	rt := occam.NewRuntime()
+	pl := New(rt, nil, 2, nil)
+	var grantedAt occam.Time
+	rt.Go("hog", nil, occam.Low, func(p *occam.Proc) {
+		a := pl.Get(p)
+		pl.Get(p)
+		p.Sleep(30 * time.Millisecond)
+		pl.Release(p, a)
+	})
+	rt.Go("waiter", nil, occam.Low, func(p *occam.Proc) {
+		p.Sleep(time.Millisecond) // let the hog drain the pool
+		pl.Get(p)
+		grantedAt = p.Now()
+	})
+	run(t, rt, time.Second)
+	if grantedAt != occam.Time(30*time.Millisecond) {
+		t.Fatalf("blocked Get granted at %v, want 30ms", grantedAt)
+	}
+	if pl.Starvations() == 0 {
+		t.Fatal("starvation not recorded")
+	}
+}
+
+func TestReleaseRecyclesBuffer(t *testing.T) {
+	rt := occam.NewRuntime()
+	pl := New(rt, nil, 1, nil)
+	indices := map[int]int{}
+	rt.Go("user", nil, occam.Low, func(p *occam.Proc) {
+		for i := 0; i < 5; i++ {
+			b := pl.Get(p)
+			indices[b.Index]++
+			pl.Release(p, b)
+		}
+	})
+	run(t, rt, time.Second)
+	if indices[0] != 5 {
+		t.Fatalf("buffer reuse pattern %v, want index 0 five times", indices)
+	}
+}
+
+func TestRetainDelaysRecycling(t *testing.T) {
+	// A buffer sent to two destinations must survive until both
+	// release it.
+	rt := occam.NewRuntime()
+	pl := New(rt, nil, 1, nil)
+	var secondGetAt occam.Time
+	rt.Go("splitter", nil, occam.Low, func(p *occam.Proc) {
+		b := pl.Get(p)
+		pl.Retain(p, b, 1) // now two references
+		// Destination 1 finishes immediately.
+		pl.Release(p, b)
+		// Destination 2 finishes at 10ms.
+		p.Sleep(10 * time.Millisecond)
+		pl.Release(p, b)
+	})
+	rt.Go("other", nil, occam.Low, func(p *occam.Proc) {
+		p.Sleep(time.Millisecond)
+		pl.Get(p) // must wait for destination 2's release
+		secondGetAt = p.Now()
+	})
+	run(t, rt, time.Second)
+	if secondGetAt != occam.Time(10*time.Millisecond) {
+		t.Fatalf("buffer recycled at %v, want 10ms (after both releases)", secondGetAt)
+	}
+}
+
+func TestRetainZeroIsNoop(t *testing.T) {
+	rt := occam.NewRuntime()
+	pl := New(rt, nil, 1, nil)
+	rt.Go("user", nil, occam.Low, func(p *occam.Proc) {
+		b := pl.Get(p)
+		pl.Retain(p, b, 0)
+		pl.Release(p, b)
+		pl.Get(p) // immediately available again
+	})
+	run(t, rt, time.Second)
+}
+
+func TestGrantedBufferIsClean(t *testing.T) {
+	rt := occam.NewRuntime()
+	pl := New(rt, nil, 1, nil)
+	var clean bool
+	rt.Go("user", nil, occam.Low, func(p *occam.Proc) {
+		b := pl.Get(p)
+		b.Payload = "dirty"
+		b.Stream = 7
+		pl.Release(p, b)
+		b2 := pl.Get(p)
+		clean = b2.Payload == nil && b2.Stream == 0
+	})
+	run(t, rt, time.Second)
+	if !clean {
+		t.Fatal("recycled buffer not cleaned")
+	}
+}
+
+func TestStarvationReport(t *testing.T) {
+	rt := occam.NewRuntime()
+	reports := occam.NewChan[Report](rt, "reports")
+	pl := New(rt, nil, 1, reports)
+	var starved bool
+	rt.Go("collector", nil, occam.High, func(p *occam.Proc) {
+		for {
+			r := reports.Recv(p)
+			if r.Starved {
+				starved = true
+			}
+		}
+	})
+	rt.Go("user", nil, occam.Low, func(p *occam.Proc) {
+		pl.Get(p)
+	})
+	run(t, rt, time.Second)
+	if !starved {
+		t.Fatal("no starvation report when pool drained")
+	}
+}
+
+func TestStatusReport(t *testing.T) {
+	rt := occam.NewRuntime()
+	reports := occam.NewChan[Report](rt, "reports")
+	pl := New(rt, nil, 3, reports)
+	var rep Report
+	rt.Go("user", nil, occam.Low, func(p *occam.Proc) {
+		pl.Get(p)
+		pl.RequestReport(p)
+		rep = reports.Recv(p)
+	})
+	run(t, rt, time.Second)
+	if rep.Free != 2 || rep.Total != 3 || rep.Starved {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.String() == "" || (Report{Starved: true}).String() == "" {
+		t.Fatal("empty report strings")
+	}
+}
+
+func TestSizeAndInvalidPool(t *testing.T) {
+	rt := occam.NewRuntime()
+	pl := New(rt, nil, 5, nil)
+	if pl.Size() != 5 {
+		t.Fatalf("Size = %d", pl.Size())
+	}
+	rt.Shutdown()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-size pool accepted")
+		}
+	}()
+	New(occam.NewRuntime(), nil, 0, nil)
+}

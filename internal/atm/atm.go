@@ -1,0 +1,297 @@
+// Package atm simulates the ATM network environment Pandora ran over
+// (paper §1.1): virtual circuits identified by VCIs, carried over
+// store-and-forward links with finite bandwidth, propagation delay
+// and bounded queues. Jitter arises the way it did in real life —
+// from queueing behind cross traffic (large video segments sharing a
+// link with audio) — and loss from queue overflow or an injected loss
+// process. Multi-hop circuits through several links model the bridged
+// and wide-area paths of the SuperJanet trials (§3.7.2).
+//
+// "Incoming streams from the network carry the stream number
+// allocated by the destination box in their VCIs" — a Message's VCI
+// is exactly that stream number.
+package atm
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/occam"
+	"repro/internal/workload"
+)
+
+// Message is one Pandora segment in flight on the network.
+type Message struct {
+	// VCI identifies the virtual circuit (the destination's stream
+	// number).
+	VCI uint32
+	// Size is the wire size in bytes, which determines transmission
+	// time on each link.
+	Size int
+	// Payload is the segment being carried.
+	Payload any
+	// Sent is when the message entered the network (for latency
+	// measurement).
+	Sent occam.Time
+}
+
+// port is anything that can accept a Message: the next link on the
+// path or the destination host.
+type port interface {
+	accept(p *occam.Proc, m Message)
+	name() string
+}
+
+// LinkConfig describes one link's characteristics.
+type LinkConfig struct {
+	// Bandwidth in bits per second (Pandora's ATM connections ran at
+	// ring speed; Medusa upgraded boxes to 100 Mbit/s).
+	Bandwidth int64
+	// Propagation delay added to every message.
+	Propagation time.Duration
+	// QueueLimit bounds the output queue in messages; the default 64
+	// drops tail under congestion.
+	QueueLimit int
+	// LossRate, if non-zero, drops messages at random (corruption or
+	// cell loss on the path), deterministically seeded.
+	LossRate float64
+	// Seed seeds the loss process.
+	Seed uint64
+}
+
+func (c LinkConfig) withDefaults() LinkConfig {
+	if c.Bandwidth <= 0 {
+		c.Bandwidth = 100_000_000
+	}
+	if c.QueueLimit <= 0 {
+		c.QueueLimit = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// LinkStats reports a link's traffic history.
+type LinkStats struct {
+	Forwarded  uint64
+	QueueDrops uint64
+	LossDrops  uint64
+	Bytes      uint64
+}
+
+// Link is a store-and-forward network link: messages queue at the
+// input, transmit serially at the configured bandwidth, and are
+// handed to the next port on their circuit after the propagation
+// delay.
+type Link struct {
+	rt    *occam.Runtime
+	nm    string
+	cfg   LinkConfig
+	in    *occam.Chan[Message]
+	rng   *workload.RNG
+	next  map[uint32]port // route per VCI
+	stats LinkStats
+
+	queue  []Message
+	txReq  *occam.Chan[struct{}]
+	txItem *occam.Chan[Message]
+}
+
+// NewLink creates a link and starts its queue and transmit processes.
+func NewLink(rt *occam.Runtime, name string, cfg LinkConfig) *Link {
+	l := &Link{
+		rt:     rt,
+		nm:     name,
+		cfg:    cfg.withDefaults(),
+		in:     occam.NewChan[Message](rt, name+".in"),
+		rng:    workload.NewRNG(cfg.Seed),
+		next:   make(map[uint32]port),
+		txReq:  occam.NewChan[struct{}](rt, name+".txreq"),
+		txItem: occam.NewChan[Message](rt, name+".txitem"),
+	}
+	rt.Go(name+".queue", nil, occam.High, l.runQueue)
+	rt.Go(name+".tx", nil, occam.High, l.runTx)
+	return l
+}
+
+// Name returns the link's name.
+func (l *Link) Name() string { return l.nm }
+
+func (l *Link) name() string { return l.nm }
+
+// Stats returns a copy of the traffic counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// route sets the next hop for a VCI.
+func (l *Link) route(vci uint32, to port) { l.next[vci] = to }
+
+// accept enqueues a message arriving at the link. The queue process
+// always listens, so upstream never blocks; overflow means drop-tail.
+func (l *Link) accept(p *occam.Proc, m Message) { l.in.Send(p, m) }
+
+// runQueue owns the bounded queue: it always accepts (dropping on
+// overflow) and feeds the transmitter.
+func (l *Link) runQueue(p *occam.Proc) {
+	for {
+		var (
+			m   Message
+			req struct{}
+		)
+		switch p.Alt(
+			occam.When(len(l.queue) > 0, occam.Recv(l.txReq, &req)),
+			occam.Recv(l.in, &m),
+		) {
+		case 0:
+			head := l.queue[0]
+			copy(l.queue, l.queue[1:])
+			l.queue = l.queue[:len(l.queue)-1]
+			l.txItem.Send(p, head)
+		case 1:
+			if l.cfg.LossRate > 0 && l.rng.Bool(l.cfg.LossRate) {
+				l.stats.LossDrops++
+				continue
+			}
+			if len(l.queue) >= l.cfg.QueueLimit {
+				l.stats.QueueDrops++
+				continue
+			}
+			l.queue = append(l.queue, m)
+		}
+	}
+}
+
+// runTx serialises transmissions at the link bandwidth and forwards
+// after the propagation delay.
+func (l *Link) runTx(p *occam.Proc) {
+	var token struct{}
+	for {
+		l.txReq.Send(p, token)
+		m := l.txItem.Recv(p)
+		tx := time.Duration(int64(m.Size) * 8 * int64(time.Second) / l.cfg.Bandwidth)
+		p.Sleep(tx + l.cfg.Propagation)
+		nxt, ok := l.next[m.VCI]
+		if !ok {
+			// Unrouted VCI: the circuit was torn down mid-flight.
+			l.stats.LossDrops++
+			continue
+		}
+		l.stats.Forwarded++
+		l.stats.Bytes += uint64(m.Size)
+		nxt.accept(p, m)
+	}
+}
+
+// Host is a network endpoint — one Pandora box's network connection.
+// The box's network input process must service Rx continuously
+// ("the input processes run without data loss as far as the
+// decoupling buffers").
+type Host struct {
+	nm string
+	// Rx delivers arriving messages to the host.
+	Rx  *occam.Chan[Message]
+	net *Network
+}
+
+func (h *Host) name() string { return h.nm }
+
+func (h *Host) accept(p *occam.Proc, m Message) { h.Rx.Send(p, m) }
+
+// Send transmits a message on a circuit previously opened from this
+// host. It stamps the send time and hands the message to the first
+// link (which always accepts; congestion shows up as queueing or
+// drops inside the network, never as upstream blocking).
+func (h *Host) Send(p *occam.Proc, m Message) error {
+	c, ok := h.net.circuits[circuitKey{h.nm, m.VCI}]
+	if !ok {
+		return fmt.Errorf("atm: no circuit for VCI %d from host %s", m.VCI, h.nm)
+	}
+	m.Sent = p.Now()
+	c.first.accept(p, m)
+	return nil
+}
+
+// Network is a collection of hosts, links and circuits.
+type Network struct {
+	rt       *occam.Runtime
+	hosts    map[string]*Host
+	links    map[string]*Link
+	circuits map[circuitKey]*circuit
+}
+
+type circuitKey struct {
+	from string
+	vci  uint32
+}
+
+type circuit struct {
+	first port
+}
+
+// New returns an empty network on rt.
+func New(rt *occam.Runtime) *Network {
+	return &Network{
+		rt:       rt,
+		hosts:    make(map[string]*Host),
+		links:    make(map[string]*Link),
+		circuits: make(map[circuitKey]*circuit),
+	}
+}
+
+// AddHost registers an endpoint.
+func (n *Network) AddHost(name string) *Host {
+	if _, dup := n.hosts[name]; dup {
+		panic("atm: duplicate host " + name)
+	}
+	h := &Host{
+		nm:  name,
+		Rx:  occam.NewChan[Message](n.rt, name+".rx"),
+		net: n,
+	}
+	n.hosts[name] = h
+	return h
+}
+
+// AddLink registers a link. Links are shared: circuits routed through
+// the same link queue behind each other, which is where jitter comes
+// from.
+func (n *Network) AddLink(name string, cfg LinkConfig) *Link {
+	if _, dup := n.links[name]; dup {
+		panic("atm: duplicate link " + name)
+	}
+	l := NewLink(n.rt, name, cfg)
+	n.links[name] = l
+	return l
+}
+
+// OpenCircuit routes VCI vci from host from, through the given links
+// in order, to host to. The VCI is the *destination's* stream number,
+// so it must be unique per (source, VCI) pair and per (link, VCI)
+// pair along the path.
+func (n *Network) OpenCircuit(vci uint32, from, to *Host, links ...*Link) {
+	key := circuitKey{from.nm, vci}
+	if _, dup := n.circuits[key]; dup {
+		panic(fmt.Sprintf("atm: duplicate circuit VCI %d from %s", vci, from.nm))
+	}
+	var first port = to
+	if len(links) > 0 {
+		first = links[0]
+		for i, l := range links {
+			if i+1 < len(links) {
+				l.route(vci, links[i+1])
+			} else {
+				l.route(vci, to)
+			}
+		}
+	}
+	n.circuits[key] = &circuit{first: first}
+}
+
+// CloseCircuit tears down a circuit (messages in flight on unrouted
+// links are dropped, as on the real network).
+func (n *Network) CloseCircuit(vci uint32, from *Host, links ...*Link) {
+	delete(n.circuits, circuitKey{from.nm, vci})
+	for _, l := range links {
+		delete(l.next, vci)
+	}
+}

@@ -1,0 +1,301 @@
+package atm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/occam"
+)
+
+// drain starts a process that records arrival latencies on a host.
+func drain(rt *occam.Runtime, h *Host, lat *metrics.Tracker, count *int) {
+	rt.Go(h.nm+".drain", nil, occam.High, func(p *occam.Proc) {
+		for {
+			m := h.Rx.Recv(p)
+			if lat != nil {
+				lat.Add(p.Now().Sub(m.Sent))
+			}
+			if count != nil {
+				*count++
+			}
+		}
+	})
+}
+
+func TestDirectCircuitDelivers(t *testing.T) {
+	rt := occam.NewRuntime()
+	net := New(rt)
+	a := net.AddHost("a")
+	b := net.AddHost("b")
+	l := net.AddLink("ab", LinkConfig{Bandwidth: 100_000_000})
+	net.OpenCircuit(7, a, b, l)
+
+	var got []Message
+	rt.Go("rx", nil, occam.High, func(p *occam.Proc) {
+		for {
+			got = append(got, b.Rx.Recv(p))
+		}
+	})
+	rt.Go("tx", nil, occam.Low, func(p *occam.Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(time.Millisecond)
+			if err := a.Send(p, Message{VCI: 7, Size: 100, Payload: i}); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if err := rt.RunUntil(occam.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	rt.Shutdown()
+	if len(got) != 5 {
+		t.Fatalf("delivered %d of 5", len(got))
+	}
+	for i, m := range got {
+		if m.Payload.(int) != i {
+			t.Fatalf("reordered: %v", got)
+		}
+		if m.VCI != 7 {
+			t.Fatalf("VCI %d", m.VCI)
+		}
+	}
+	if l.Stats().Forwarded != 5 || l.Stats().Bytes != 500 {
+		t.Fatalf("link stats %+v", l.Stats())
+	}
+}
+
+func TestTransmissionAndPropagationDelay(t *testing.T) {
+	rt := occam.NewRuntime()
+	net := New(rt)
+	a := net.AddHost("a")
+	b := net.AddHost("b")
+	// 1000 bytes at 8 Mbit/s = 1 ms, plus 500 µs propagation.
+	l := net.AddLink("ab", LinkConfig{Bandwidth: 8_000_000, Propagation: 500 * time.Microsecond})
+	net.OpenCircuit(1, a, b, l)
+	lat := metrics.NewTracker("lat")
+	drain(rt, b, lat, nil)
+	rt.Go("tx", nil, occam.Low, func(p *occam.Proc) {
+		a.Send(p, Message{VCI: 1, Size: 1000})
+	})
+	if err := rt.RunUntil(occam.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	rt.Shutdown()
+	if lat.Count() != 1 || lat.Min() != 1500*time.Microsecond {
+		t.Fatalf("latency %v, want 1.5ms", lat.Min())
+	}
+}
+
+func TestCrossTrafficCausesJitter(t *testing.T) {
+	// The §4.2 effect, at network level: audio sharing a link with
+	// bursty video sees queueing jitter; audio alone does not.
+	run := func(withVideo bool) time.Duration {
+		rt := occam.NewRuntime()
+		net := New(rt)
+		a := net.AddHost("a")
+		b := net.AddHost("b")
+		l := net.AddLink("shared", LinkConfig{Bandwidth: 10_000_000})
+		net.OpenCircuit(1, a, b, l)
+		net.OpenCircuit(2, a, b, l)
+		lat := metrics.NewTracker("audio")
+		rt.Go("rx", nil, occam.High, func(p *occam.Proc) {
+			for {
+				m := b.Rx.Recv(p)
+				if m.VCI == 1 {
+					lat.Add(p.Now().Sub(m.Sent))
+				}
+			}
+		})
+		rt.Go("audio", nil, occam.Low, func(p *occam.Proc) {
+			for i := 0; i < 200; i++ {
+				p.Sleep(4 * time.Millisecond)
+				a.Send(p, Message{VCI: 1, Size: 68})
+			}
+		})
+		if withVideo {
+			rt.Go("video", nil, occam.Low, func(p *occam.Proc) {
+				for i := 0; i < 20; i++ {
+					p.Sleep(40 * time.Millisecond)
+					a.Send(p, Message{VCI: 2, Size: 16000}) // 12.8 ms at 10 Mbit/s
+				}
+			})
+		}
+		if err := rt.RunUntil(occam.Time(2 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		rt.Shutdown()
+		return lat.Jitter()
+	}
+	quiet := run(false)
+	busy := run(true)
+	if quiet > time.Millisecond {
+		t.Fatalf("audio-only jitter %v", quiet)
+	}
+	if busy < 5*time.Millisecond {
+		t.Fatalf("cross-traffic jitter %v, want ≥ 5ms (one video transmission ≈ 12.8ms)", busy)
+	}
+}
+
+func TestMultiHopPath(t *testing.T) {
+	rt := occam.NewRuntime()
+	net := New(rt)
+	a := net.AddHost("a")
+	b := net.AddHost("b")
+	var hops []*Link
+	for _, nm := range []string{"h1", "h2", "h3"} {
+		hops = append(hops, net.AddLink(nm, LinkConfig{
+			Bandwidth:   10_000_000,
+			Propagation: time.Millisecond,
+		}))
+	}
+	net.OpenCircuit(5, a, b, hops...)
+	lat := metrics.NewTracker("lat")
+	drain(rt, b, lat, nil)
+	rt.Go("tx", nil, occam.Low, func(p *occam.Proc) {
+		a.Send(p, Message{VCI: 5, Size: 1000}) // 0.8 ms per hop
+	})
+	if err := rt.RunUntil(occam.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	rt.Shutdown()
+	want := 3 * (800*time.Microsecond + time.Millisecond)
+	if lat.Min() != want {
+		t.Fatalf("3-hop latency %v, want %v", lat.Min(), want)
+	}
+}
+
+func TestQueueOverflowDrops(t *testing.T) {
+	rt := occam.NewRuntime()
+	net := New(rt)
+	a := net.AddHost("a")
+	b := net.AddHost("b")
+	// Slow link, tiny queue: a burst must overflow.
+	l := net.AddLink("slow", LinkConfig{Bandwidth: 1_000_000, QueueLimit: 4})
+	net.OpenCircuit(1, a, b, l)
+	received := 0
+	drain(rt, b, nil, &received)
+	rt.Go("burst", nil, occam.Low, func(p *occam.Proc) {
+		for i := 0; i < 50; i++ {
+			a.Send(p, Message{VCI: 1, Size: 1000}) // 8 ms each; burst at t=0
+		}
+	})
+	if err := rt.RunUntil(occam.Time(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	rt.Shutdown()
+	st := l.Stats()
+	if st.QueueDrops == 0 {
+		t.Fatal("no queue drops under burst overload")
+	}
+	if received+int(st.QueueDrops) != 50 {
+		t.Fatalf("received %d + dropped %d != 50", received, st.QueueDrops)
+	}
+}
+
+func TestLossInjectionDeterministic(t *testing.T) {
+	run := func() uint64 {
+		rt := occam.NewRuntime()
+		net := New(rt)
+		a := net.AddHost("a")
+		b := net.AddHost("b")
+		l := net.AddLink("lossy", LinkConfig{Bandwidth: 100_000_000, LossRate: 0.1, Seed: 99})
+		net.OpenCircuit(1, a, b, l)
+		drain(rt, b, nil, nil)
+		rt.Go("tx", nil, occam.Low, func(p *occam.Proc) {
+			for i := 0; i < 1000; i++ {
+				p.Sleep(100 * time.Microsecond)
+				a.Send(p, Message{VCI: 1, Size: 68})
+			}
+		})
+		if err := rt.RunUntil(occam.Time(time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		rt.Shutdown()
+		return l.Stats().LossDrops
+	}
+	d1, d2 := run(), run()
+	if d1 != d2 {
+		t.Fatalf("loss not deterministic: %d vs %d", d1, d2)
+	}
+	if d1 < 60 || d1 > 140 {
+		t.Fatalf("loss drops %d of 1000 at 10%%", d1)
+	}
+}
+
+func TestSendWithoutCircuitErrors(t *testing.T) {
+	rt := occam.NewRuntime()
+	net := New(rt)
+	a := net.AddHost("a")
+	var err error
+	rt.Go("tx", nil, occam.Low, func(p *occam.Proc) {
+		err = a.Send(p, Message{VCI: 42, Size: 10})
+	})
+	if e := rt.RunUntil(occam.Time(time.Millisecond)); e != nil {
+		t.Fatal(e)
+	}
+	rt.Shutdown()
+	if err == nil {
+		t.Fatal("send on unopened circuit succeeded")
+	}
+}
+
+func TestCloseCircuitStopsDelivery(t *testing.T) {
+	rt := occam.NewRuntime()
+	net := New(rt)
+	a := net.AddHost("a")
+	b := net.AddHost("b")
+	l := net.AddLink("ab", LinkConfig{Bandwidth: 100_000_000})
+	net.OpenCircuit(1, a, b, l)
+	received := 0
+	drain(rt, b, nil, &received)
+	rt.Go("tx", nil, occam.Low, func(p *occam.Proc) {
+		a.Send(p, Message{VCI: 1, Size: 100})
+		p.Sleep(10 * time.Millisecond)
+		net.CloseCircuit(1, a, l)
+		if err := a.Send(p, Message{VCI: 1, Size: 100}); err == nil {
+			t.Error("send on closed circuit succeeded")
+		}
+	})
+	if err := rt.RunUntil(occam.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	rt.Shutdown()
+	if received != 1 {
+		t.Fatalf("received %d", received)
+	}
+}
+
+func TestDirectHostToHostCircuit(t *testing.T) {
+	// Zero-link circuit: degenerate but legal (loopback).
+	rt := occam.NewRuntime()
+	net := New(rt)
+	a := net.AddHost("a")
+	b := net.AddHost("b")
+	net.OpenCircuit(1, a, b)
+	received := 0
+	drain(rt, b, nil, &received)
+	rt.Go("tx", nil, occam.Low, func(p *occam.Proc) {
+		a.Send(p, Message{VCI: 1, Size: 10})
+	})
+	if err := rt.RunUntil(occam.Time(time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	rt.Shutdown()
+	if received != 1 {
+		t.Fatal("loopback circuit failed")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	rt := occam.NewRuntime()
+	net := New(rt)
+	net.AddHost("a")
+	defer rt.Shutdown()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate host accepted")
+		}
+	}()
+	net.AddHost("a")
+}

@@ -1,0 +1,246 @@
+// Package baseline implements the jitter-handling schemes the paper
+// positions clawback buffers against (§3.7.2, §5.1), behind a common
+// interface so experiment E14 can drive all of them with identical
+// arrival sequences:
+//
+//   - ElasticDump — the elastic buffer with a dump threshold: "some
+//     systems dump data from their buffers when some critical amount
+//     is reached" [Swinehart83, Want88]. Cheap, but each dump is a
+//     large audible glitch, and the delay stays high until one fires.
+//   - ClockAdjust — receiver clock adjustment [Want88, Ades86]: the
+//     consumer speeds up or slows down its clock to track occupancy.
+//     "Such adjustments would not scale well to multi-way audio, and
+//     buffers could remain occupied when not strictly necessary."
+//   - Naylor — destination buffering driven by an analysis of recent
+//     packet delay times [Naylor82]: the target delay is a percentile
+//     of a sliding delay window. Adapts both ways, but needs
+//     timestamps and carefully selected parameters, and reacts to the
+//     estimator, not to real underruns.
+//
+// The clawback buffer itself (internal/clawback) also satisfies
+// Buffer.
+package baseline
+
+import (
+	"sort"
+
+	"repro/internal/clawback"
+	"repro/internal/segment"
+)
+
+// Buffer is the common jitter-buffer interface driven by E14.
+type Buffer interface {
+	// Push offers one 2 ms block with its source timestamp.
+	Push(it clawback.Item) clawback.DropReason
+	// Pop takes the next block at each 2 ms playout tick.
+	Pop() (clawback.Item, bool)
+	// Len returns the occupancy in blocks.
+	Len() int
+}
+
+// Clawback adapts clawback.Buffer to Buffer.
+type Clawback struct{ *clawback.Buffer }
+
+// Push implements Buffer.
+func (c Clawback) Push(it clawback.Item) clawback.DropReason { return c.PushItem(it) }
+
+// Pop implements Buffer.
+func (c Clawback) Pop() (clawback.Item, bool) { return c.PopItem() }
+
+var _ Buffer = Clawback{}
+
+// ElasticDump is the dump-at-threshold elastic buffer.
+type ElasticDump struct {
+	queue   []clawback.Item
+	Target  int // post-dump occupancy in blocks
+	Dump    int // occupancy that triggers a dump
+	Dumps   uint64
+	Dropped uint64
+	Silence uint64
+}
+
+// NewElasticDump returns an elastic buffer dumping from dump blocks
+// down to target blocks.
+func NewElasticDump(target, dump int) *ElasticDump {
+	if target <= 0 {
+		target = 2
+	}
+	if dump <= target {
+		dump = target + 8
+	}
+	return &ElasticDump{Target: target, Dump: dump}
+}
+
+// Push implements Buffer.
+func (e *ElasticDump) Push(it clawback.Item) clawback.DropReason {
+	e.queue = append(e.queue, it)
+	if len(e.queue) >= e.Dump {
+		// Dump: discard everything above the target in one glitch.
+		n := len(e.queue) - e.Target
+		e.queue = append([]clawback.Item(nil), e.queue[n:]...)
+		e.Dumps++
+		e.Dropped += uint64(n)
+		return clawback.DropLimit
+	}
+	return clawback.DropNone
+}
+
+// Pop implements Buffer.
+func (e *ElasticDump) Pop() (clawback.Item, bool) {
+	if len(e.queue) == 0 {
+		e.Silence++
+		return clawback.Item{}, false
+	}
+	it := e.queue[0]
+	e.queue = e.queue[1:]
+	return it, true
+}
+
+// Len implements Buffer.
+func (e *ElasticDump) Len() int { return len(e.queue) }
+
+// ClockAdjust models receiver clock adjustment: occupancy above the
+// high mark makes the consumer clock run fast (consume an extra block
+// every Period pops — audible pitch/time distortion, counted in
+// Skipped); below the low mark it runs slow (repeat a block every
+// Period pops, counted in Stretched).
+type ClockAdjust struct {
+	queue     []clawback.Item
+	High, Low int
+	Period    int // pops between adjustments while out of band
+	count     int
+	Skipped   uint64
+	Stretched uint64
+	Silence   uint64
+	last      clawback.Item
+	hasLast   bool
+}
+
+// NewClockAdjust returns a clock-adjusting buffer holding occupancy
+// between low and high blocks.
+func NewClockAdjust(low, high, period int) *ClockAdjust {
+	if low <= 0 {
+		low = 1
+	}
+	if high <= low {
+		high = low + 4
+	}
+	if period <= 0 {
+		period = 8
+	}
+	return &ClockAdjust{High: high, Low: low, Period: period}
+}
+
+// Push implements Buffer.
+func (c *ClockAdjust) Push(it clawback.Item) clawback.DropReason {
+	c.queue = append(c.queue, it)
+	return clawback.DropNone
+}
+
+// Pop implements Buffer.
+func (c *ClockAdjust) Pop() (clawback.Item, bool) {
+	if len(c.queue) == 0 {
+		c.Silence++
+		return clawback.Item{}, false
+	}
+	c.count++
+	if c.count >= c.Period {
+		c.count = 0
+		switch {
+		case len(c.queue) > c.High:
+			// Fast clock: consume two, play one.
+			c.queue = c.queue[1:]
+			c.Skipped++
+		case len(c.queue) < c.Low && c.hasLast:
+			// Slow clock: replay the previous block.
+			c.Stretched++
+			return c.last, true
+		}
+	}
+	if len(c.queue) == 0 {
+		c.Silence++
+		return clawback.Item{}, false
+	}
+	it := c.queue[0]
+	c.queue = c.queue[1:]
+	c.last, c.hasLast = it, true
+	return it, true
+}
+
+// Len implements Buffer.
+func (c *ClockAdjust) Len() int { return len(c.queue) }
+
+// Naylor is the delay-analysis adaptive buffer: it tracks the delay
+// of the last Window arrivals (arrival time − source timestamp,
+// which assumes usable end-to-end timestamps) and sets its target
+// occupancy from the Percentile of that window. Occupancy is steered
+// toward the target by dropping (above) or holding playout (below).
+type Naylor struct {
+	queue      []clawback.Item
+	Window     int
+	Percentile float64
+	delays     []int64
+	Now        func() int64 // arrival clock (virtual ns)
+	Dropped    uint64
+	Silence    uint64
+}
+
+// NewNaylor returns a delay-analysis buffer over a window of n
+// arrivals at percentile pct (0–100).
+func NewNaylor(n int, pct float64, now func() int64) *Naylor {
+	if n <= 0 {
+		n = 200
+	}
+	if pct <= 0 || pct > 100 {
+		pct = 95
+	}
+	return &Naylor{Window: n, Percentile: pct, Now: now}
+}
+
+// targetBlocks converts the delay estimate into occupancy blocks.
+func (n *Naylor) targetBlocks() int {
+	if len(n.delays) < 8 {
+		return 2
+	}
+	sorted := append([]int64(nil), n.delays...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	p := sorted[int(n.Percentile/100*float64(len(sorted)-1))]
+	minD := sorted[0]
+	// Buffer enough to cover the delay spread at the percentile.
+	blocks := int((p-minD)/int64(segment.BlockDuration)) + 1
+	if blocks < 1 {
+		blocks = 1
+	}
+	return blocks
+}
+
+// Push implements Buffer.
+func (n *Naylor) Push(it clawback.Item) clawback.DropReason {
+	if n.Now != nil && it.Stamp > 0 {
+		d := n.Now() - it.Stamp
+		n.delays = append(n.delays, d)
+		if len(n.delays) > n.Window {
+			n.delays = n.delays[1:]
+		}
+	}
+	if len(n.queue) > n.targetBlocks()+2 {
+		n.Dropped++
+		return clawback.DropLimit
+	}
+	n.queue = append(n.queue, it)
+	return clawback.DropNone
+}
+
+// Pop implements Buffer.
+func (n *Naylor) Pop() (clawback.Item, bool) {
+	if len(n.queue) == 0 {
+		n.Silence++
+		return clawback.Item{}, false
+	}
+	it := n.queue[0]
+	n.queue = n.queue[1:]
+	return it, true
+}
+
+// Len implements Buffer.
+func (n *Naylor) Len() int { return len(n.queue) }

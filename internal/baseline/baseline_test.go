@@ -1,0 +1,239 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clawback"
+	"repro/internal/segment"
+	"repro/internal/workload"
+)
+
+func blk(stamp int64) clawback.Item {
+	return clawback.Item{Data: make([]byte, segment.BlockSamples), Stamp: stamp}
+}
+
+// playScenario drives a buffer with arrivals whose delay follows the
+// given jitter function, one block per 2 ms of virtual time, and
+// returns (glitch events, mean occupancy after warmup).
+func playScenario(b Buffer, ticks int, jitter func(i int) time.Duration) (glitches uint64, meanOcc float64) {
+	const step = int64(segment.BlockDuration)
+	type pending struct {
+		at int64
+		it clawback.Item
+	}
+	var queue []pending
+	var occSum, occN float64
+	silentBefore := silenceCount(b)
+	for i := 0; i < ticks; i++ {
+		now := int64(i) * step
+		// A block captured `jitter` ago arrives now.
+		queue = append(queue, pending{at: now + int64(jitter(i)), it: blk(now)})
+		for len(queue) > 0 && queue[0].at <= now {
+			b.Push(queue[0].it)
+			queue = queue[1:]
+		}
+		b.Pop()
+		if i > ticks/4 {
+			occSum += float64(b.Len())
+			occN++
+		}
+	}
+	return silenceCount(b) - silentBefore + dumpCount(b), occSum / occN
+}
+
+func silenceCount(b Buffer) uint64 {
+	switch x := b.(type) {
+	case *ElasticDump:
+		return x.Silence
+	case *ClockAdjust:
+		return x.Silence
+	case *Naylor:
+		return x.Silence
+	case Clawback:
+		return x.Stats().SilenceInserted
+	}
+	return 0
+}
+
+func dumpCount(b Buffer) uint64 {
+	if e, ok := b.(*ElasticDump); ok {
+		return e.Dropped
+	}
+	return 0
+}
+
+func steadyJitter(rng *workload.RNG, base time.Duration) func(int) time.Duration {
+	return func(int) time.Duration {
+		return base + time.Duration(rng.Intn(int(2*time.Millisecond)))
+	}
+}
+
+func TestElasticDumpDumps(t *testing.T) {
+	e := NewElasticDump(2, 10)
+	for i := 0; i < 15; i++ {
+		e.Push(blk(int64(i)))
+	}
+	if e.Dumps != 1 {
+		t.Fatalf("%d dumps, want 1 at the threshold", e.Dumps)
+	}
+	// The dump fires at the 10th push (down to 2), then 5 more queue.
+	if e.Len() != 7 {
+		t.Fatalf("occupancy %d after dump + 5 pushes, want 7", e.Len())
+	}
+	if e.Dropped != 8 {
+		t.Fatalf("dump dropped %d blocks, want 8", e.Dropped)
+	}
+}
+
+func TestElasticDumpFIFO(t *testing.T) {
+	e := NewElasticDump(2, 100)
+	for i := 0; i < 5; i++ {
+		e.Push(blk(int64(i + 1)))
+	}
+	for i := 0; i < 5; i++ {
+		it, ok := e.Pop()
+		if !ok || it.Stamp != int64(i+1) {
+			t.Fatalf("pop %d: %v %v", i, it.Stamp, ok)
+		}
+	}
+	if _, ok := e.Pop(); ok {
+		t.Fatal("pop from empty")
+	}
+	if e.Silence != 1 {
+		t.Fatal("silence not counted")
+	}
+}
+
+func TestClockAdjustSkipsWhenHigh(t *testing.T) {
+	c := NewClockAdjust(2, 6, 4)
+	for i := 0; i < 30; i++ {
+		c.Push(blk(int64(i + 1)))
+	}
+	for i := 0; i < 20; i++ {
+		c.Pop()
+	}
+	if c.Skipped == 0 {
+		t.Fatal("fast clock never skipped")
+	}
+	if c.Len() > 12 {
+		t.Fatalf("occupancy %d not being worked down", c.Len())
+	}
+}
+
+func TestClockAdjustStretchesWhenLow(t *testing.T) {
+	c := NewClockAdjust(3, 8, 2)
+	c.Push(blk(1))
+	c.Push(blk(2))
+	var pops int
+	for i := 0; i < 6; i++ {
+		if _, ok := c.Pop(); ok {
+			pops++
+		}
+		c.Push(blk(int64(10 + i))) // keep exactly ~2 queued
+		c.Push(blk(int64(20 + i)))
+		for c.Len() > 2 {
+			c.queue = c.queue[1:]
+		}
+	}
+	if c.Stretched == 0 {
+		t.Fatal("slow clock never stretched")
+	}
+	if pops != 6 {
+		t.Fatalf("pops = %d", pops)
+	}
+}
+
+func TestNaylorTracksDelayPercentile(t *testing.T) {
+	now := int64(0)
+	n := NewNaylor(100, 95, func() int64 { return now })
+	// Feed arrivals with 10 ms spread: target should settle ≈5 blocks.
+	rng := workload.NewRNG(5)
+	for i := 0; i < 500; i++ {
+		now = int64(i) * int64(segment.BlockDuration)
+		delay := int64(rng.Intn(int(10 * time.Millisecond)))
+		n.Push(clawback.Item{Data: nil, Stamp: now - delay})
+		n.Pop()
+	}
+	tgt := n.targetBlocks()
+	if tgt < 3 || tgt > 7 {
+		t.Fatalf("target %d blocks for 10ms spread, want ≈5", tgt)
+	}
+}
+
+func TestAllBuffersSurviveSteadyJitter(t *testing.T) {
+	mk := map[string]func() Buffer{
+		"clawback": func() Buffer { return Clawback{clawback.New(clawback.Config{})} },
+		"elastic":  func() Buffer { return NewElasticDump(2, 10) },
+		"clock":    func() Buffer { return NewClockAdjust(2, 8, 8) },
+		"naylor": func() Buffer {
+			var now int64
+			n := NewNaylor(100, 95, func() int64 { return now })
+			_ = now
+			return n
+		},
+	}
+	for name, f := range mk {
+		b := f()
+		glitches, occ := playScenario(b, 5000, steadyJitter(workload.NewRNG(1), 2*time.Millisecond))
+		// 10 s of 2 ms jitter: every scheme must mostly play clean.
+		if glitches > 300 {
+			t.Fatalf("%s: %d glitch events under steady 2ms jitter", name, glitches)
+		}
+		if occ > 30 {
+			t.Fatalf("%s: mean occupancy %.1f blocks", name, occ)
+		}
+	}
+}
+
+func TestClawbackBeatsElasticAfterBurst(t *testing.T) {
+	// E14's core shape: after a 20 ms jitter burst subsides, the
+	// clawback buffer works its delay back down smoothly; the elastic
+	// buffer either keeps the delay (if under threshold) or dumps (a
+	// glitch). Clawback's post-burst glitches stay near zero.
+	burst := func(i int) time.Duration {
+		if i >= 1000 && i < 1500 {
+			return 20 * time.Millisecond
+		}
+		return 2 * time.Millisecond
+	}
+	cb := Clawback{clawback.New(clawback.Config{})}
+	cbGlitches, _ := playScenario(cb, 40000, burst)
+
+	el := NewElasticDump(2, 8) // threshold below the burst: dumps fire
+	playScenario(el, 40000, burst)
+
+	if cb.Stats().ClawDrops == 0 {
+		t.Fatal("clawback never clawed the burst delay back")
+	}
+	if cbGlitches > uint64(1020) { // the burst gap itself inserts silence
+		t.Fatalf("clawback glitches %d", cbGlitches)
+	}
+	if el.Dumps == 0 {
+		t.Fatal("elastic buffer never dumped — scenario too gentle")
+	}
+	// The elastic dump threw away a burst of contiguous audio;
+	// clawback drops were spread one block every 8 s.
+	if el.Dropped < 5 {
+		t.Fatalf("elastic dropped only %d blocks", el.Dropped)
+	}
+}
+
+func TestClockAdjustKeepsBufferOccupied(t *testing.T) {
+	// "buffers could remain occupied when not strictly necessary":
+	// after a burst fills it, the clock-adjust scheme with a wide
+	// dead band holds more delay than clawback does long after.
+	burst := func(i int) time.Duration {
+		if i >= 1000 && i < 1500 {
+			return 20 * time.Millisecond
+		}
+		return 2 * time.Millisecond
+	}
+	ca := NewClockAdjust(2, 12, 8) // dead band up to 24 ms
+	_, caOcc := playScenario(ca, 40000, burst)
+	cb := Clawback{clawback.New(clawback.Config{})}
+	_, cbOcc := playScenario(cb, 40000, burst)
+	if caOcc <= cbOcc {
+		t.Fatalf("clock-adjust occupancy %.1f not above clawback %.1f", caOcc, cbOcc)
+	}
+}

@@ -1,0 +1,401 @@
+// Package box assembles the Pandora's Box of paper §1 and §3: five
+// transputer boards — capture, mixer (display), audio, server and
+// network — as an Occam process network on the virtual-time runtime,
+// connected by 20 Mbit/s links and 100 Mbit/s fifos, with the server
+// switching segment buffers between input and output device handlers
+// under the eight design principles.
+//
+// A Box is controlled the way the host workstation controlled the
+// real one: commands set up per-stream routes and start sources, and
+// "the data will then flow indefinitely without any further
+// interaction with the host" (§1.2). Reports from every process are
+// multiplexed to a host log.
+package box
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/allocator"
+	"repro/internal/atm"
+	"repro/internal/decouple"
+	"repro/internal/metrics"
+	"repro/internal/mixer"
+	"repro/internal/muting"
+	"repro/internal/occam"
+	"repro/internal/segment"
+	"repro/internal/video"
+	"repro/internal/workload"
+)
+
+// Output identifies an output device handler on the server board.
+type Output int
+
+const (
+	// OutSpeaker routes a stream to the audio board for mixing.
+	OutSpeaker Output = iota
+	// OutNetwork routes a stream to the ATM network output.
+	OutNetwork
+	// OutDisplay routes a stream to the mixer board for display.
+	OutDisplay
+	numOutputs
+)
+
+func (o Output) String() string {
+	switch o {
+	case OutSpeaker:
+		return "speaker"
+	case OutNetwork:
+		return "network"
+	case OutDisplay:
+		return "display"
+	}
+	return "?"
+}
+
+// Route is one stream's entry in the switch's private tables: which
+// outputs receive its segments and, for the network, the outgoing
+// VCI. "The tables are updated without disturbing the flows of data
+// when commands are received" (principle 6).
+type Route struct {
+	Stream  uint32
+	Outputs []Output
+	// NetVCIs are the outgoing VCIs for OutNetwork — one per network
+	// destination; splitting a stream to several boxes lists several
+	// (the tannoy configuration, §4.1).
+	NetVCIs []uint32
+	Opened  occam.Time // for principle 3: oldest degrade first
+}
+
+// SwitchCommand updates the switch tables or requests a report.
+type SwitchCommand struct {
+	Set       *Route
+	Close     uint32
+	HasClose  bool
+	ReportReq bool
+}
+
+// Features toggles the optional audio-board work of §4.2, which costs
+// CPU: "only three if we have jitter correction, muting, an outgoing
+// stream and the interface code running at the same time".
+type Features struct {
+	JitterCorrection bool
+	Muting           bool
+	Interface        bool
+}
+
+// Config parameterises a Box. Zero values select paper defaults.
+type Config struct {
+	Name string
+	// BlocksPerSegment sets outgoing audio batching (default 2 = 4 ms,
+	// principle 7; dynamically alterable by command).
+	BlocksPerSegment int
+	// Mic is the microphone source (default silence).
+	Mic workload.AudioSource
+	// CameraW/H size the camera field (default 128×64).
+	CameraW, CameraH int
+	// PoolBuffers sizes the server's segment buffer pool.
+	PoolBuffers int
+	// Features enables the optional audio-board work.
+	Features Features
+	// MutingConfig overrides muting defaults when Features.Muting.
+	MutingConfig muting.Config
+	// ClawbackTarget overrides the clawback lower target in blocks.
+	ClawbackTarget int
+	// InterleaveNetwork enables the A4 ablation: video segments are
+	// chunked at the network output so audio can interleave between
+	// chunks (the paper's code did NOT do this — "segment
+	// transmissions are not interleaved", §4.2).
+	InterleaveNetwork bool
+	// RepositoryPriority reverses principle 1 for repository boxes
+	// (incoming recorded streams take precedence — see §2.1).
+	RepositoryPriority bool
+	// SharedNetBuffer is the A2 ablation: audio and video share one
+	// decoupling buffer before the network output instead of the
+	// split of figure 3.7, so audio loses its priority (principle 2).
+	SharedNetBuffer bool
+	// NetInterfaceBits is the network interface bandwidth in bits per
+	// second. "The first limit that tends to be exceeded in normal
+	// operation is the bandwidth of the interface to the network"
+	// (§3.7.1): the network output process is occupied for the
+	// transmission time of each segment, and without InterleaveNetwork
+	// a large video segment holds up following audio (§4.2).
+	NetInterfaceBits int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = "pandora"
+	}
+	if c.BlocksPerSegment <= 0 {
+		c.BlocksPerSegment = segment.DefaultBlocksPerSegment
+	}
+	if c.Mic == nil {
+		c.Mic = workload.Silence{}
+	}
+	if c.CameraW <= 0 {
+		c.CameraW = 128
+	}
+	if c.CameraH <= 0 {
+		c.CameraH = 64
+	}
+	if c.PoolBuffers <= 0 {
+		c.PoolBuffers = 64
+	}
+	if c.NetInterfaceBits <= 0 {
+		c.NetInterfaceBits = 100_000_000
+	}
+	return c
+}
+
+// audioMsg carries an audio segment plus stream number over links.
+type audioMsg struct {
+	Stream uint32
+	Seg    *segment.Audio
+}
+
+// videoMsg carries a video segment plus stream number over links.
+type videoMsg struct {
+	Stream uint32
+	Seg    *segment.Video
+}
+
+// audioCmd controls the audio board's outgoing side.
+type audioCmd struct {
+	StartMic  *uint32
+	StopMic   bool
+	SetBlocks int // new blocks-per-segment, 0 = unchanged
+}
+
+// captureCmd controls the capture board.
+type captureCmd struct {
+	Start   *CameraStream
+	Stop    uint32
+	HasStop bool
+}
+
+// CameraStream describes one outgoing video stream (§3.6): an
+// arbitrary rectangle of the camera field at a fractional frame rate,
+// split into SegsPerFrame rectangular segments.
+type CameraStream struct {
+	Stream       uint32
+	Rect         video.Rect
+	Rate         video.Rate
+	SegsPerFrame int
+}
+
+// Box is one simulated Pandora's Box.
+type Box struct {
+	cfg Config
+	rt  *occam.Runtime
+
+	// Transputers (figure 1.2).
+	audioNode, serverNode, captureNode, mixerNode *occam.Node
+
+	host *atm.Host
+
+	// Reports multiplexed to the host (§1.2).
+	Reports *occam.Chan[Report]
+	Log     *HostLog
+
+	// Server board.
+	pool      *allocator.Pool
+	toSwitch  *occam.Chan[*allocator.Buffer]
+	switchCmd *occam.Chan[SwitchCommand]
+	outBufs   [numOutputs + 1]*decouple.Process[*allocator.Buffer]
+	swStats   SwitchStats
+	netVCI    map[uint32][]uint32 // stream → outgoing VCIs
+
+	// Links between boards (figure 1.3).
+	audioToServer   *occam.Link[audioMsg]
+	serverToAudio   *occam.Link[audioMsg]
+	captureToServer *occam.Link[videoMsg]
+	serverToMixer   *occam.Link[videoMsg]
+
+	// Audio board.
+	audioCmds *occam.Chan[audioCmd]
+	mix       *mixer.Mixer
+	muter     *muting.Muter
+	micOutBuf *decouple.Process[audioMsg]
+	audioStat AudioStats
+
+	// Capture board.
+	captureCmds *occam.Chan[captureCmd]
+	camera      *workload.Camera
+	framestore  *video.Framestore
+
+	// Mixer (display) board.
+	interp      *video.Interpolator
+	displayStat DisplayStats
+
+	// Instruments.
+	playout map[uint32]*metrics.Tracker
+}
+
+// SwitchStats counts the server switch's work.
+type SwitchStats struct {
+	Switched       uint64
+	NoRoute        uint64
+	FullDrops      [numOutputs + 1]uint64 // per output, buffer-full drops
+	AgeDrops       [numOutputs + 1]uint64 // principle-3 proactive drops
+	PerStreamDrops map[uint32]uint64
+}
+
+// AudioStats counts the audio board's work.
+type AudioStats struct {
+	TicksRun  uint64
+	LateTicks uint64 // ticks that overran their 2 ms budget
+	MicBlocks uint64
+	MicSegs   uint64
+	MicDrops  uint64 // dropped at the audio board's decoupling buffer
+}
+
+// DisplayStats counts the mixer board's work.
+type DisplayStats struct {
+	Segments   uint64
+	Frames     uint64
+	DecodeErrs uint64
+	FrameLat   *metrics.Tracker
+}
+
+// New builds a box, registers it as host cfg.Name on net, and starts
+// every board process. The caller drives the runtime.
+func New(rt *occam.Runtime, net *atm.Network, cfg Config) *Box {
+	cfg = cfg.withDefaults()
+	b := &Box{
+		cfg:         cfg,
+		rt:          rt,
+		audioNode:   occam.NewNode(rt, cfg.Name+".audioT"),
+		serverNode:  occam.NewNode(rt, cfg.Name+".serverT"),
+		captureNode: occam.NewNode(rt, cfg.Name+".captureT"),
+		mixerNode:   occam.NewNode(rt, cfg.Name+".mixerT"),
+		host:        net.AddHost(cfg.Name),
+		Reports:     occam.NewChan[Report](rt, cfg.Name+".reports"),
+		toSwitch:    occam.NewChan[*allocator.Buffer](rt, cfg.Name+".toswitch"),
+		switchCmd:   occam.NewChan[SwitchCommand](rt, cfg.Name+".switchcmd"),
+		netVCI:      make(map[uint32][]uint32),
+		audioCmds:   occam.NewChan[audioCmd](rt, cfg.Name+".audiocmd"),
+		captureCmds: occam.NewChan[captureCmd](rt, cfg.Name+".capturecmd"),
+		camera:      workload.NewCamera(cfg.CameraW, cfg.CameraH),
+		framestore:  video.NewFramestore(cfg.CameraW, cfg.CameraH),
+		interp:      video.NewInterpolator(),
+		playout:     make(map[uint32]*metrics.Tracker),
+	}
+	b.swStats.PerStreamDrops = make(map[uint32]uint64)
+	b.displayStat.FrameLat = metrics.NewTracker(cfg.Name + ".frameLat")
+	b.Log = NewHostLog(rt, b.Reports)
+	b.pool = allocator.New(rt, b.serverNode, cfg.PoolBuffers, nil)
+
+	// Inter-board links (figure 1.2/1.3 bandwidths).
+	b.audioToServer = occam.NewLink[audioMsg](rt, cfg.Name+".a2s", audioLinkBandwidth)
+	b.serverToAudio = occam.NewLink[audioMsg](rt, cfg.Name+".s2a", audioLinkBandwidth)
+	b.captureToServer = occam.NewLink[videoMsg](rt, cfg.Name+".c2s", fifoBandwidth)
+	b.serverToMixer = occam.NewLink[videoMsg](rt, cfg.Name+".s2m", fifoBandwidth)
+
+	// Clawback configuration for the destination mixer.
+	mcfg := mixer.Config{}
+	if cfg.ClawbackTarget > 0 {
+		mcfg.Clawback.TargetBlocks = cfg.ClawbackTarget
+	}
+	b.mix = mixer.New(mcfg)
+	b.mix.OnPlayout = b.recordPlayout
+	b.muter = muting.New(cfg.MutingConfig)
+
+	b.startServer()
+	b.startAudio()
+	b.startCapture()
+	b.startDisplay()
+	return b
+}
+
+// Host returns the box's network endpoint.
+func (b *Box) Host() *atm.Host { return b.host }
+
+// Mixer returns the destination audio mixer (for stream statistics).
+func (b *Box) Mixer() *mixer.Mixer { return b.mix }
+
+// Muter returns the audio board's muting state machine.
+func (b *Box) Muter() *muting.Muter { return b.muter }
+
+// SwitchStats returns a copy of the switch counters.
+func (b *Box) SwitchStats() SwitchStats { return b.swStats }
+
+// AudioStats returns a copy of the audio board counters.
+func (b *Box) AudioStats() AudioStats { return b.audioStat }
+
+// DisplayStats returns the display counters.
+func (b *Box) DisplayStats() DisplayStats { return b.displayStat }
+
+// PlayoutLatency returns the tracker of capture→playout latencies for
+// a stream arriving at this box's speaker.
+func (b *Box) PlayoutLatency(stream uint32) *metrics.Tracker {
+	t, ok := b.playout[stream]
+	if !ok {
+		t = metrics.NewTracker(fmt.Sprintf("%s.playout.%d", b.cfg.Name, stream))
+		b.playout[stream] = t
+	}
+	return t
+}
+
+func (b *Box) recordPlayout(stream uint32, stamp, now int64) {
+	if stamp <= 0 {
+		return // concealment replays carry synthetic stamps near zero early on
+	}
+	// The paper's one-way figure runs microphone input to speaker
+	// output: add the codec output fifo ("2ms in the buffering from
+	// the codec", §4.2) after the mixing pop.
+	b.PlayoutLatency(stream).Add(time.Duration(now-stamp) + segment.BlockDuration)
+}
+
+// --- Control interface (host commands, §1.2) ---
+
+// SetRoute installs or replaces a stream's route in the switch.
+func (b *Box) SetRoute(p *occam.Proc, r Route) {
+	if r.Opened == 0 {
+		r.Opened = p.Now()
+	}
+	if len(r.NetVCIs) > 0 {
+		b.netVCI[r.Stream] = append([]uint32(nil), r.NetVCIs...)
+	}
+	b.switchCmd.Send(p, SwitchCommand{Set: &r})
+}
+
+// CloseRoute removes a stream's route. Other streams are undisturbed
+// (principle 6).
+func (b *Box) CloseRoute(p *occam.Proc, stream uint32) {
+	b.switchCmd.Send(p, SwitchCommand{Close: stream, HasClose: true})
+}
+
+// StartMic begins the outgoing microphone stream with the given
+// stream number. Its route must be installed with SetRoute.
+func (b *Box) StartMic(p *occam.Proc, stream uint32) {
+	b.audioCmds.Send(p, audioCmd{StartMic: &stream})
+}
+
+// StopMic stops the outgoing microphone stream.
+func (b *Box) StopMic(p *occam.Proc) {
+	b.audioCmds.Send(p, audioCmd{StopMic: true})
+}
+
+// SetBlocksPerSegment alters the outgoing audio batching dynamically
+// ("can alter this dynamically if the recipient cannot handle the
+// arrival rate... or if we want a particularly low latency", §3.2).
+func (b *Box) SetBlocksPerSegment(p *occam.Proc, n int) {
+	b.audioCmds.Send(p, audioCmd{SetBlocks: n})
+}
+
+// StartCamera begins an outgoing video stream.
+func (b *Box) StartCamera(p *occam.Proc, cs CameraStream) {
+	b.captureCmds.Send(p, captureCmd{Start: &cs})
+}
+
+// StopCamera stops an outgoing video stream.
+func (b *Box) StopCamera(p *occam.Proc, stream uint32) {
+	b.captureCmds.Send(p, captureCmd{Stop: stream, HasStop: true})
+}
+
+// RequestSwitchReport asks the switch for a status report on the
+// box's report channel.
+func (b *Box) RequestSwitchReport(p *occam.Proc) {
+	b.switchCmd.Send(p, SwitchCommand{ReportReq: true})
+}

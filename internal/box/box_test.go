@@ -1,0 +1,331 @@
+package box
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/occam"
+	"repro/internal/video"
+	"repro/internal/workload"
+)
+
+// twoBoxes builds a, b and a direct 100 Mbit/s ATM path a→b for the
+// given VCIs.
+func twoBoxes(rt *occam.Runtime, cfgA, cfgB Config, vcis ...uint32) (*Box, *Box, *atm.Network) {
+	net := atm.New(rt)
+	cfgA.Name, cfgB.Name = "a", "b"
+	a := New(rt, net, cfgA)
+	b := New(rt, net, cfgB)
+	l := net.AddLink("ab", atm.LinkConfig{Bandwidth: 100_000_000, Propagation: 100 * time.Microsecond})
+	for _, vci := range vcis {
+		net.OpenCircuit(vci, a.Host(), b.Host(), l)
+	}
+	return a, b, net
+}
+
+func run(t *testing.T, rt *occam.Runtime, d time.Duration) {
+	t.Helper()
+	if err := rt.RunUntil(occam.Time(d)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAudioCallEndToEnd(t *testing.T) {
+	rt := occam.NewRuntime()
+	defer rt.Shutdown()
+	a, b, _ := twoBoxes(rt,
+		Config{Mic: workload.NewTone(400, 12000)},
+		Config{}, 100)
+
+	rt.Go("control", nil, occam.High, func(p *occam.Proc) {
+		a.SetRoute(p, Route{Stream: 1, Outputs: []Output{OutNetwork}, NetVCIs: []uint32{100}})
+		b.SetRoute(p, Route{Stream: 100, Outputs: []Output{OutSpeaker}})
+		a.StartMic(p, 1)
+	})
+	run(t, rt, 2*time.Second)
+
+	st := b.Mixer().Stats(100)
+	if st.Segments < 400 {
+		t.Fatalf("b received %d segments in 2s, want ≈500", st.Segments)
+	}
+	if st.LostSegments > 0 {
+		t.Fatalf("%d segments lost on a clean path", st.LostSegments)
+	}
+	// After warm-up the stream plays continuously: silence insertions
+	// only while the clawback buffer first fills.
+	if silences := st.Clawback.SilenceInserted; silences > 20 {
+		t.Fatalf("%d silence insertions on a clean path", silences)
+	}
+	if a.AudioStats().MicDrops != 0 {
+		t.Fatalf("mic dropped %d segments unloaded", a.AudioStats().MicDrops)
+	}
+}
+
+func TestOneWayLatencyNear8ms(t *testing.T) {
+	// §4.2: "the best one-way trip time from microphone input of one
+	// box to speaker output of another box over the network was 8ms."
+	rt := occam.NewRuntime()
+	defer rt.Shutdown()
+	a, b, _ := twoBoxes(rt,
+		Config{Mic: workload.NewTone(400, 12000)},
+		Config{}, 100)
+	rt.Go("control", nil, occam.High, func(p *occam.Proc) {
+		a.SetRoute(p, Route{Stream: 1, Outputs: []Output{OutNetwork}, NetVCIs: []uint32{100}})
+		b.SetRoute(p, Route{Stream: 100, Outputs: []Output{OutSpeaker}})
+		a.StartMic(p, 1)
+	})
+	run(t, rt, 3*time.Second)
+
+	lat := b.PlayoutLatency(100)
+	if lat.Count() == 0 {
+		t.Fatal("no playout latency samples")
+	}
+	if min := lat.Min(); min < 4*time.Millisecond || min > 12*time.Millisecond {
+		t.Fatalf("best one-way latency %v, want ≈8ms", min)
+	}
+	if mean := lat.Mean(); mean > 16*time.Millisecond {
+		t.Fatalf("mean one-way latency %v on a quiet path", mean)
+	}
+}
+
+func TestLocalLoopback(t *testing.T) {
+	// Mic routed to the local speaker through the server only.
+	rt := occam.NewRuntime()
+	defer rt.Shutdown()
+	net := atm.New(rt)
+	bx := New(rt, net, Config{Name: "solo", Mic: workload.NewTone(300, 9000)})
+	rt.Go("control", nil, occam.High, func(p *occam.Proc) {
+		bx.SetRoute(p, Route{Stream: 1, Outputs: []Output{OutSpeaker}})
+		bx.StartMic(p, 1)
+	})
+	run(t, rt, time.Second)
+	if st := bx.Mixer().Stats(1); st.Segments < 200 {
+		t.Fatalf("loopback delivered %d segments", st.Segments)
+	}
+}
+
+func TestSplitStreamToTwoBoxes(t *testing.T) {
+	// Tannoy (§4.1): one mic stream to two destinations. Principle 6:
+	// both copies play, independently.
+	rt := occam.NewRuntime()
+	defer rt.Shutdown()
+	net := atm.New(rt)
+	a := New(rt, net, Config{Name: "a", Mic: workload.NewTone(500, 10000)})
+	b := New(rt, net, Config{Name: "b"})
+	c := New(rt, net, Config{Name: "c"})
+	lb := net.AddLink("ab", atm.LinkConfig{Bandwidth: 100_000_000})
+	lc := net.AddLink("ac", atm.LinkConfig{Bandwidth: 100_000_000})
+	net.OpenCircuit(100, a.Host(), b.Host(), lb)
+	net.OpenCircuit(200, a.Host(), c.Host(), lc)
+	rt.Go("control", nil, occam.High, func(p *occam.Proc) {
+		a.SetRoute(p, Route{Stream: 1, Outputs: []Output{OutNetwork}, NetVCIs: []uint32{100, 200}})
+		b.SetRoute(p, Route{Stream: 100, Outputs: []Output{OutSpeaker}})
+		c.SetRoute(p, Route{Stream: 200, Outputs: []Output{OutSpeaker}})
+		a.StartMic(p, 1)
+	})
+	run(t, rt, time.Second)
+	if st := b.Mixer().Stats(100); st.Segments < 200 {
+		t.Fatalf("b got %d segments", st.Segments)
+	}
+	if st := c.Mixer().Stats(200); st.Segments < 200 {
+		t.Fatalf("c got %d segments", st.Segments)
+	}
+}
+
+func TestVideoCallEndToEnd(t *testing.T) {
+	rt := occam.NewRuntime()
+	defer rt.Shutdown()
+	a, b, _ := twoBoxes(rt, Config{}, Config{}, 300)
+	rt.Go("control", nil, occam.High, func(p *occam.Proc) {
+		a.SetRoute(p, Route{Stream: 2, Outputs: []Output{OutNetwork}, NetVCIs: []uint32{300}})
+		b.SetRoute(p, Route{Stream: 300, Outputs: []Output{OutDisplay}})
+		a.StartCamera(p, CameraStream{
+			Stream: 2,
+			Rect:   video.Rect{X: 0, Y: 0, W: 128, H: 64},
+			Rate:   video.Rate{Num: 2, Den: 5}, // 10 fps
+		})
+	})
+	run(t, rt, 2*time.Second)
+	st := b.DisplayStats()
+	// 10 fps for 2 s ≈ 20 frames (minus pipeline fill).
+	if st.Frames < 15 || st.Frames > 21 {
+		t.Fatalf("displayed %d frames, want ≈20", st.Frames)
+	}
+	if st.DecodeErrs != 0 {
+		t.Fatalf("%d decode errors", st.DecodeErrs)
+	}
+	if st.FrameLat.Max() > 120*time.Millisecond {
+		t.Fatalf("frame latency up to %v", st.FrameLat.Max())
+	}
+}
+
+func TestLocalVideoDisplay(t *testing.T) {
+	// Camera to own display ("local video").
+	rt := occam.NewRuntime()
+	defer rt.Shutdown()
+	net := atm.New(rt)
+	bx := New(rt, net, Config{Name: "solo"})
+	rt.Go("control", nil, occam.High, func(p *occam.Proc) {
+		bx.SetRoute(p, Route{Stream: 2, Outputs: []Output{OutDisplay}})
+		bx.StartCamera(p, CameraStream{
+			Stream: 2,
+			Rect:   video.Rect{W: 128, H: 64},
+			Rate:   video.Rate{Num: 1, Den: 1}, // full 25 fps
+		})
+	})
+	run(t, rt, time.Second)
+	if f := bx.DisplayStats().Frames; f < 20 {
+		t.Fatalf("local display got %d frames in 1s at 25fps", f)
+	}
+}
+
+func TestReconfigurationContinuity(t *testing.T) {
+	// Principle 6: adding a second destination mid-stream must not
+	// interrupt the first copy.
+	rt := occam.NewRuntime()
+	defer rt.Shutdown()
+	net := atm.New(rt)
+	a := New(rt, net, Config{Name: "a", Mic: workload.NewTone(500, 10000)})
+	b := New(rt, net, Config{Name: "b"})
+	c := New(rt, net, Config{Name: "c"})
+	lb := net.AddLink("ab", atm.LinkConfig{Bandwidth: 100_000_000})
+	lc := net.AddLink("ac", atm.LinkConfig{Bandwidth: 100_000_000})
+	net.OpenCircuit(100, a.Host(), b.Host(), lb)
+	net.OpenCircuit(200, a.Host(), c.Host(), lc)
+	rt.Go("control", nil, occam.High, func(p *occam.Proc) {
+		a.SetRoute(p, Route{Stream: 1, Outputs: []Output{OutNetwork}, NetVCIs: []uint32{100}})
+		b.SetRoute(p, Route{Stream: 100, Outputs: []Output{OutSpeaker}})
+		c.SetRoute(p, Route{Stream: 200, Outputs: []Output{OutSpeaker}})
+		a.StartMic(p, 1)
+		p.Sleep(500 * time.Millisecond)
+		// Add destination c without disturbing b: replace the route.
+		a.SetRoute(p, Route{Stream: 1, Outputs: []Output{OutNetwork}, NetVCIs: []uint32{100, 200}, Opened: occam.Time(1)})
+		p.Sleep(500 * time.Millisecond)
+		// Remove c again.
+		a.SetRoute(p, Route{Stream: 1, Outputs: []Output{OutNetwork}, NetVCIs: []uint32{100}, Opened: occam.Time(1)})
+	})
+	run(t, rt, 1500*time.Millisecond)
+	st := b.Mixer().Stats(100)
+	if st.LostSegments != 0 {
+		t.Fatalf("reconfiguration lost %d segments at b", st.LostSegments)
+	}
+	if c.Mixer().Stats(200).Segments == 0 {
+		t.Fatal("second destination never received data")
+	}
+}
+
+func TestDynamicSegmentSizeChange(t *testing.T) {
+	// §3.2: blocks per segment can change dynamically, 1–12.
+	rt := occam.NewRuntime()
+	defer rt.Shutdown()
+	a, b, _ := twoBoxes(rt, Config{Mic: workload.NewTone(400, 10000)}, Config{}, 100)
+	rt.Go("control", nil, occam.High, func(p *occam.Proc) {
+		a.SetRoute(p, Route{Stream: 1, Outputs: []Output{OutNetwork}, NetVCIs: []uint32{100}})
+		b.SetRoute(p, Route{Stream: 100, Outputs: []Output{OutSpeaker}})
+		a.StartMic(p, 1)
+		p.Sleep(300 * time.Millisecond)
+		a.SetBlocksPerSegment(p, 12) // 24 ms batching
+		p.Sleep(300 * time.Millisecond)
+		a.SetBlocksPerSegment(p, 1) // 2 ms minimum latency
+	})
+	run(t, rt, time.Second)
+	st := b.Mixer().Stats(100)
+	if st.Blocks < 400 {
+		t.Fatalf("only %d blocks delivered across size changes", st.Blocks)
+	}
+	// "Incoming segments of any mixture of sizes are accepted."
+	if st.LostSegments != 0 {
+		t.Fatalf("segment size changes lost %d segments", st.LostSegments)
+	}
+}
+
+func TestMutingActsOnEcho(t *testing.T) {
+	// A loud incoming stream at the speaker must mute the outgoing
+	// mic within the reaction margin.
+	rt := occam.NewRuntime()
+	defer rt.Shutdown()
+	a, b, _ := twoBoxes(rt,
+		Config{Mic: workload.NewTone(400, 20000)},
+		Config{
+			Mic:      workload.NewTone(400, 20000),
+			Features: Features{Muting: true, JitterCorrection: true},
+		}, 100)
+	rt.Go("control", nil, occam.High, func(p *occam.Proc) {
+		a.SetRoute(p, Route{Stream: 1, Outputs: []Output{OutNetwork}, NetVCIs: []uint32{100}})
+		b.SetRoute(p, Route{Stream: 100, Outputs: []Output{OutSpeaker}})
+		a.StartMic(p, 1)
+		b.SetRoute(p, Route{Stream: 2, Outputs: []Output{OutSpeaker}}) // b's own mic looped locally
+		b.StartMic(p, 2)
+	})
+	run(t, rt, time.Second)
+	if b.Muter().Crossings() == 0 {
+		t.Fatal("loud speaker output never crossed the muting threshold")
+	}
+	if b.Muter().MutedBlocks() == 0 {
+		t.Fatal("mic blocks never muted")
+	}
+}
+
+func TestCommandsServedUnderDataLoad(t *testing.T) {
+	// Principle 4: a switch report request completes promptly while
+	// audio and video streams flood the server.
+	rt := occam.NewRuntime()
+	defer rt.Shutdown()
+	a, b, _ := twoBoxes(rt, Config{Mic: workload.NewTone(400, 10000)}, Config{}, 100, 300)
+	var served occam.Time
+	rt.Go("control", nil, occam.High, func(p *occam.Proc) {
+		a.SetRoute(p, Route{Stream: 1, Outputs: []Output{OutNetwork}, NetVCIs: []uint32{100}})
+		a.SetRoute(p, Route{Stream: 2, Outputs: []Output{OutNetwork}, NetVCIs: []uint32{300}})
+		b.SetRoute(p, Route{Stream: 100, Outputs: []Output{OutSpeaker}})
+		b.SetRoute(p, Route{Stream: 300, Outputs: []Output{OutDisplay}})
+		a.StartMic(p, 1)
+		a.StartCamera(p, CameraStream{Stream: 2, Rect: video.Rect{W: 128, H: 64}, Rate: video.Rate{Num: 1, Den: 1}})
+		p.Sleep(500 * time.Millisecond)
+		before := p.Now()
+		a.RequestSwitchReport(p)
+		served = p.Now() - before
+	})
+	run(t, rt, time.Second)
+	if served > occam.Time(5*time.Millisecond) {
+		t.Fatalf("switch command took %v under load", served)
+	}
+	if a.Log.Count("a.switch") == 0 {
+		t.Fatal("switch report never reached the host log")
+	}
+}
+
+func TestMixerPoolSharedAcrossIncomingStreams(t *testing.T) {
+	// Several incoming streams mix simultaneously at one box.
+	rt := occam.NewRuntime()
+	defer rt.Shutdown()
+	net := atm.New(rt)
+	dst := New(rt, net, Config{Name: "dst"})
+	var srcs []*Box
+	for i := 0; i < 3; i++ {
+		src := New(rt, net, Config{
+			Name: string(rune('p' + i)),
+			Mic:  workload.NewTone(300+100*i, 8000),
+		})
+		l := net.AddLink(string(rune('p'+i))+"-dst", atm.LinkConfig{Bandwidth: 100_000_000})
+		net.OpenCircuit(uint32(100+i), src.Host(), dst.Host(), l)
+		srcs = append(srcs, src)
+	}
+	rt.Go("control", nil, occam.High, func(p *occam.Proc) {
+		for i, src := range srcs {
+			vci := uint32(100 + i)
+			src.SetRoute(p, Route{Stream: 1, Outputs: []Output{OutNetwork}, NetVCIs: []uint32{vci}})
+			dst.SetRoute(p, Route{Stream: vci, Outputs: []Output{OutSpeaker}})
+			src.StartMic(p, 1)
+		}
+	})
+	run(t, rt, time.Second)
+	for i := 0; i < 3; i++ {
+		if st := dst.Mixer().Stats(uint32(100 + i)); st.Segments < 200 {
+			t.Fatalf("stream %d delivered %d segments", 100+i, st.Segments)
+		}
+	}
+	if dst.AudioStats().LateTicks > 0 {
+		t.Fatalf("3 plain streams overloaded the audio board (%d late ticks)", dst.AudioStats().LateTicks)
+	}
+}

@@ -1,0 +1,87 @@
+package box
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/occam"
+)
+
+// Reports (§1.2): "Reports are collected from all main processes, and
+// multiplexed together. They are usually in the form of text messages
+// generated when Pandora is overloaded, when some error has been
+// detected, when a command has requested some information, or on
+// occasion just to say that everything is all right. Reports are sent
+// to the host computer for display or logging."
+
+// Report is one multiplexed report line.
+type Report struct {
+	At      occam.Time
+	Process string
+	Text    string
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("[%8.3fms] %-20s %s", r.At.Millis(), r.Process, r.Text)
+}
+
+// reportMinPeriod rate-limits repeats: "send messages on the report
+// channel as soon as possible subject to a minimum period between
+// reports for any particular sort of error".
+const reportMinPeriod = 100 * time.Millisecond
+
+// Reporter is one process's handle on the box's multiplexed report
+// stream, with per-kind rate limiting.
+type Reporter struct {
+	process string
+	sink    *occam.Chan[Report]
+	last    map[string]occam.Time
+}
+
+func newReporter(process string, sink *occam.Chan[Report]) *Reporter {
+	return &Reporter{process: process, sink: sink, last: make(map[string]occam.Time)}
+}
+
+// Report emits a report of the given kind, suppressing repeats of the
+// same kind within the minimum period. Delivery uses TrySend so a
+// slow host log can never stall a time-critical process.
+func (r *Reporter) Report(p *occam.Proc, kind, format string, args ...any) {
+	now := p.Now()
+	if t, ok := r.last[kind]; ok && now.Sub(t) < reportMinPeriod {
+		return
+	}
+	r.last[kind] = now
+	r.sink.TrySend(p, Report{At: now, Process: r.process, Text: fmt.Sprintf(format, args...)})
+}
+
+// HostLog is the host-side collector: it drains the box's report
+// channel continuously and keeps the log in memory, like the log file
+// on the workstation (§3.8).
+type HostLog struct {
+	lines []Report
+}
+
+// NewHostLog starts a collector process draining reports.
+func NewHostLog(rt *occam.Runtime, reports *occam.Chan[Report]) *HostLog {
+	l := &HostLog{}
+	rt.Go("host.log", nil, occam.High, func(p *occam.Proc) {
+		for {
+			l.lines = append(l.lines, reports.Recv(p))
+		}
+	})
+	return l
+}
+
+// Lines returns the collected log.
+func (l *HostLog) Lines() []Report { return l.lines }
+
+// Count returns how many lines mention the given process name.
+func (l *HostLog) Count(process string) int {
+	n := 0
+	for _, r := range l.lines {
+		if r.Process == process {
+			n++
+		}
+	}
+	return n
+}

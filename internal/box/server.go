@@ -1,0 +1,444 @@
+package box
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/allocator"
+	"repro/internal/atm"
+	"repro/internal/decouple"
+	"repro/internal/occam"
+	"repro/internal/segment"
+)
+
+// The server board (§3.4/§3.5, figure 3.3): input device handlers
+// fill shared buffers and send their indices to the switch, which
+// consults per-stream tables and forwards descriptors into the
+// decoupling buffers of each requested output device. The buffers sit
+// *downstream* of the switch "so that the poor performance of one
+// output device does not affect streams to other output devices"
+// (principle 5), and the switch "simply omits to send ... any more
+// segments" to a full one, counting and reporting the drops.
+
+// outIndex maps Output → decoupling buffer slot; OutNetwork expands
+// to two buffers (figure 3.7: audio split from video "so that it can
+// be given priority", principle 2).
+const (
+	bufSpeaker = iota
+	bufNetAudio
+	bufNetVideo
+	bufDisplay
+	numOutBufs
+)
+
+func (b *Box) startServer() {
+	rt, name := b.rt, b.cfg.Name
+	mk := func(slot int, nm string, capacity int) {
+		b.outBufs[slot] = decouple.New[*allocator.Buffer](
+			rt, b.serverNode, name+"."+nm, capacity, nil, decouple.WithReady())
+	}
+	mk(bufSpeaker, "spkbuf", switchBufferSegments)
+	mk(bufNetAudio, "netAbuf", netAudioBufferSegments)
+	mk(bufNetVideo, "netVbuf", netVideoBufferSegments)
+	mk(bufDisplay, "dispbuf", switchBufferSegments)
+
+	rt.Go(name+".switch", b.serverNode, occam.High, b.runSwitch)
+	rt.Go(name+".audioIn", b.serverNode, occam.High, b.runAudioIn)
+	rt.Go(name+".netIn", b.serverNode, occam.High, b.runNetIn)
+	rt.Go(name+".captureIn", b.serverNode, occam.High, b.runCaptureIn)
+	rt.Go(name+".audioOut", b.serverNode, occam.High, b.runAudioOut)
+	rt.Go(name+".netOut", b.serverNode, occam.High, b.runNetOut)
+	rt.Go(name+".displayOut", b.serverNode, occam.High, b.runDisplayOut)
+}
+
+// bufSlotsFor returns which decoupling buffers serve a route output.
+// With the A2 ablation everything network-bound shares the video
+// buffer, losing audio its separate queue.
+func (b *Box) bufSlotsFor(o Output, payload any) []int {
+	switch o {
+	case OutSpeaker:
+		return []int{bufSpeaker}
+	case OutDisplay:
+		return []int{bufDisplay}
+	case OutNetwork:
+		if b.cfg.SharedNetBuffer {
+			return []int{bufNetVideo}
+		}
+		if _, isAudio := payload.(*segment.Audio); isAudio {
+			return []int{bufNetAudio}
+		}
+		return []int{bufNetVideo}
+	}
+	return nil
+}
+
+// runSwitch is the server data switch: PRI ALT with commands first
+// (principle 4), then ready-channel updates, then data.
+func (b *Box) runSwitch(p *occam.Proc) {
+	rep := newReporter(b.cfg.Name+".switch", b.Reports)
+	routes := make(map[uint32]*Route)
+	senders := make([]*decouple.Sender[*allocator.Buffer], numOutBufs)
+	for i := range senders {
+		senders[i] = decouple.NewSender(b.outBufs[i])
+	}
+	// Principle-3 state per output buffer: how many of the oldest
+	// streams are currently being degraded, and when the last forced
+	// (buffer-full) drop happened.
+	degrade := make([]int, numOutBufs)
+	lastForced := make([]occam.Time, numOutBufs)
+
+	for {
+		var (
+			cmd   SwitchCommand
+			buf   *allocator.Buffer
+			ready [numOutBufs]bool
+		)
+		guards := []occam.Guard{occam.Recv(b.switchCmd, &cmd)}
+		for i, s := range senders {
+			guards = append(guards, s.ReadyGuard(&ready[i]))
+		}
+		guards = append(guards, occam.Recv(b.toSwitch, &buf))
+
+		switch idx := p.Alt(guards...); {
+		case idx == 0:
+			b.handleSwitchCommand(p, rep, routes, cmd)
+		case idx <= numOutBufs:
+			senders[idx-1].Update(ready[idx-1])
+		default:
+			r := routes[buf.Stream]
+			if r == nil {
+				b.swStats.NoRoute++
+				b.pool.Release(p, buf)
+				continue
+			}
+			size := payloadSize(buf.Payload)
+			p.Consume(serverSwitchCost + time.Duration(size)*serverCopyPerKB/1024)
+
+			// Expand outputs to buffer slots.
+			var slots []int
+			for _, o := range r.Outputs {
+				slots = append(slots, b.bufSlotsFor(o, buf.Payload)...)
+			}
+			if len(slots) == 0 {
+				b.pool.Release(p, buf)
+				continue
+			}
+			b.swStats.Switched++
+			// One reference per destination (§3.4).
+			b.pool.Retain(p, buf, len(slots)-1)
+			for _, slot := range slots {
+				// Principle 3: under pressure, the oldest streams
+				// degrade first.
+				if degrade[slot] > 0 && b.isAmongOldest(routes, r, slot, degrade[slot]) {
+					b.swStats.AgeDrops[slot]++
+					b.swStats.PerStreamDrops[buf.Stream]++
+					b.pool.Release(p, buf)
+					continue
+				}
+				if !senders[slot].Deliver(p, buf) {
+					// Buffer full: "the switch simply omits to send it
+					// any more segments... records how many segments
+					// have been dropped in this way, and periodically
+					// sends reports while the condition persists."
+					b.swStats.FullDrops[slot]++
+					b.swStats.PerStreamDrops[buf.Stream]++
+					b.pool.Release(p, buf)
+					rep.Report(p, fmt.Sprintf("full-%d", slot),
+						"output %d full: dropping (total %d)", slot, b.swStats.FullDrops[slot])
+					if degrade[slot] < b.streamsFor(routes, slot)-1 {
+						degrade[slot]++
+					}
+					lastForced[slot] = p.Now()
+				}
+			}
+			// Relax degradation when no forced drop for a while
+			// (principle 8: adapt to local conditions).
+			for slot := range degrade {
+				if degrade[slot] > 0 && p.Now().Sub(lastForced[slot]) > 500*time.Millisecond {
+					degrade[slot]--
+					lastForced[slot] = p.Now()
+				}
+			}
+		}
+	}
+}
+
+func (b *Box) handleSwitchCommand(p *occam.Proc, rep *Reporter, routes map[uint32]*Route, cmd SwitchCommand) {
+	switch {
+	case cmd.Set != nil:
+		r := *cmd.Set
+		routes[r.Stream] = &r
+	case cmd.HasClose:
+		delete(routes, cmd.Close)
+	case cmd.ReportReq:
+		rep.Report(p, "status", "routes=%d switched=%d noroute=%d",
+			len(routes), b.swStats.Switched, b.swStats.NoRoute)
+	}
+}
+
+// streamsFor counts streams routed to a buffer slot.
+func (b *Box) streamsFor(routes map[uint32]*Route, slot int) int {
+	n := 0
+	for _, r := range routes {
+		for _, o := range r.Outputs {
+			if slotMatches(o, slot) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// isAmongOldest reports whether r is within the k oldest streams
+// routed to slot.
+func (b *Box) isAmongOldest(routes map[uint32]*Route, r *Route, slot, k int) bool {
+	var opened []occam.Time
+	for _, o := range routes {
+		for _, out := range o.Outputs {
+			if slotMatches(out, slot) {
+				opened = append(opened, o.Opened)
+				break
+			}
+		}
+	}
+	if len(opened) <= 1 {
+		return false
+	}
+	sort.Slice(opened, func(i, j int) bool { return opened[i] < opened[j] })
+	if k > len(opened)-1 {
+		k = len(opened) - 1
+	}
+	cutoff := opened[k-1]
+	return r.Opened <= cutoff
+}
+
+func slotMatches(o Output, slot int) bool {
+	switch o {
+	case OutSpeaker:
+		return slot == bufSpeaker
+	case OutNetwork:
+		return slot == bufNetAudio || slot == bufNetVideo
+	case OutDisplay:
+		return slot == bufDisplay
+	}
+	return false
+}
+
+func payloadSize(payload any) int {
+	switch s := payload.(type) {
+	case *segment.Audio:
+		return s.WireSize()
+	case *segment.Video:
+		return s.WireSize()
+	}
+	return 0
+}
+
+// runAudioIn receives mic segments from the audio board link, fills
+// buffers obtained in advance from the allocator, and launches their
+// indices into the switch.
+func (b *Box) runAudioIn(p *occam.Proc) {
+	for {
+		buf := b.pool.Get(p) // "obtain empty buffers ... in advance"
+		msg := b.audioToServer.Recv(p)
+		size := msg.Seg.WireSize()
+		p.Consume(time.Duration(size) * serverCopyPerKB / 1024)
+		buf.Payload = msg.Seg
+		buf.Stream = msg.Stream
+		b.toSwitch.Send(p, buf)
+	}
+}
+
+// runNetIn receives network messages; the VCI is the local stream
+// number (§3.4).
+func (b *Box) runNetIn(p *occam.Proc) {
+	reasm := make(map[uint32]*chunkedVideo)
+	for {
+		buf := b.pool.Get(p)
+		var m atm.Message
+		for {
+			m = b.host.Rx.Recv(p)
+			if payload, done := reassemble(reasm, m); done {
+				m.Payload = payload
+				break
+			}
+		}
+		p.Consume(time.Duration(m.Size) * serverCopyPerKB / 1024)
+		buf.Payload = m.Payload
+		buf.Stream = m.VCI
+		b.toSwitch.Send(p, buf)
+	}
+}
+
+// runCaptureIn receives compressed video segments from the capture
+// board fifo.
+func (b *Box) runCaptureIn(p *occam.Proc) {
+	for {
+		buf := b.pool.Get(p)
+		msg := b.captureToServer.Recv(p)
+		p.Consume(time.Duration(msg.Seg.WireSize()) * serverCopyPerKB / 1024)
+		buf.Payload = msg.Seg
+		buf.Stream = msg.Stream
+		b.toSwitch.Send(p, buf)
+	}
+}
+
+// runAudioOut moves speaker-bound segments over the link to the
+// audio board.
+func (b *Box) runAudioOut(p *occam.Proc) {
+	out := b.outBufs[bufSpeaker].Out
+	for {
+		buf := out.Recv(p)
+		seg := buf.Payload.(*segment.Audio)
+		size := seg.WireSize() + segment.StreamNumberSize
+		p.Consume(time.Duration(size) * serverCopyPerKB / 1024)
+		b.serverToAudio.Send(p, audioMsg{Stream: buf.Stream, Seg: seg}, size)
+		b.pool.Release(p, buf)
+	}
+}
+
+// runDisplayOut moves display-bound video over the fifo to the mixer
+// board.
+func (b *Box) runDisplayOut(p *occam.Proc) {
+	out := b.outBufs[bufDisplay].Out
+	for {
+		buf := out.Recv(p)
+		seg := buf.Payload.(*segment.Video)
+		size := seg.WireSize()
+		p.Consume(time.Duration(size) * serverCopyPerKB / 1024)
+		b.serverToMixer.Send(p, videoMsg{Stream: buf.Stream, Seg: seg}, size)
+		b.pool.Release(p, buf)
+	}
+}
+
+// netTransmit occupies the network output process for a message's
+// transmission time at the interface bandwidth.
+func (b *Box) netTransmit(p *occam.Proc, size int) {
+	p.Sleep(time.Duration(int64(size) * 8 * int64(time.Second) / b.cfg.NetInterfaceBits))
+}
+
+// netChunkSize is the A4 interleaving granularity.
+const netChunkSize = 1024
+
+// videoChunk is one piece of a chunked video segment (A4 ablation).
+type videoChunk struct {
+	Seg   *segment.Video
+	Index int
+	Total int
+}
+
+type chunkedVideo struct {
+	got, total int
+	seg        *segment.Video
+}
+
+// reassemble merges chunked video; whole messages pass through.
+func reassemble(m map[uint32]*chunkedVideo, msg atm.Message) (any, bool) {
+	ch, isChunk := msg.Payload.(videoChunk)
+	if !isChunk {
+		return msg.Payload, true
+	}
+	st, ok := m[msg.VCI]
+	if !ok || st.seg != ch.Seg {
+		st = &chunkedVideo{total: ch.Total, seg: ch.Seg}
+		m[msg.VCI] = st
+	}
+	st.got++
+	if st.got >= st.total {
+		delete(m, msg.VCI)
+		return st.seg, true
+	}
+	return nil, false
+}
+
+// runNetOut is the network output process. Audio takes priority over
+// video (principle 2, figure 3.7): the audio decoupling buffer is
+// always polled first. Without InterleaveNetwork, a whole video
+// segment is one network message, so "video segments can hold up
+// following audio segments" (§4.2) on the shared first link.
+func (b *Box) runNetOut(p *occam.Proc) {
+	rep := newReporter(b.cfg.Name+".netOut", b.Reports)
+	audioOut := b.outBufs[bufNetAudio].Out
+	videoOut := b.outBufs[bufNetVideo].Out
+	for {
+		var buf *allocator.Buffer
+		p.Alt(
+			occam.Recv(audioOut, &buf), // principle 2: audio first
+			occam.Recv(videoOut, &buf),
+		)
+		vcis, ok := b.netVCI[buf.Stream]
+		if !ok {
+			vcis = []uint32{buf.Stream}
+		}
+		// Splitting to several network destinations sends one copy per
+		// VCI; a slow destination only affects its own circuit
+		// (principle 5 — drops happen inside the network, never here).
+		for _, vci := range vcis {
+			switch seg := buf.Payload.(type) {
+			case *segment.Audio:
+				b.netTransmit(p, seg.WireSize())
+				err := b.host.Send(p, atm.Message{VCI: vci, Size: seg.WireSize(), Payload: seg})
+				if err != nil {
+					rep.Report(p, "nocircuit", "audio stream %d: %v", buf.Stream, err)
+				}
+			case *segment.Video:
+				if b.cfg.InterleaveNetwork {
+					b.sendChunked(p, rep, vci, seg)
+				} else {
+					// Non-interleaved: the interface is occupied for
+					// the whole video segment, holding up any audio
+					// waiting in its buffer (§4.2).
+					b.netTransmit(p, seg.WireSize())
+					err := b.host.Send(p, atm.Message{VCI: vci, Size: seg.WireSize(), Payload: seg})
+					if err != nil {
+						rep.Report(p, "nocircuit", "video stream %d: %v", buf.Stream, err)
+					}
+				}
+			}
+		}
+		b.pool.Release(p, buf)
+	}
+}
+
+// sendChunked splits a video segment into cell-train chunks and lets
+// waiting audio through between chunks (A4: interleaved transmission).
+func (b *Box) sendChunked(p *occam.Proc, rep *Reporter, vci uint32, seg *segment.Video) {
+	total := (seg.WireSize() + netChunkSize - 1) / netChunkSize
+	audioOut := b.outBufs[bufNetAudio].Out
+	for i := 0; i < total; i++ {
+		// Drain any waiting audio first (principle 2 at chunk
+		// granularity).
+		for {
+			var abuf *allocator.Buffer
+			if p.Alt(occam.Recv(audioOut, &abuf), occam.Skip()) == 1 {
+				break
+			}
+			aseg := abuf.Payload.(*segment.Audio)
+			avcis, ok := b.netVCI[abuf.Stream]
+			if !ok {
+				avcis = []uint32{abuf.Stream}
+			}
+			for _, avci := range avcis {
+				b.netTransmit(p, aseg.WireSize())
+				if err := b.host.Send(p, atm.Message{VCI: avci, Size: aseg.WireSize(), Payload: aseg}); err != nil {
+					rep.Report(p, "nocircuit", "audio stream %d: %v", abuf.Stream, err)
+				}
+			}
+			b.pool.Release(p, abuf)
+		}
+		size := netChunkSize
+		if i == total-1 {
+			size = seg.WireSize() - (total-1)*netChunkSize
+		}
+		b.netTransmit(p, size)
+		err := b.host.Send(p, atm.Message{
+			VCI: vci, Size: size,
+			Payload: videoChunk{Seg: seg, Index: i, Total: total},
+		})
+		if err != nil {
+			rep.Report(p, "nocircuit", "video chunk: %v", err)
+			return
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package core is the top-level API of the Pandora reproduction: it
+// assembles boxes, repositories and the ATM network on one
+// virtual-time runtime and exposes the operations the paper's
+// applications used (§4.1) — video phone calls, multi-way
+// conferences, shout/tannoy one-way streams, and recording/playback —
+// while the eight design principles (§2) do their work underneath.
+//
+// Typical use:
+//
+//	sys := core.NewSystem()
+//	a := sys.AddBox(box.Config{Name: "a", Mic: workload.NewSpeech(1, 12000)})
+//	b := sys.AddBox(box.Config{Name: "b"})
+//	sys.Connect("a", "b", atm.LinkConfig{Bandwidth: 100_000_000})
+//	sys.Control(func(p *occam.Proc) { sys.AudioCall(p, "a", "b") })
+//	sys.RunFor(10 * time.Second)
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/box"
+	"repro/internal/occam"
+	"repro/internal/repository"
+)
+
+// Stream identifies one open stream: the source-local stream number
+// and the VCI used at each destination.
+type Stream struct {
+	From  string
+	Local uint32            // stream number at the source box
+	VCIs  map[string]uint32 // destination name → VCI (= stream number there)
+	Video bool
+}
+
+// System is a collection of boxes and repositories on one network.
+type System struct {
+	RT  *occam.Runtime
+	Net *atm.Network
+
+	boxes map[string]*box.Box
+	repos map[string]*repository.Repository
+	paths map[string][]*atm.Link // directional: "a->b"
+
+	nextVCI    uint32
+	nextStream map[string]uint32
+}
+
+// NewSystem returns an empty system.
+func NewSystem() *System {
+	rt := occam.NewRuntime()
+	return &System{
+		RT:         rt,
+		Net:        atm.New(rt),
+		boxes:      make(map[string]*box.Box),
+		repos:      make(map[string]*repository.Repository),
+		paths:      make(map[string][]*atm.Link),
+		nextVCI:    1000,
+		nextStream: make(map[string]uint32),
+	}
+}
+
+// AddBox creates a Pandora box. cfg.Name must be unique and non-empty.
+func (s *System) AddBox(cfg box.Config) *box.Box {
+	if cfg.Name == "" {
+		panic("core: box needs a name")
+	}
+	if _, dup := s.boxes[cfg.Name]; dup {
+		panic("core: duplicate box " + cfg.Name)
+	}
+	b := box.New(s.RT, s.Net, cfg)
+	s.boxes[cfg.Name] = b
+	return b
+}
+
+// AddRepository creates a repository node.
+func (s *System) AddRepository(name string) *repository.Repository {
+	r := repository.New(s.RT, s.Net, name)
+	s.repos[name] = r
+	return r
+}
+
+// Box returns a box by name.
+func (s *System) Box(name string) *box.Box { return s.boxes[name] }
+
+// Repository returns a repository by name.
+func (s *System) Repository(name string) *repository.Repository { return s.repos[name] }
+
+func (s *System) hostOf(name string) *atm.Host {
+	if b, ok := s.boxes[name]; ok {
+		return b.Host()
+	}
+	if r, ok := s.repos[name]; ok {
+		return r.Host()
+	}
+	panic("core: unknown node " + name)
+}
+
+// Connect joins two nodes with a symmetric pair of links.
+func (s *System) Connect(a, b string, cfg atm.LinkConfig) {
+	s.ConnectPath(a, b, []atm.LinkConfig{cfg})
+}
+
+// ConnectPath joins two nodes through a chain of links in each
+// direction — the bridged multi-network paths of the SuperJanet
+// trials (§3.7.2). Each config becomes one hop.
+func (s *System) ConnectPath(a, b string, cfgs []atm.LinkConfig) {
+	var fwd, rev []*atm.Link
+	for i, cfg := range cfgs {
+		fwd = append(fwd, s.Net.AddLink(fmt.Sprintf("%s-%s.%d", a, b, i), cfg))
+		rev = append(rev, s.Net.AddLink(fmt.Sprintf("%s-%s.%d", b, a, i), cfg))
+	}
+	s.paths[a+"->"+b] = fwd
+	s.paths[b+"->"+a] = rev
+}
+
+// Path returns the links from a to b (nil if not connected).
+func (s *System) Path(a, b string) []*atm.Link { return s.paths[a+"->"+b] }
+
+// Control runs fn as a high-priority control process (the host
+// workstation's interface code). Call before or between Run calls.
+func (s *System) Control(fn func(p *occam.Proc)) {
+	s.RT.Go("control", nil, occam.High, fn)
+}
+
+// RunFor advances the whole system by d of virtual time.
+func (s *System) RunFor(d time.Duration) error { return s.RT.RunFor(d) }
+
+// Shutdown terminates every process.
+func (s *System) Shutdown() { s.RT.Shutdown() }
+
+func (s *System) allocVCI() uint32 {
+	s.nextVCI++
+	return s.nextVCI
+}
+
+func (s *System) allocStream(boxName string) uint32 {
+	s.nextStream[boxName]++
+	return s.nextStream[boxName]
+}
+
+// SendAudio opens a one-way audio stream (the "shout" of §4.1) from
+// one box's microphone to each named destination's speaker (several
+// destinations make it a "tannoy"). Returns the stream handle.
+func (s *System) SendAudio(p *occam.Proc, from string, to ...string) *Stream {
+	src := s.boxes[from]
+	st := &Stream{From: from, Local: s.allocStream(from), VCIs: make(map[string]uint32)}
+	var vcis []uint32
+	for _, dst := range to {
+		vci := s.allocVCI()
+		st.VCIs[dst] = vci
+		vcis = append(vcis, vci)
+		s.openCircuit(vci, from, dst)
+		if db, ok := s.boxes[dst]; ok {
+			db.SetRoute(p, box.Route{Stream: vci, Outputs: []box.Output{box.OutSpeaker}})
+		}
+	}
+	src.SetRoute(p, box.Route{Stream: st.Local, Outputs: []box.Output{box.OutNetwork}, NetVCIs: vcis})
+	src.StartMic(p, st.Local)
+	return st
+}
+
+// SendVideo opens a one-way video stream to each destination's
+// display.
+func (s *System) SendVideo(p *occam.Proc, from string, cs box.CameraStream, to ...string) *Stream {
+	src := s.boxes[from]
+	st := &Stream{From: from, Local: s.allocStream(from), Video: true, VCIs: make(map[string]uint32)}
+	var vcis []uint32
+	for _, dst := range to {
+		vci := s.allocVCI()
+		st.VCIs[dst] = vci
+		vcis = append(vcis, vci)
+		s.openCircuit(vci, from, dst)
+		if db, ok := s.boxes[dst]; ok {
+			db.SetRoute(p, box.Route{Stream: vci, Outputs: []box.Output{box.OutDisplay}})
+		}
+	}
+	cs.Stream = st.Local
+	src.SetRoute(p, box.Route{Stream: st.Local, Outputs: []box.Output{box.OutNetwork}, NetVCIs: vcis})
+	src.StartCamera(p, cs)
+	return st
+}
+
+// AudioCall opens audio in both directions — the video phone's audio
+// path (§4.1).
+func (s *System) AudioCall(p *occam.Proc, a, b string) (ab, ba *Stream) {
+	return s.SendAudio(p, a, b), s.SendAudio(p, b, a)
+}
+
+// Conference opens a full mesh of audio streams between the members;
+// every box mixes the other members' streams (§2.0: "Their
+// accompanying audio streams are mixed by software in real-time on
+// the destination transputer").
+func (s *System) Conference(p *occam.Proc, members ...string) []*Stream {
+	var streams []*Stream
+	for _, from := range members {
+		var to []string
+		for _, other := range members {
+			if other != from {
+				to = append(to, other)
+			}
+		}
+		streams = append(streams, s.SendAudio(p, from, to...))
+	}
+	return streams
+}
+
+// AddAudioDestination splits an open stream to one more destination
+// without disturbing the existing copies (principle 6).
+func (s *System) AddAudioDestination(p *occam.Proc, st *Stream, dst string) {
+	vci := s.allocVCI()
+	st.VCIs[dst] = vci
+	s.openCircuit(vci, st.From, dst)
+	if db, ok := s.boxes[dst]; ok {
+		out := box.OutSpeaker
+		if st.Video {
+			out = box.OutDisplay
+		}
+		db.SetRoute(p, box.Route{Stream: vci, Outputs: []box.Output{out}})
+	}
+	s.reRoute(p, st)
+}
+
+// RemoveDestination drops one destination from a stream; the other
+// copies are unaffected (principle 6).
+func (s *System) RemoveDestination(p *occam.Proc, st *Stream, dst string) {
+	vci, ok := st.VCIs[dst]
+	if !ok {
+		return
+	}
+	delete(st.VCIs, dst)
+	s.reRoute(p, st)
+	s.Net.CloseCircuit(vci, s.hostOf(st.From), s.paths[st.From+"->"+dst]...)
+}
+
+// reRoute re-installs the source route to match st.VCIs. The switch
+// applies it between segments, so the data flows undisturbed.
+func (s *System) reRoute(p *occam.Proc, st *Stream) {
+	var vcis []uint32
+	for _, v := range st.VCIs {
+		vcis = append(vcis, v)
+	}
+	src := s.boxes[st.From]
+	out := box.OutNetwork
+	src.SetRoute(p, box.Route{
+		Stream:  st.Local,
+		Outputs: []box.Output{out},
+		NetVCIs: vcis,
+		Opened:  occam.Time(1), // keep the original age (principle 3)
+	})
+}
+
+// Close shuts a stream down entirely.
+func (s *System) Close(p *occam.Proc, st *Stream) {
+	src := s.boxes[st.From]
+	if st.Video {
+		src.StopCamera(p, st.Local)
+	} else {
+		src.StopMic(p)
+	}
+	src.CloseRoute(p, st.Local)
+	for dst, vci := range st.VCIs {
+		if db, ok := s.boxes[dst]; ok {
+			db.CloseRoute(p, vci)
+		}
+		s.Net.CloseCircuit(vci, s.hostOf(st.From), s.paths[st.From+"->"+dst]...)
+	}
+}
+
+// RecordAudio opens a one-way audio stream from a box's microphone to
+// a repository.
+func (s *System) RecordAudio(p *occam.Proc, from, repo string) *Stream {
+	src := s.boxes[from]
+	st := &Stream{From: from, Local: s.allocStream(from), VCIs: make(map[string]uint32)}
+	vci := s.allocVCI()
+	st.VCIs[repo] = vci
+	s.openCircuit(vci, from, repo)
+	src.SetRoute(p, box.Route{Stream: st.Local, Outputs: []box.Output{box.OutNetwork}, NetVCIs: []uint32{vci}})
+	src.StartMic(p, st.Local)
+	return st
+}
+
+// PlayTo plays a repository recording to a box's speaker and returns
+// the VCI used (the stream number at the destination).
+func (s *System) PlayTo(p *occam.Proc, repoName string, rec *repository.Recording, to string) uint32 {
+	vci := s.allocVCI()
+	s.openCircuit(vci, repoName, to)
+	s.boxes[to].SetRoute(p, box.Route{Stream: vci, Outputs: []box.Output{box.OutSpeaker}})
+	s.repos[repoName].Playback(rec, vci)
+	return vci
+}
+
+func (s *System) openCircuit(vci uint32, from, to string) {
+	links, ok := s.paths[from+"->"+to]
+	if !ok {
+		panic(fmt.Sprintf("core: no path %s -> %s", from, to))
+	}
+	s.Net.OpenCircuit(vci, s.hostOf(from), s.hostOf(to), links...)
+}

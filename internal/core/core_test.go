@@ -1,0 +1,204 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/box"
+	"repro/internal/occam"
+	"repro/internal/video"
+	"repro/internal/workload"
+)
+
+func fastLink() atm.LinkConfig {
+	return atm.LinkConfig{Bandwidth: 100_000_000, Propagation: 100 * time.Microsecond}
+}
+
+func TestAudioCallBothDirections(t *testing.T) {
+	s := NewSystem()
+	defer s.Shutdown()
+	s.AddBox(box.Config{Name: "a", Mic: workload.NewTone(400, 10000)})
+	s.AddBox(box.Config{Name: "b", Mic: workload.NewTone(500, 10000)})
+	s.Connect("a", "b", fastLink())
+	var ab, ba *Stream
+	s.Control(func(p *occam.Proc) { ab, ba = s.AudioCall(p, "a", "b") })
+	if err := s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Box("b").Mixer().Stats(ab.VCIs["b"]); got.Segments < 200 {
+		t.Fatalf("a→b delivered %d segments", got.Segments)
+	}
+	if got := s.Box("a").Mixer().Stats(ba.VCIs["a"]); got.Segments < 200 {
+		t.Fatalf("b→a delivered %d segments", got.Segments)
+	}
+}
+
+func TestConferenceMixesAll(t *testing.T) {
+	s := NewSystem()
+	defer s.Shutdown()
+	names := []string{"a", "b", "c"}
+	for i, n := range names {
+		s.AddBox(box.Config{Name: n, Mic: workload.NewTone(300+i*100, 8000)})
+	}
+	s.Connect("a", "b", fastLink())
+	s.Connect("a", "c", fastLink())
+	s.Connect("b", "c", fastLink())
+	s.Control(func(p *occam.Proc) { s.Conference(p, names...) })
+	if err := s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Every box mixes the two other streams.
+	for _, n := range names {
+		if got := s.Box(n).Mixer().ActiveStreams(); got != 2 {
+			t.Fatalf("box %s mixing %d streams, want 2", n, got)
+		}
+	}
+}
+
+func TestTannoySplit(t *testing.T) {
+	s := NewSystem()
+	defer s.Shutdown()
+	s.AddBox(box.Config{Name: "src", Mic: workload.NewTone(440, 9000)})
+	for _, n := range []string{"d1", "d2", "d3"} {
+		s.AddBox(box.Config{Name: n})
+		s.Connect("src", n, fastLink())
+	}
+	var st *Stream
+	s.Control(func(p *occam.Proc) { st = s.SendAudio(p, "src", "d1", "d2", "d3") })
+	if err := s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"d1", "d2", "d3"} {
+		if got := s.Box(n).Mixer().Stats(st.VCIs[n]); got.Segments < 200 {
+			t.Fatalf("%s got %d segments", n, got.Segments)
+		}
+	}
+}
+
+func TestVideoPhone(t *testing.T) {
+	s := NewSystem()
+	defer s.Shutdown()
+	s.AddBox(box.Config{Name: "a", Mic: workload.NewTone(400, 10000)})
+	s.AddBox(box.Config{Name: "b"})
+	s.Connect("a", "b", fastLink())
+	s.Control(func(p *occam.Proc) {
+		s.SendAudio(p, "a", "b")
+		s.SendVideo(p, "a", box.CameraStream{
+			Rect: video.Rect{W: 128, H: 64},
+			Rate: video.Rate{Num: 2, Den: 5},
+		}, "b")
+	})
+	if err := s.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if f := s.Box("b").DisplayStats().Frames; f < 15 {
+		t.Fatalf("video phone displayed %d frames", f)
+	}
+}
+
+func TestSplitAndRemoveDestinationContinuity(t *testing.T) {
+	// Principle 6 at system level: add then remove a destination; the
+	// original copy never sees a sequence gap.
+	s := NewSystem()
+	defer s.Shutdown()
+	s.AddBox(box.Config{Name: "src", Mic: workload.NewTone(440, 9000)})
+	s.AddBox(box.Config{Name: "keep"})
+	s.AddBox(box.Config{Name: "extra"})
+	s.Connect("src", "keep", fastLink())
+	s.Connect("src", "extra", fastLink())
+	var st *Stream
+	s.Control(func(p *occam.Proc) {
+		st = s.SendAudio(p, "src", "keep")
+		p.Sleep(300 * time.Millisecond)
+		s.AddAudioDestination(p, st, "extra")
+		p.Sleep(300 * time.Millisecond)
+		s.RemoveDestination(p, st, "extra")
+	})
+	if err := s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	keep := s.Box("keep").Mixer().Stats(st.VCIs["keep"])
+	if keep.LostSegments != 0 {
+		t.Fatalf("reconfiguration cost the kept copy %d segments", keep.LostSegments)
+	}
+	if keep.Segments < 200 {
+		t.Fatalf("kept copy got %d segments", keep.Segments)
+	}
+}
+
+func TestCloseStopsFlow(t *testing.T) {
+	s := NewSystem()
+	defer s.Shutdown()
+	s.AddBox(box.Config{Name: "a", Mic: workload.NewTone(440, 9000)})
+	s.AddBox(box.Config{Name: "b"})
+	s.Connect("a", "b", fastLink())
+	var st *Stream
+	s.Control(func(p *occam.Proc) {
+		st = s.SendAudio(p, "a", "b")
+		p.Sleep(300 * time.Millisecond)
+		s.Close(p, st)
+	})
+	if err := s.RunFor(600 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Box("b").Mixer().Stats(st.VCIs["b"]).Segments
+	if err := s.RunFor(400 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	later := s.Box("b").Mixer().Stats(st.VCIs["b"]).Segments
+	if later > after+2 {
+		t.Fatalf("segments still flowing after Close: %d -> %d", after, later)
+	}
+}
+
+func TestRecordAndPlayback(t *testing.T) {
+	s := NewSystem()
+	defer s.Shutdown()
+	s.AddBox(box.Config{Name: "a", Mic: workload.NewTone(440, 9000)})
+	s.AddBox(box.Config{Name: "b"})
+	s.AddRepository("repo")
+	s.Connect("a", "repo", fastLink())
+	s.Connect("repo", "b", fastLink())
+	var st *Stream
+	s.Control(func(p *occam.Proc) { st = s.RecordAudio(p, "a", "repo") })
+	if err := s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rec := s.Repository("repo").Recording(st.VCIs["repo"])
+	if rec == nil || rec.Duration() < 900*time.Millisecond {
+		t.Fatalf("recording %v", rec)
+	}
+	merged := rec.Resegment()
+	want := merged.Blocks() // the mic keeps recording during playback
+	var vci uint32
+	s.Control(func(p *occam.Proc) { vci = s.PlayTo(p, "repo", merged, "b") })
+	if err := s.RunFor(1500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Box("b").Mixer().Stats(vci)
+	if got.Blocks < uint64(want*9/10) {
+		t.Fatalf("playback delivered %d of %d blocks", got.Blocks, want)
+	}
+}
+
+func TestMultiHopPathWorks(t *testing.T) {
+	// The SuperJanet shape: several hops, still a working call.
+	s := NewSystem()
+	defer s.Shutdown()
+	s.AddBox(box.Config{Name: "cam", Mic: workload.NewTone(440, 9000)})
+	s.AddBox(box.Config{Name: "lon"})
+	s.ConnectPath("cam", "lon", []atm.LinkConfig{
+		{Bandwidth: 100_000_000, Propagation: time.Millisecond},
+		{Bandwidth: 34_000_000, Propagation: 2 * time.Millisecond},
+		{Bandwidth: 100_000_000, Propagation: time.Millisecond},
+	})
+	var st *Stream
+	s.Control(func(p *occam.Proc) { st = s.SendAudio(p, "cam", "lon") })
+	if err := s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Box("lon").Mixer().Stats(st.VCIs["lon"]); got.Segments < 200 {
+		t.Fatalf("multi-hop delivered %d segments", got.Segments)
+	}
+}

@@ -1,0 +1,215 @@
+package decouple
+
+import (
+	"fmt"
+
+	"repro/internal/occam"
+)
+
+// Command is a control message to a decoupling buffer process
+// ("The decoupling buffers are attached to command and report
+// channels in the same way as all other Pandora processes").
+type Command struct {
+	// Resize, if positive, sets a new capacity limit; the buffer
+	// adjusts "without any loss of data".
+	Resize int
+	// Report requests a status report on the report channel.
+	Report bool
+}
+
+// Report is a decoupling buffer status report: "its present length
+// (indicating where any delay is being introduced), size limit and
+// pointer positions (indicating how active it is)".
+type Report struct {
+	Name   string
+	Length int
+	Limit  int
+	Pushed uint64
+	Popped uint64
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("decouple %s: %d/%d queued, %d in, %d out",
+		r.Name, r.Length, r.Limit, r.Pushed, r.Popped)
+}
+
+// Process is a decoupling buffer as an Occam process network: a queue
+// process holding the ring, plus an output pump that keeps one item
+// offered to the consumer. With a ready channel attached (figure
+// 3.6), every input gets an immediate TRUE ("more free slots") or
+// FALSE ("full — do not send") reply, and after a FALSE the next
+// TRUE arrives as soon as a slot frees.
+type Process[T any] struct {
+	name string
+
+	In    *occam.Chan[T]
+	Out   *occam.Chan[T]
+	Ready *occam.Chan[bool] // nil unless ready protocol requested
+	Cmd   *occam.Chan[Command]
+	Rep   *occam.Chan[Report] // shared report sink, may be nil
+
+	ring *Ring[T]
+
+	outReq   *occam.Chan[struct{}]
+	outItem  *occam.Chan[T]
+	owedTrue bool // a FALSE was sent; owe a TRUE when a slot frees
+}
+
+// Option configures a Process.
+type Option func(*options)
+
+type options struct {
+	ready bool
+}
+
+// WithReady attaches the ready channel of figure 3.6.
+func WithReady() Option { return func(o *options) { o.ready = true } }
+
+// New creates a decoupling buffer of the given capacity and starts
+// its processes on rt. reports may be nil if nobody collects them.
+func New[T any](rt *occam.Runtime, node *occam.Node, name string, capacity int, reports *occam.Chan[Report], opts ...Option) *Process[T] {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	d := &Process[T]{
+		name:    name,
+		In:      occam.NewChan[T](rt, name+".in"),
+		Out:     occam.NewChan[T](rt, name+".out"),
+		Cmd:     occam.NewChan[Command](rt, name+".cmd"),
+		Rep:     reports,
+		ring:    NewRing[T](capacity),
+		outReq:  occam.NewChan[struct{}](rt, name+".outreq"),
+		outItem: occam.NewChan[T](rt, name+".outitem"),
+	}
+	if o.ready {
+		d.Ready = occam.NewChan[bool](rt, name+".ready")
+	}
+	rt.Go(name+".queue", node, occam.High, d.runQueue)
+	rt.Go(name+".pump", node, occam.High, d.runPump)
+	return d
+}
+
+// runQueue owns the ring: PRI ALT with commands first (principle 4),
+// then the output side, then input (only when not full, so a plain
+// buffer blocks its producer exactly as the paper describes).
+func (d *Process[T]) runQueue(p *occam.Proc) {
+	for {
+		var (
+			cmd Command
+			req struct{}
+			v   T
+		)
+		switch p.Alt(
+			occam.Recv(d.Cmd, &cmd),
+			occam.When(!d.ring.Empty(), occam.Recv(d.outReq, &req)),
+			occam.When(!d.ring.Full(), occam.Recv(d.In, &v)),
+		) {
+		case 0:
+			d.handleCommand(p, cmd)
+		case 1:
+			item, _ := d.ring.Pop()
+			d.outItem.Send(p, item)
+			if d.owedTrue && !d.ring.Full() {
+				// The slot the upstream is waiting for.
+				d.owedTrue = false
+				d.Ready.Send(p, true)
+			}
+		case 2:
+			if !d.ring.Push(v) {
+				panic("decouple: push into non-full ring failed")
+			}
+			if d.Ready != nil {
+				// "the decoupling buffer will send an immediate reply
+				// after every input indicating whether or not it has
+				// more free buffers".
+				if d.ring.Full() {
+					d.owedTrue = true
+					d.Ready.Send(p, false)
+				} else {
+					d.Ready.Send(p, true)
+				}
+			}
+		}
+	}
+}
+
+// runPump keeps one item offered to the consumer so that output can
+// proceed the instant the consumer is ready (Occam has no output
+// guards; this is the standard idiom).
+func (d *Process[T]) runPump(p *occam.Proc) {
+	var token struct{}
+	for {
+		d.outReq.Send(p, token)
+		item := d.outItem.Recv(p)
+		d.Out.Send(p, item)
+	}
+}
+
+func (d *Process[T]) handleCommand(p *occam.Proc, cmd Command) {
+	if cmd.Resize > 0 {
+		wasFull := d.ring.Full()
+		d.ring.Resize(cmd.Resize)
+		if d.owedTrue && wasFull && !d.ring.Full() {
+			d.owedTrue = false
+			d.Ready.Send(p, true)
+		}
+	}
+	if cmd.Report && d.Rep != nil {
+		d.Rep.Send(p, Report{
+			Name:   d.name,
+			Length: d.ring.Len(),
+			Limit:  d.ring.Cap(),
+			Pushed: d.ring.Pushed(),
+			Popped: d.ring.Popped(),
+		})
+	}
+}
+
+// Sender is the upstream side of the ready protocol: "After a FALSE
+// reply, the input process will not send any more data... but will
+// listen on the ready channel in addition to its other inputs."
+type Sender[T any] struct {
+	buf     *Process[T]
+	canSend bool
+	dropped uint64
+}
+
+// NewSender returns a ready-protocol client for buf, which must have
+// been created WithReady.
+func NewSender[T any](buf *Process[T]) *Sender[T] {
+	if buf.Ready == nil {
+		panic("decouple: NewSender on buffer without ready channel")
+	}
+	return &Sender[T]{buf: buf, canSend: true}
+}
+
+// CanSend reports whether the last reply permitted more data.
+func (s *Sender[T]) CanSend() bool { return s.canSend }
+
+// Dropped returns how many items Deliver refused.
+func (s *Sender[T]) Dropped() uint64 { return s.dropped }
+
+// Deliver sends v if the buffer last said READY and reads the
+// immediate reply; otherwise it counts a drop and returns false —
+// the upstream "can then choose to throw away the data rather than
+// block waiting for the buffer to become free".
+func (s *Sender[T]) Deliver(p *occam.Proc, v T) bool {
+	if !s.canSend {
+		s.dropped++
+		return false
+	}
+	s.buf.In.Send(p, v)
+	s.canSend = s.buf.Ready.Recv(p)
+	return true
+}
+
+// ReadyGuard returns a guard on the ready channel for inclusion in
+// the upstream process's alternation while blocked by a FALSE reply.
+// After the guard fires, call Update with the received value.
+func (s *Sender[T]) ReadyGuard(dst *bool) occam.Guard {
+	return occam.When(!s.canSend, occam.Recv(s.buf.Ready, dst))
+}
+
+// Update records a ready value received via ReadyGuard.
+func (s *Sender[T]) Update(ready bool) { s.canSend = ready }

@@ -1,0 +1,273 @@
+package decouple
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/occam"
+)
+
+func TestProcessPassesDataThrough(t *testing.T) {
+	rt := occam.NewRuntime()
+	d := New[int](rt, nil, "buf", 4, nil)
+	var got []int
+	rt.Go("producer", nil, occam.Low, func(p *occam.Proc) {
+		for i := 0; i < 10; i++ {
+			d.In.Send(p, i)
+		}
+	})
+	rt.Go("consumer", nil, occam.Low, func(p *occam.Proc) {
+		for i := 0; i < 10; i++ {
+			got = append(got, d.Out.Recv(p))
+		}
+	})
+	if err := rt.RunUntil(occam.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	rt.Shutdown()
+	if len(got) != 10 {
+		t.Fatalf("consumer got %d items", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+}
+
+func TestProcessDecouplesBurst(t *testing.T) {
+	// The producer can race ahead of a slow consumer by the buffer
+	// depth without blocking — the whole point of decoupling.
+	rt := occam.NewRuntime()
+	d := New[int](rt, nil, "buf", 8, nil)
+	var producerDone occam.Time
+	rt.Go("producer", nil, occam.Low, func(p *occam.Proc) {
+		for i := 0; i < 8; i++ {
+			d.In.Send(p, i)
+		}
+		producerDone = p.Now()
+	})
+	rt.Go("consumer", nil, occam.Low, func(p *occam.Proc) {
+		for i := 0; i < 8; i++ {
+			p.Sleep(10 * time.Millisecond)
+			d.Out.Recv(p)
+		}
+	})
+	if err := rt.RunUntil(occam.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	rt.Shutdown()
+	if producerDone > occam.Time(time.Millisecond) {
+		t.Fatalf("producer blocked until %v despite free buffer space", producerDone)
+	}
+}
+
+func TestProcessBlocksProducerWhenFull(t *testing.T) {
+	// Without a ready channel, a full buffer blocks its producer
+	// "until an item has been read from the buffer".
+	rt := occam.NewRuntime()
+	d := New[int](rt, nil, "buf", 2, nil)
+	var sent int
+	rt.Go("producer", nil, occam.Low, func(p *occam.Proc) {
+		for i := 0; i < 10; i++ {
+			d.In.Send(p, i)
+			sent++
+		}
+	})
+	if err := rt.RunUntil(occam.Time(100 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	// Ring capacity (2) + one item in the pump + one accepted in
+	// flight: the producer must be well short of 10.
+	if sent > 4 {
+		t.Fatalf("producer sent %d items with no consumer", sent)
+	}
+	rt.Shutdown()
+}
+
+func TestReadyProtocolImmediateReply(t *testing.T) {
+	// Figure 3.6: every input gets an immediate TRUE/FALSE; after a
+	// FALSE the producer stops sending and later gets a TRUE.
+	rt := occam.NewRuntime()
+	d := New[int](rt, nil, "buf", 2, nil, WithReady())
+	var replies []bool
+	var falseAt, trueAgainAt occam.Time
+	rt.Go("producer", nil, occam.Low, func(p *occam.Proc) {
+		s := NewSender(d)
+		for i := 0; ; i++ {
+			if !s.CanSend() {
+				falseAt = p.Now()
+				break
+			}
+			s.Deliver(p, i)
+			replies = append(replies, s.CanSend())
+		}
+		// Now wait for the TRUE.
+		var ready bool
+		if p.Alt(s.ReadyGuard(&ready)) != 0 {
+			t.Error("unexpected guard")
+		}
+		s.Update(ready)
+		trueAgainAt = p.Now()
+		if !s.CanSend() {
+			t.Error("ready reply was not TRUE")
+		}
+	})
+	rt.Go("consumer", nil, occam.Low, func(p *occam.Proc) {
+		p.Sleep(50 * time.Millisecond)
+		d.Out.Recv(p)
+	})
+	if err := rt.RunUntil(occam.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	rt.Shutdown()
+	// Capacity 2 ring: replies TRUE after the first push, FALSE after
+	// the second... but the pump immediately drains one slot, so we
+	// see TRUEs until the ring is truly full with the pump holding an
+	// item: 3 accepted items, last reply FALSE.
+	if len(replies) == 0 || replies[len(replies)-1] {
+		t.Fatalf("replies %v, want final FALSE", replies)
+	}
+	if falseAt != 0 {
+		t.Fatalf("producer blocked until %v before FALSE", falseAt)
+	}
+	// The TRUE arrives when the consumer frees a slot at 50ms.
+	if trueAgainAt != occam.Time(50*time.Millisecond) {
+		t.Fatalf("TRUE at %v, want 50ms", trueAgainAt)
+	}
+}
+
+func TestReadySenderDropsInsteadOfBlocking(t *testing.T) {
+	// Principle 5: with the buffer full, Deliver refuses immediately.
+	rt := occam.NewRuntime()
+	d := New[int](rt, nil, "buf", 1, nil, WithReady())
+	var delivered, dropped int
+	rt.Go("producer", nil, occam.Low, func(p *occam.Proc) {
+		s := NewSender(d)
+		for i := 0; i < 20; i++ {
+			if s.Deliver(p, i) {
+				delivered++
+			} else {
+				dropped++
+			}
+		}
+	})
+	if err := rt.RunUntil(occam.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	rt.Shutdown()
+	if dropped == 0 {
+		t.Fatal("nothing dropped with no consumer")
+	}
+	if delivered+dropped != 20 {
+		t.Fatalf("delivered=%d dropped=%d", delivered, dropped)
+	}
+	if delivered > 3 {
+		t.Fatalf("delivered %d into capacity-1 buffer with no consumer", delivered)
+	}
+}
+
+func TestResizeCommandWithoutLoss(t *testing.T) {
+	rt := occam.NewRuntime()
+	d := New[int](rt, nil, "buf", 8, nil)
+	var got []int
+	rt.Go("driver", nil, occam.Low, func(p *occam.Proc) {
+		for i := 0; i < 6; i++ {
+			d.In.Send(p, i)
+		}
+		d.Cmd.Send(p, Command{Resize: 2}) // shrink below occupancy
+		for i := 0; i < 6; i++ {
+			got = append(got, d.Out.Recv(p))
+		}
+	})
+	if err := rt.RunUntil(occam.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	rt.Shutdown()
+	if len(got) != 6 {
+		t.Fatalf("got %d items after shrink, want all 6", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("data reordered: %v", got)
+		}
+	}
+}
+
+func TestReportCommand(t *testing.T) {
+	rt := occam.NewRuntime()
+	reports := occam.NewChan[Report](rt, "reports")
+	d := New[int](rt, nil, "audio-buf", 4, reports)
+	var rep Report
+	rt.Go("driver", nil, occam.Low, func(p *occam.Proc) {
+		d.In.Send(p, 1)
+		d.In.Send(p, 2)
+		d.In.Send(p, 3)
+		d.Cmd.Send(p, Command{Report: true})
+		rep = reports.Recv(p)
+	})
+	if err := rt.RunUntil(occam.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	rt.Shutdown()
+	if rep.Name != "audio-buf" {
+		t.Fatalf("report name %q", rep.Name)
+	}
+	if rep.Limit != 4 {
+		t.Fatalf("report limit %d", rep.Limit)
+	}
+	// 3 pushed; the pump holds one, so length is 2 and popped 1.
+	if rep.Pushed != 3 || rep.Length+int(rep.Popped) != 3 {
+		t.Fatalf("report %+v inconsistent", rep)
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+func TestCommandPriorityOverData(t *testing.T) {
+	// Principle 4: a command is handled "as soon as the process has
+	// finished dealing with any current segment" even under a data
+	// flood.
+	rt := occam.NewRuntime()
+	node := occam.NewNode(rt, "cpu")
+	reports := occam.NewChan[Report](rt, "reports")
+	d := New[int](rt, node, "buf", 4, reports)
+	var cmdServed occam.Time
+	rt.Go("flood", node, occam.Low, func(p *occam.Proc) {
+		for i := 0; ; i++ {
+			p.Consume(10 * time.Microsecond)
+			d.In.Send(p, i)
+		}
+	})
+	rt.Go("drain", node, occam.Low, func(p *occam.Proc) {
+		for {
+			d.Out.Recv(p)
+			p.Consume(10 * time.Microsecond)
+		}
+	})
+	rt.Go("commander", nil, occam.Low, func(p *occam.Proc) {
+		p.Sleep(time.Millisecond)
+		d.Cmd.Send(p, Command{Report: true})
+		reports.Recv(p)
+		cmdServed = p.Now()
+	})
+	if err := rt.RunUntil(occam.Time(100 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	rt.Shutdown()
+	if cmdServed == 0 || cmdServed > occam.Time(2*time.Millisecond) {
+		t.Fatalf("command served at %v under data flood", cmdServed)
+	}
+}
+
+func TestSenderPanicsWithoutReady(t *testing.T) {
+	rt := occam.NewRuntime()
+	d := New[int](rt, nil, "buf", 2, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSender accepted buffer without ready channel")
+		}
+	}()
+	NewSender(d)
+}

@@ -1,0 +1,190 @@
+package decouple
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRingFIFO(t *testing.T) {
+	r := NewRing[int](4)
+	for i := 0; i < 4; i++ {
+		if !r.Push(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if !r.Full() {
+		t.Fatal("ring not full after capacity pushes")
+	}
+	if r.Push(99) {
+		t.Fatal("push into full ring succeeded")
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d: ok=%v v=%d", i, ok, v)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("pop from empty ring succeeded")
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	r := NewRing[int](3)
+	for cycle := 0; cycle < 10; cycle++ {
+		for i := 0; i < 3; i++ {
+			if !r.Push(cycle*3 + i) {
+				t.Fatal("push failed")
+			}
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := r.Pop()
+			if !ok || v != cycle*3+i {
+				t.Fatalf("cycle %d pop %d: v=%d", cycle, i, v)
+			}
+		}
+	}
+}
+
+func TestRingPeek(t *testing.T) {
+	r := NewRing[string](2)
+	if _, ok := r.Peek(); ok {
+		t.Fatal("peek on empty succeeded")
+	}
+	r.Push("a")
+	r.Push("b")
+	if v, ok := r.Peek(); !ok || v != "a" {
+		t.Fatalf("peek = %q", v)
+	}
+	if r.Len() != 2 {
+		t.Fatal("peek consumed an item")
+	}
+}
+
+func TestRingResizeGrow(t *testing.T) {
+	r := NewRing[int](2)
+	r.Push(1)
+	r.Push(2)
+	r.Resize(4)
+	if r.Full() {
+		t.Fatal("still full after grow")
+	}
+	r.Push(3)
+	r.Push(4)
+	for want := 1; want <= 4; want++ {
+		if v, _ := r.Pop(); v != want {
+			t.Fatalf("pop %d after grow", v)
+		}
+	}
+}
+
+func TestRingResizeShrinkKeepsData(t *testing.T) {
+	// "the buffer will adjust to this size without any loss of data."
+	r := NewRing[int](5)
+	for i := 0; i < 5; i++ {
+		r.Push(i)
+	}
+	r.Resize(2)
+	if !r.Full() {
+		t.Fatal("shrunk ring not reporting full")
+	}
+	if r.Push(99) {
+		t.Fatal("push accepted while above shrunk capacity")
+	}
+	// Every original item survives.
+	for i := 0; i < 5; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d: ok=%v v=%d", i, ok, v)
+		}
+	}
+	// And the new capacity applies once drained.
+	if !r.Push(7) || !r.Push(8) || r.Push(9) {
+		t.Fatal("shrunk capacity not enforced after drain")
+	}
+}
+
+func TestRingGrowPreservesWrappedOrder(t *testing.T) {
+	r := NewRing[int](3)
+	r.Push(0)
+	r.Push(1)
+	r.Pop()
+	r.Push(2)
+	r.Push(3) // storage now wrapped
+	r.Resize(6)
+	r.Push(4)
+	for want := 1; want <= 4; want++ {
+		if v, _ := r.Pop(); v != want {
+			t.Fatalf("pop %d, want %d", v, want)
+		}
+	}
+}
+
+func TestRingActivityCounters(t *testing.T) {
+	r := NewRing[int](2)
+	r.Push(1)
+	r.Push(2)
+	r.Pop()
+	if r.Pushed() != 2 || r.Popped() != 1 {
+		t.Fatalf("pushed=%d popped=%d", r.Pushed(), r.Popped())
+	}
+}
+
+func TestRingInvalidCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero capacity")
+		}
+	}()
+	NewRing[int](0)
+}
+
+func TestQuickRingMatchesSlice(t *testing.T) {
+	// Model check: the ring behaves exactly like a bounded slice
+	// queue under arbitrary push/pop/resize sequences.
+	type op struct {
+		Kind byte
+		Arg  uint8
+	}
+	f := func(ops []op) bool {
+		r := NewRing[int](4)
+		capacity := 4
+		var model []int
+		next := 0
+		for _, o := range ops {
+			switch o.Kind % 3 {
+			case 0: // push
+				ok := r.Push(next)
+				wantOK := len(model) < capacity
+				if ok != wantOK {
+					return false
+				}
+				if ok {
+					model = append(model, next)
+				}
+				next++
+			case 1: // pop
+				v, ok := r.Pop()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			case 2: // resize
+				capacity = int(o.Arg%8) + 1
+				r.Resize(capacity)
+			}
+			if r.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

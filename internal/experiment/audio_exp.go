@@ -1,0 +1,372 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/box"
+	"repro/internal/core"
+	"repro/internal/occam"
+	"repro/internal/segment"
+	"repro/internal/video"
+	"repro/internal/workload"
+)
+
+// feedStreams starts a generator host feeding n audio streams of
+// 2-block segments every 4 ms into dst via VCIs base..base+n-1.
+func feedStreams(s *core.System, dstName string, n int, base uint32) {
+	gen := s.Net.AddHost("gen")
+	dst := s.Box(dstName)
+	l := s.Net.AddLink("gen-feed", atm.LinkConfig{Bandwidth: 100_000_000})
+	for i := 0; i < n; i++ {
+		s.Net.OpenCircuit(base+uint32(i), gen, dst.Host(), l)
+	}
+	s.Control(func(p *occam.Proc) {
+		for i := 0; i < n; i++ {
+			dst.SetRoute(p, box.Route{Stream: base + uint32(i), Outputs: []box.Output{box.OutSpeaker}})
+		}
+		tone := workload.NewTone(400, 8000)
+		seqs := make([]uint32, n)
+		for tick := 0; ; tick++ {
+			p.SleepUntil(occam.Time(int64(tick) * int64(2*segment.BlockDuration)))
+			for i := 0; i < n; i++ {
+				seg := segment.NewAudio(seqs[i], p.Now(), [][]byte{tone.NextBlock(), tone.NextBlock()})
+				seqs[i]++
+				gen.Send(p, atm.Message{VCI: base + uint32(i), Size: seg.WireSize(), Payload: seg})
+			}
+		}
+	})
+}
+
+// E1 reproduces the §4.2 mixing-capacity claim: "The T425 transputer
+// used on the audio board can mix five audio streams in the
+// straightforward case, but only three if we have jitter correction,
+// muting, an outgoing stream and the interface code running at the
+// same time."
+func E1() *Table {
+	t := &Table{
+		ID:     "E1",
+		Title:  "Audio board mixing capacity",
+		Paper:  "5 streams plain; 3 with jitter correction + muting + outgoing + interface (§4.2)",
+		Header: []string{"config", "streams", "late ticks", "verdict"},
+	}
+	capacity := func(loaded bool) (last int) {
+		for n := 1; n <= 8; n++ {
+			late := e1LateFraction(n, loaded)
+			name := "plain"
+			if loaded {
+				name = "loaded"
+			}
+			verdict := "keeps up"
+			if late > 0.01 {
+				verdict = "OVERLOADED"
+			}
+			t.Add(name, fmt.Sprintf("%d", n), fmt.Sprintf("%.1f%%", late*100), verdict)
+			if late <= 0.01 {
+				last = n
+			} else {
+				break
+			}
+		}
+		return last
+	}
+	plain := capacity(false)
+	loaded := capacity(true)
+	t.Remark("measured capacity: %d plain (paper: 5), %d loaded (paper: 3)", plain, loaded)
+	return t
+}
+
+func e1LateFraction(n int, loaded bool) float64 {
+	s := core.NewSystem()
+	defer s.Shutdown()
+	cfg := box.Config{Name: "dst"}
+	if loaded {
+		cfg.Features = box.Features{JitterCorrection: true, Muting: true, Interface: true}
+		cfg.Mic = workload.NewTone(300, 8000)
+	}
+	dst := s.AddBox(cfg)
+	s.AddBox(box.Config{Name: "sink"})
+	s.Connect("dst", "sink", atm.LinkConfig{Bandwidth: 100_000_000})
+	feedStreams(s, "dst", n, 100)
+	if loaded {
+		s.Control(func(p *occam.Proc) {
+			// The outgoing stream of the §4.2 loaded case.
+			dst.SetRoute(p, box.Route{Stream: 1, Outputs: []box.Output{box.OutNetwork}, NetVCIs: []uint32{2000}})
+			s.Net.OpenCircuit(2000, dst.Host(), s.Box("sink").Host(), s.Path("dst", "sink")...)
+			dst.StartMic(p, 1)
+		})
+	}
+	if err := s.RunFor(2 * time.Second); err != nil {
+		panic(err)
+	}
+	st := dst.AudioStats()
+	if st.TicksRun == 0 {
+		return 1
+	}
+	return float64(st.LateTicks) / float64(st.TicksRun+st.LateTicks)
+}
+
+// E2 reproduces the link-capacity claim: "The 20Mbit/s link to the
+// server transputer is not a limiting factor; it would be capable of
+// taking 100 audio streams if we could process them."
+func E2() *Table {
+	t := &Table{
+		ID:     "E2",
+		Title:  "20 Mbit/s server link audio capacity",
+		Paper:  "capable of taking 100 audio streams (§4.2)",
+		Header: []string{"streams", "offered", "delivered", "link util", "keeps up"},
+	}
+	for _, n := range []int{25, 50, 100, 150} {
+		offered, delivered, util := e2LinkRun(n)
+		ok := "yes"
+		if delivered < offered {
+			ok = "NO"
+		}
+		t.Add(fmt.Sprintf("%d", n), fmt.Sprintf("%d", offered),
+			fmt.Sprintf("%d", delivered), fmt.Sprintf("%.0f%%", util*100), ok)
+	}
+	t.Remark("one 4ms audio segment is %d bytes on the link; capacity ≈ %d streams",
+		segment.AudioHeaderSize+32+segment.StreamNumberSize,
+		20_000_000*4/((segment.AudioHeaderSize+32+segment.StreamNumberSize)*8*1000))
+	return t
+}
+
+func e2LinkRun(n int) (offered, delivered int, utilisation float64) {
+	rt := occam.NewRuntime()
+	defer rt.Shutdown()
+	link := occam.NewLink[audioSegMsg](rt, "a2s", 20_000_000)
+	const rounds = 250 // 1 s of 4 ms segments
+	rt.Go("tx", nil, occam.Low, func(p *occam.Proc) {
+		tone := workload.NewTone(400, 8000)
+		for tick := 0; tick < rounds; tick++ {
+			p.SleepUntil(occam.Time(int64(tick) * int64(4*time.Millisecond)))
+			for i := 0; i < n; i++ {
+				seg := segment.NewAudio(uint32(tick), p.Now(), [][]byte{tone.NextBlock(), tone.NextBlock()})
+				link.Send(p, audioSegMsg{uint32(i), seg}, seg.WireSize()+segment.StreamNumberSize)
+			}
+		}
+	})
+	got := 0
+	rt.Go("rx", nil, occam.High, func(p *occam.Proc) {
+		for {
+			link.Recv(p)
+			got++
+		}
+	})
+	// Allow one second plus slack: a backlogged link won't finish.
+	if err := rt.RunUntil(occam.Time(1020 * time.Millisecond)); err != nil {
+		panic(err)
+	}
+	util := float64(link.BytesSent()*8) / (20_000_000 * 1.02)
+	return rounds * n, got, util
+}
+
+type audioSegMsg struct {
+	Stream uint32
+	Seg    *segment.Audio
+}
+
+// E3 reproduces the best one-way latency: "the best one-way trip time
+// from microphone input of one box to speaker output of another box
+// over the network was 8ms. 4ms of this can be accounted for in the
+// buffering to the codec, and 2ms in the buffering from the codec."
+func E3() *Table {
+	t := &Table{
+		ID:     "E3",
+		Title:  "One-way mic→speaker latency",
+		Paper:  "best 8 ms (4 ms to-codec buffering + 2 ms from-codec) (§4.2)",
+		Header: []string{"metric", "measured", "paper"},
+	}
+	s := core.NewSystem()
+	defer s.Shutdown()
+	s.AddBox(box.Config{Name: "a", Mic: workload.NewTone(400, 10000)})
+	s.AddBox(box.Config{Name: "b"})
+	s.Connect("a", "b", atm.LinkConfig{Bandwidth: 100_000_000, Propagation: 50 * time.Microsecond})
+	var st *core.Stream
+	s.Control(func(p *occam.Proc) { st = s.SendAudio(p, "a", "b") })
+	if err := s.RunFor(5 * time.Second); err != nil {
+		panic(err)
+	}
+	lat := s.Box("b").PlayoutLatency(st.VCIs["b"])
+	t.Add("best", fmt.Sprintf("%.2fms", float64(lat.Min())/1e6), "8ms")
+	t.Add("mean", fmt.Sprintf("%.2fms", float64(lat.Mean())/1e6), "-")
+	t.Add("p99", fmt.Sprintf("%.2fms", float64(lat.Percentile(99))/1e6), "-")
+	t.Remark("segment fill (up to 4ms) + link/switch + network + clawback + 2ms codec output fifo")
+	return t
+}
+
+// E4 reproduces the video-induced audio jitter: "Thus video segments
+// can hold up following audio segments, introducing up to 20ms of
+// jitter in a stream" — and A4, the interleaved-transmission fix the
+// paper did not implement.
+func E4() *Table {
+	t := &Table{
+		ID:     "E4/A4",
+		Title:  "Audio jitter from non-interleaved video segments",
+		Paper:  "video can hold up audio, adding up to 20 ms of jitter (§4.2)",
+		Header: []string{"config", "audio jitter", "mean latency"},
+	}
+	for _, mode := range []struct {
+		name       string
+		video      bool
+		interleave bool
+	}{
+		{"audio only", false, false},
+		{"audio + video (non-interleaved)", true, false},
+		{"audio + video (A4: interleaved)", true, true},
+	} {
+		jit, mean := e4Run(mode.video, mode.interleave)
+		t.Add(mode.name, fmt.Sprintf("%.2fms", float64(jit)/1e6), fmt.Sprintf("%.2fms", float64(mean)/1e6))
+	}
+	return t
+}
+
+func e4Run(withVideo, interleave bool) (jitter, mean time.Duration) {
+	s := core.NewSystem()
+	defer s.Shutdown()
+	s.AddBox(box.Config{
+		Name: "a", Mic: workload.NewTone(400, 10000),
+		CameraW: 256, CameraH: 128,
+		InterleaveNetwork: interleave,
+		// A slow enough interface that one video segment ≈ 15-20 ms.
+		NetInterfaceBits: 7_000_000,
+	})
+	s.AddBox(box.Config{Name: "b", CameraW: 256, CameraH: 128})
+	s.Connect("a", "b", atm.LinkConfig{Bandwidth: 100_000_000})
+	var st *core.Stream
+	s.Control(func(p *occam.Proc) {
+		st = s.SendAudio(p, "a", "b")
+		if withVideo {
+			s.SendVideo(p, "a", box.CameraStream{
+				Rect:         video.Rect{W: 256, H: 128},
+				Rate:         video.Rate{Num: 1, Den: 5},
+				SegsPerFrame: 1, // one big segment: maximum hold-up
+			}, "b")
+		}
+	})
+	if err := s.RunFor(4 * time.Second); err != nil {
+		panic(err)
+	}
+	lat := s.Box("b").PlayoutLatency(st.VCIs["b"])
+	return lat.Jitter(), lat.Mean()
+}
+
+// E17 reproduces the context-switch claim: "The context switching
+// rate is probably around 5kHz, and is not a problem for the
+// transputer" (switches cost <1 µs, §3.1).
+func E17() *Table {
+	t := &Table{
+		ID:     "E17",
+		Title:  "Context switch rate during one audio call",
+		Paper:  "≈5 kHz context switches; <1 µs each is negligible (§4.2, §3.1)",
+		Header: []string{"metric", "value"},
+	}
+	s := core.NewSystem()
+	s.AddBox(box.Config{Name: "a", Mic: workload.NewTone(400, 10000)})
+	s.AddBox(box.Config{Name: "b"})
+	s.Connect("a", "b", atm.LinkConfig{Bandwidth: 100_000_000})
+	s.Control(func(p *occam.Proc) { s.AudioCall(p, "a", "b") })
+	before := s.RT.Switches()
+	if err := s.RunFor(2 * time.Second); err != nil {
+		panic(err)
+	}
+	perSec := float64(s.RT.Switches()-before) / 2
+	s.Shutdown()
+	t.Add("switches/second (whole 2-box system)", fmt.Sprintf("%.0f", perSec))
+	t.Add("switch budget at 1µs each", fmt.Sprintf("%.2f%% of one CPU", perSec*1e-6*100))
+	return t
+}
+
+// E18 sweeps blocks-per-segment (§3.2): "We usually run with 2 blocks
+// per segment (principle 7), but can alter this dynamically...
+// (perhaps using 12 blocks = 24ms) or if we want a particularly low
+// latency (1 block = 2ms)."
+func E18() *Table {
+	t := &Table{
+		ID:     "E18",
+		Title:  "Segment size vs latency and header overhead",
+		Paper:  "1 block = lowest latency; 2 blocks usual; 12 blocks = 24 ms batching (§3.2)",
+		Header: []string{"blocks/seg", "span", "best latency", "mean latency", "header overhead"},
+	}
+	for _, n := range []int{1, 2, 6, 12} {
+		best, mean := e18Run(n)
+		overhead := float64(segment.AudioHeaderSize) / float64(segment.AudioHeaderSize+n*segment.BlockSamples)
+		t.Add(fmt.Sprintf("%d", n),
+			(time.Duration(n) * segment.BlockDuration).String(),
+			fmt.Sprintf("%.2fms", float64(best)/1e6),
+			fmt.Sprintf("%.2fms", float64(mean)/1e6),
+			fmt.Sprintf("%.0f%%", overhead*100))
+	}
+	return t
+}
+
+func e18Run(blocksPerSeg int) (best, mean time.Duration) {
+	s := core.NewSystem()
+	defer s.Shutdown()
+	s.AddBox(box.Config{Name: "a", Mic: workload.NewTone(400, 10000), BlocksPerSegment: blocksPerSeg})
+	s.AddBox(box.Config{Name: "b"})
+	s.Connect("a", "b", atm.LinkConfig{Bandwidth: 100_000_000})
+	var st *core.Stream
+	s.Control(func(p *occam.Proc) { st = s.SendAudio(p, "a", "b") })
+	if err := s.RunFor(3 * time.Second); err != nil {
+		panic(err)
+	}
+	lat := s.Box("b").PlayoutLatency(st.VCIs["b"])
+	return lat.Min(), lat.Mean()
+}
+
+// E9 reproduces the §3.8 loss-audibility ladder by sweeping network
+// loss rates and scoring the §3.8 event classes.
+func E9() *Table {
+	t := &Table{
+		ID:     "E9",
+		Title:  "Loss concealment quality vs loss rate",
+		Paper:  "occasional 2ms drops rarely noticeable; repeated drops 'gravelly'; frequent replays 'garbled' (§3.8)",
+		Header: []string{"loss rate", "lost segs", "concealed", "silences", "quality"},
+	}
+	for _, loss := range []float64{0, 0.001, 0.01, 0.08} {
+		st := e9Run(loss)
+		bad := st.concealed + st.silence
+		rate := float64(bad) / float64(st.blocks+1)
+		verdict := "clean"
+		switch {
+		case rate == 0 && st.lost == 0:
+			verdict = "clean"
+		case rate < 0.01:
+			verdict = "occasional"
+		case rate < 0.10:
+			verdict = "gravelly"
+		default:
+			verdict = "garbled"
+		}
+		t.Add(fmt.Sprintf("%.1f%%", loss*100),
+			fmt.Sprintf("%d", st.lost), fmt.Sprintf("%d", st.concealed),
+			fmt.Sprintf("%d", st.silence), verdict)
+	}
+	return t
+}
+
+type e9Stats struct {
+	blocks, lost, concealed, silence uint64
+}
+
+func e9Run(loss float64) e9Stats {
+	s := core.NewSystem()
+	defer s.Shutdown()
+	s.AddBox(box.Config{Name: "a", Mic: workload.NewTone(400, 10000)})
+	s.AddBox(box.Config{Name: "b"})
+	s.Connect("a", "b", atm.LinkConfig{Bandwidth: 100_000_000, LossRate: loss, Seed: 42})
+	var st *core.Stream
+	s.Control(func(p *occam.Proc) { st = s.SendAudio(p, "a", "b") })
+	if err := s.RunFor(10 * time.Second); err != nil {
+		panic(err)
+	}
+	m := s.Box("b").Mixer().Stats(st.VCIs["b"])
+	return e9Stats{
+		blocks:    m.Blocks,
+		lost:      m.LostSegments,
+		concealed: m.Concealed,
+		silence:   m.Clawback.SilenceInserted,
+	}
+}

@@ -1,0 +1,79 @@
+// Package experiment regenerates every quantitative claim and figure
+// of the paper's evaluation (§3.7.2, §4) plus the ablations listed in
+// DESIGN.md. Each experiment is a pure function of its parameters on
+// the deterministic virtual-time substrate, so every run prints the
+// same numbers. cmd/pandora-bench prints all of them; bench_test.go
+// wraps each in a testing.B benchmark.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Paper   string // the paper's claim, quoted or paraphrased
+	Header  []string
+	Rows    [][]string
+	Remarks []string
+}
+
+// Add appends a row of cells.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Remark appends a free-form note under the table.
+func (t *Table) Remark(format string, args ...any) {
+	t.Remarks = append(t.Remarks, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", t.ID, t.Title)
+	if t.Paper != "" {
+		fmt.Fprintf(&sb, "  paper: %s\n", t.Paper)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		sb.WriteString("  ")
+		for i, c := range cells {
+			fmt.Fprintf(&sb, "%-*s", widths[i]+2, c)
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, r := range t.Remarks {
+		fmt.Fprintf(&sb, "  note: %s\n", r)
+	}
+	return sb.String()
+}
+
+func ms(v float64) string { return fmt.Sprintf("%.2fms", v) }
+
+func pct(num, den uint64) string {
+	if den == 0 {
+		return "0%"
+	}
+	return fmt.Sprintf("%.2f%%", 100*float64(num)/float64(den))
+}

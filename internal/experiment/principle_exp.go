@@ -1,0 +1,531 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/box"
+	"repro/internal/core"
+	"repro/internal/decouple"
+	"repro/internal/metrics"
+	"repro/internal/mulaw"
+	"repro/internal/muting"
+	"repro/internal/occam"
+	"repro/internal/repository"
+	"repro/internal/segment"
+	"repro/internal/video"
+	"repro/internal/workload"
+)
+
+// E8 regenerates figure 4.1: the muting factor timeline around a
+// threshold crossing, at 2 ms block granularity.
+func E8() (*Table, *metrics.Series) {
+	t := &Table{
+		ID:     "E8",
+		Title:  "Muting function (figure 4.1)",
+		Paper:  "20% for 22ms after the last crossing, then 50% for 22ms, then 100%; ≥4ms reaction margin",
+		Header: []string{"time since crossing", "factor"},
+	}
+	m := muting.New(muting.Config{})
+	series := metrics.NewSeries("mute factor")
+	loud := make([]byte, segment.BlockSamples)
+	for i := range loud {
+		loud[i] = mulaw.Encode(20000)
+	}
+	// Speech burst: crossings from 10 ms to 30 ms.
+	for i := 0; i < 60; i++ {
+		now := int64(i) * int64(segment.BlockDuration)
+		if i >= 5 && i < 15 {
+			m.ObserveSpeaker(now, loud)
+		}
+		series.Add(time.Duration(now), m.FactorAt(now))
+	}
+	last := int64(14) * int64(segment.BlockDuration) // last crossing
+	for _, at := range []int64{0, 2, 10, 20, 21, 22, 30, 43, 44, 60} {
+		now := last + at*int64(time.Millisecond)
+		t.Add(fmt.Sprintf("%dms", at), fmt.Sprintf("%.0f%%", m.FactorAt(now)*100))
+	}
+	t.Remark("figure: %s", sparkline(series, 30))
+	return t, series
+}
+
+// sparkline renders a tiny text plot of a series.
+func sparkline(s *metrics.Series, n int) string {
+	pts := s.Downsample(n)
+	if len(pts) == 0 {
+		return ""
+	}
+	min, max := pts[0].Value, pts[0].Value
+	for _, p := range pts {
+		if p.Value < min {
+			min = p.Value
+		}
+		if p.Value > max {
+			max = p.Value
+		}
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	var sb strings.Builder
+	for _, p := range pts {
+		idx := 0
+		if max > min {
+			idx = int((p.Value - min) / (max - min) * float64(len(levels)-1))
+		}
+		sb.WriteRune(levels[idx])
+	}
+	return sb.String()
+}
+
+// E10 reproduces the overload-priority principles 1–3 (§2.1).
+func E10() *Table {
+	t := &Table{
+		ID:     "E10",
+		Title:  "Degradation order under overload (principles 1–3)",
+		Paper:  "incoming before outgoing; video before audio; oldest streams first (§2.1)",
+		Header: []string{"principle", "observation", "holds"},
+	}
+
+	// P1: CPU overload on the audio board — incoming mixing degrades,
+	// the outgoing mic stream does not.
+	{
+		s := core.NewSystem()
+		cfg := box.Config{Name: "dst", Mic: workload.NewTone(300, 9000),
+			Features: box.Features{JitterCorrection: true, Muting: true, Interface: true}}
+		dst := s.AddBox(cfg)
+		s.AddBox(box.Config{Name: "sink"})
+		s.Connect("dst", "sink", atm.LinkConfig{Bandwidth: 100_000_000})
+		feedStreams(s, "dst", 6, 100) // over the loaded capacity of 3
+		var st *core.Stream
+		s.Control(func(p *occam.Proc) { st = s.SendAudio(p, "dst", "sink") })
+		if err := s.RunFor(3 * time.Second); err != nil {
+			panic(err)
+		}
+		_ = st
+		a := dst.AudioStats()
+		incomingDegraded := a.LateTicks > 0
+		outgoingClean := a.MicDrops == 0 && s.Box("sink").Mixer().Stats(st.VCIs["sink"]).Segments > 500
+		t.Add("P1 outgoing priority",
+			fmt.Sprintf("late mix ticks=%d, mic drops=%d", a.LateTicks, a.MicDrops),
+			yes(incomingDegraded && outgoingClean))
+		s.Shutdown()
+	}
+
+	// P2: a constricted network output loses video, not audio.
+	{
+		s := core.NewSystem()
+		s.AddBox(box.Config{Name: "a", Mic: workload.NewTone(300, 9000), CameraW: 256, CameraH: 128,
+			NetInterfaceBits: 2_500_000}) // interface too slow for the video
+		s.AddBox(box.Config{Name: "b", CameraW: 256, CameraH: 128})
+		s.Connect("a", "b", atm.LinkConfig{Bandwidth: 100_000_000})
+		var st *core.Stream
+		s.Control(func(p *occam.Proc) {
+			st = s.SendAudio(p, "a", "b")
+			s.SendVideo(p, "a", box.CameraStream{
+				Rect: video.Rect{W: 256, H: 128}, Rate: video.Rate{Num: 1, Den: 1},
+			}, "b")
+		})
+		if err := s.RunFor(4 * time.Second); err != nil {
+			panic(err)
+		}
+		sw := s.Box("a").SwitchStats()
+		audioLost := s.Box("b").Mixer().Stats(st.VCIs["b"]).LostSegments
+		videoDropped := sw.FullDrops[2] + sw.AgeDrops[2] // bufNetVideo slot
+		t.Add("P2 audio priority",
+			fmt.Sprintf("video drops=%d, audio lost=%d", videoDropped, audioLost),
+			yes(videoDropped > 20 && audioLost < videoDropped/10))
+		s.Shutdown()
+	}
+
+	// P3: with the video buffer overloaded by two equal streams, the
+	// older stream degrades first.
+	{
+		s := core.NewSystem()
+		s.AddBox(box.Config{Name: "a", CameraW: 256, CameraH: 128, NetInterfaceBits: 3_000_000})
+		s.AddBox(box.Config{Name: "b", CameraW: 256, CameraH: 128})
+		s.Connect("a", "b", atm.LinkConfig{Bandwidth: 100_000_000})
+		var oldSt, newSt *core.Stream
+		s.Control(func(p *occam.Proc) {
+			oldSt = s.SendVideo(p, "a", box.CameraStream{
+				Rect: video.Rect{W: 256, H: 64}, Rate: video.Rate{Num: 1, Den: 1},
+			}, "b")
+			p.Sleep(500 * time.Millisecond)
+			newSt = s.SendVideo(p, "a", box.CameraStream{
+				Rect: video.Rect{X: 0, Y: 64, W: 256, H: 64}, Rate: video.Rate{Num: 1, Den: 1},
+			}, "b")
+		})
+		if err := s.RunFor(5 * time.Second); err != nil {
+			panic(err)
+		}
+		sw := s.Box("a").SwitchStats()
+		oldDrops := sw.PerStreamDrops[oldSt.Local]
+		newDrops := sw.PerStreamDrops[newSt.Local]
+		t.Add("P3 new-stream priority",
+			fmt.Sprintf("old stream drops=%d, new stream drops=%d", oldDrops, newDrops),
+			yes(oldDrops > 2*newDrops))
+		s.Shutdown()
+	}
+	return t
+}
+
+func yes(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "NO"
+}
+
+// E11 reproduces principle 5: a slow destination of a split stream
+// does not affect the other copies.
+func E11() *Table {
+	t := &Table{
+		ID:     "E11",
+		Title:  "Upstream independence of split streams (principle 5)",
+		Paper:  "downstream bottlenecks must not affect streams split off earlier (§2.2)",
+		Header: []string{"destination", "path", "segments", "lost"},
+	}
+	s := core.NewSystem()
+	defer s.Shutdown()
+	s.AddBox(box.Config{Name: "src", Mic: workload.NewTone(440, 9000)})
+	s.AddBox(box.Config{Name: "fast"})
+	s.AddBox(box.Config{Name: "slow"})
+	s.Connect("src", "fast", atm.LinkConfig{Bandwidth: 100_000_000})
+	s.Connect("src", "slow", atm.LinkConfig{Bandwidth: 64_000, QueueLimit: 4}) // hopeless
+	var st *core.Stream
+	s.Control(func(p *occam.Proc) { st = s.SendAudio(p, "src", "fast", "slow") })
+	if err := s.RunFor(5 * time.Second); err != nil {
+		panic(err)
+	}
+	fast := s.Box("fast").Mixer().Stats(st.VCIs["fast"])
+	slow := s.Box("slow").Mixer().Stats(st.VCIs["slow"])
+	t.Add("fast", "100 Mbit/s", fmt.Sprintf("%d", fast.Segments), fmt.Sprintf("%d", fast.LostSegments))
+	t.Add("slow", "64 kbit/s", fmt.Sprintf("%d", slow.Segments), fmt.Sprintf("%d", slow.LostSegments))
+	t.Remark("fast copy complete (%s loss) while the slow path sheds most segments", pct(fast.LostSegments, fast.Segments+fast.LostSegments))
+	return t
+}
+
+// E12 reproduces principle 6: reconfiguration leaves flowing copies
+// undisturbed.
+func E12() *Table {
+	t := &Table{
+		ID:     "E12",
+		Title:  "Continuity during reconfiguration (principle 6)",
+		Paper:  "splitting or closing one destination must not affect the other copies (§2.2)",
+		Header: []string{"phase", "kept copy lost segments"},
+	}
+	s := core.NewSystem()
+	defer s.Shutdown()
+	s.AddBox(box.Config{Name: "src", Mic: workload.NewTone(440, 9000)})
+	s.AddBox(box.Config{Name: "keep"})
+	s.AddBox(box.Config{Name: "extra"})
+	s.Connect("src", "keep", atm.LinkConfig{Bandwidth: 100_000_000})
+	s.Connect("src", "extra", atm.LinkConfig{Bandwidth: 100_000_000})
+	var st *core.Stream
+	s.Control(func(p *occam.Proc) {
+		st = s.SendAudio(p, "src", "keep")
+		p.Sleep(time.Second)
+		s.AddAudioDestination(p, st, "extra")
+		p.Sleep(time.Second)
+		s.RemoveDestination(p, st, "extra")
+	})
+	check := func(phase string, d time.Duration) {
+		if err := s.RunFor(d); err != nil {
+			panic(err)
+		}
+		t.Add(phase, fmt.Sprintf("%d", s.Box("keep").Mixer().Stats(st.VCIs["keep"]).LostSegments))
+	}
+	check("single destination", time.Second)
+	check("after split to second destination", time.Second)
+	check("after closing second destination", time.Second)
+	return t
+}
+
+// E13 reproduces principle 4: command latency stays bounded under
+// full data load.
+func E13() *Table {
+	t := &Table{
+		ID:     "E13",
+		Title:  "Command transport under stream overload (principle 4)",
+		Paper:  "stream processing must never prevent command execution (§2.1)",
+		Header: []string{"load", "command round trip"},
+	}
+	for _, loaded := range []bool{false, true} {
+		s := core.NewSystem()
+		s.AddBox(box.Config{Name: "a", Mic: workload.NewTone(300, 9000), CameraW: 256, CameraH: 128})
+		s.AddBox(box.Config{Name: "b", CameraW: 256, CameraH: 128})
+		s.Connect("a", "b", atm.LinkConfig{Bandwidth: 6_000_000})
+		var rtt time.Duration
+		s.Control(func(p *occam.Proc) {
+			if loaded {
+				s.SendAudio(p, "a", "b")
+				s.SendVideo(p, "a", box.CameraStream{
+					Rect: video.Rect{W: 256, H: 128}, Rate: video.Rate{Num: 1, Den: 1},
+				}, "b")
+				p.Sleep(time.Second)
+			}
+			before := p.Now()
+			s.Box("a").RequestSwitchReport(p)
+			// The report lands in the log; the switch handled the
+			// command synchronously before continuing with data.
+			rtt = time.Duration(p.Now() - before)
+		})
+		if err := s.RunFor(1500 * time.Millisecond); err != nil {
+			panic(err)
+		}
+		name := "idle"
+		if loaded {
+			name = "audio + full-rate video over a congested link"
+		}
+		t.Add(name, rtt.String())
+		s.Shutdown()
+	}
+	return t
+}
+
+// E15 reproduces the repository re-segmentation (§3.2).
+func E15() *Table {
+	t := &Table{
+		ID:     "E15",
+		Title:  "Repository re-segmentation: 2 ms blocks → 40 ms segments",
+		Paper:  "40ms segments of 320 bytes + 36 byte header cut header overhead ≈5× (§3.2)",
+		Header: []string{"form", "segments", "bytes", "header overhead"},
+	}
+	var segs []*segment.Audio
+	tone := workload.NewTone(440, 9000)
+	for i := 0; i < 500; i++ { // 2 s of live 2-block segments
+		segs = append(segs, segment.NewAudio(uint32(i), occam.Time(i*4_000_000), [][]byte{tone.NextBlock(), tone.NextBlock()}))
+	}
+	rec := &repository.Recording{Stream: 1, Segments: segs}
+	merged := rec.Resegment()
+	t.Add("live (2 blocks/seg)", fmt.Sprintf("%d", len(rec.Segments)),
+		fmt.Sprintf("%d", rec.StoredBytes()), fmt.Sprintf("%.0f%%", rec.HeaderOverhead()*100))
+	t.Add("merged (20 blocks/seg)", fmt.Sprintf("%d", len(merged.Segments)),
+		fmt.Sprintf("%d", merged.StoredBytes()), fmt.Sprintf("%.0f%%", merged.HeaderOverhead()*100))
+	t.Remark("storage shrinks %.1fx; audio identical (%d blocks both)",
+		float64(rec.StoredBytes())/float64(merged.StoredBytes()), merged.Blocks())
+	return t
+}
+
+// E20 demonstrates the ready-channel protocol of figure 3.6: the
+// immediate TRUE/FALSE reply lets upstream drop instead of block, and
+// avoids the ambiguous plain-acknowledgement race.
+func E20() *Table {
+	t := &Table{
+		ID:     "E20",
+		Title:  "Ready-channel protocol (figure 3.6)",
+		Paper:  "immediate reply after every input; after FALSE the producer drops instead of blocking (§3.7.1)",
+		Header: []string{"producer strategy", "items offered", "delivered", "dropped", "producer blocked"},
+	}
+	for _, ready := range []bool{true, false} {
+		offered, delivered, dropped, blocked := e20Run(ready)
+		name := "ready protocol (drop when full)"
+		if !ready {
+			name = "plain buffer (block when full)"
+		}
+		t.Add(name, fmt.Sprintf("%d", offered), fmt.Sprintf("%d", delivered),
+			fmt.Sprintf("%d", dropped), blocked.String())
+	}
+	t.Remark("with the ready channel the producer never blocks, so other streams it serves stay live (principle 5)")
+	return t
+}
+
+func e20Run(ready bool) (offered, delivered int, dropped uint64, blocked time.Duration) {
+	rt := occam.NewRuntime()
+	defer rt.Shutdown()
+	var opts []decouple.Option
+	if ready {
+		opts = append(opts, decouple.WithReady())
+	}
+	d := decouple.New[int](rt, nil, "buf", 4, nil, opts...)
+	var sender *decouple.Sender[int]
+	if ready {
+		sender = decouple.NewSender(d)
+	}
+	const n = 500
+	rt.Go("producer", nil, occam.Low, func(p *occam.Proc) {
+		for i := 0; i < n; i++ {
+			p.Sleep(2 * time.Millisecond)
+			offered++
+			if ready {
+				var rdy bool
+				// Drain any pending TRUE first.
+				if p.Alt(sender.ReadyGuard(&rdy), occam.Skip()) == 0 {
+					sender.Update(rdy)
+				}
+				sender.Deliver(p, i)
+			} else {
+				before := p.Now()
+				d.In.Send(p, i)
+				blocked += time.Duration(p.Now() - before)
+			}
+		}
+	})
+	got := 0
+	rt.Go("slowConsumer", nil, occam.Low, func(p *occam.Proc) {
+		for {
+			d.Out.Recv(p)
+			got++
+			p.Sleep(10 * time.Millisecond) // 5x slower than the producer
+		}
+	})
+	if err := rt.RunUntil(occam.Time(20 * time.Second)); err != nil {
+		panic(err)
+	}
+	if ready {
+		dropped = sender.Dropped()
+	}
+	return offered, got, dropped, blocked
+}
+
+// A1 compares the paper's buffer placement (downstream of the switch,
+// per output) with a single shared buffer upstream of the switch: the
+// upstream variant head-of-line blocks every output behind the
+// slowest one.
+func A1() *Table {
+	t := &Table{
+		ID:     "A1",
+		Title:  "Decoupling buffers downstream vs upstream of the switch",
+		Paper:  "buffers are placed downstream of the switch so one slow output cannot affect the others (§3.7.1)",
+		Header: []string{"placement", "fast output throughput", "slow output throughput"},
+	}
+	for _, downstream := range []bool{true, false} {
+		fast, slow := a1Run(downstream)
+		name := "downstream per-output (paper)"
+		if !downstream {
+			name = "one shared upstream buffer"
+		}
+		t.Add(name, fmt.Sprintf("%d items", fast), fmt.Sprintf("%d items", slow))
+	}
+	t.Remark("with the shared upstream queue the fast output is dragged down to the slow one's rate")
+	return t
+}
+
+func a1Run(downstream bool) (fastN, slowN int) {
+	rt := occam.NewRuntime()
+	defer rt.Shutdown()
+	type item struct {
+		dst int
+	}
+	fastOut := occam.NewChan[item](rt, "fast")
+	slowOut := occam.NewChan[item](rt, "slow")
+
+	if downstream {
+		// Paper: switch first, then one buffer per output with ready
+		// protocol.
+		bufF := decouple.New[item](rt, nil, "bf", 8, nil, decouple.WithReady())
+		bufS := decouple.New[item](rt, nil, "bs", 8, nil, decouple.WithReady())
+		rt.Go("switch", nil, occam.High, func(p *occam.Proc) {
+			sf, ss := decouple.NewSender(bufF), decouple.NewSender(bufS)
+			for i := 0; ; i++ {
+				p.Sleep(time.Millisecond)
+				it := item{dst: i % 2}
+				var rdy bool
+				if p.Alt(sf.ReadyGuard(&rdy), occam.Skip()) == 0 {
+					sf.Update(rdy)
+				}
+				if p.Alt(ss.ReadyGuard(&rdy), occam.Skip()) == 0 {
+					ss.Update(rdy)
+				}
+				if it.dst == 0 {
+					sf.Deliver(p, it)
+				} else {
+					ss.Deliver(p, it)
+				}
+			}
+		})
+		rt.Go("fwdF", nil, occam.High, func(p *occam.Proc) {
+			for {
+				fastOut.Send(p, bufF.Out.Recv(p))
+			}
+		})
+		rt.Go("fwdS", nil, occam.High, func(p *occam.Proc) {
+			for {
+				slowOut.Send(p, bufS.Out.Recv(p))
+			}
+		})
+	} else {
+		// Ablation: one shared buffer before the switch; the switch
+		// blocks sending to the slow output.
+		shared := decouple.New[item](rt, nil, "shared", 8, nil)
+		rt.Go("producer", nil, occam.High, func(p *occam.Proc) {
+			for i := 0; ; i++ {
+				p.Sleep(time.Millisecond)
+				shared.In.Send(p, item{dst: i % 2})
+			}
+		})
+		rt.Go("switch", nil, occam.High, func(p *occam.Proc) {
+			for {
+				it := shared.Out.Recv(p)
+				if it.dst == 0 {
+					fastOut.Send(p, it) // blocks when fast consumer busy
+				} else {
+					slowOut.Send(p, it) // blocks for ages: head-of-line
+				}
+			}
+		})
+	}
+	rt.Go("fastConsumer", nil, occam.Low, func(p *occam.Proc) {
+		for {
+			fastOut.Recv(p)
+			fastN++
+			p.Sleep(2 * time.Millisecond)
+		}
+	})
+	rt.Go("slowConsumer", nil, occam.Low, func(p *occam.Proc) {
+		for {
+			slowOut.Recv(p)
+			slowN++
+			p.Sleep(50 * time.Millisecond)
+		}
+	})
+	if err := rt.RunUntil(occam.Time(5 * time.Second)); err != nil {
+		panic(err)
+	}
+	return fastN, slowN
+}
+
+// A2 compares the split audio/video network buffers of figure 3.7
+// against one shared buffer: sharing costs audio its priority.
+func A2() *Table {
+	t := &Table{
+		ID:     "A2",
+		Title:  "Split audio/video network buffers vs shared (figure 3.7)",
+		Paper:  "audio is buffered separately so that it can be given priority (principle 2)",
+		Header: []string{"buffers", "audio jitter", "audio silences", "audio lost"},
+	}
+	for _, shared := range []bool{false, true} {
+		jit, silences, lost := a2Run(shared)
+		name := "split (paper)"
+		if shared {
+			name = "shared (ablated)"
+		}
+		t.Add(name, fmt.Sprintf("%.1fms", float64(jit)/1e6),
+			fmt.Sprintf("%d", silences), fmt.Sprintf("%d", lost))
+	}
+	return t
+}
+
+func a2Run(shared bool) (jitter time.Duration, silences, lost uint64) {
+	s := core.NewSystem()
+	defer s.Shutdown()
+	s.AddBox(box.Config{
+		Name: "a", Mic: workload.NewTone(400, 10000),
+		CameraW: 256, CameraH: 128, SharedNetBuffer: shared,
+		NetInterfaceBits: 3_500_000,
+	})
+	s.AddBox(box.Config{Name: "b", CameraW: 256, CameraH: 128})
+	s.Connect("a", "b", atm.LinkConfig{Bandwidth: 100_000_000})
+	var st *core.Stream
+	s.Control(func(p *occam.Proc) {
+		st = s.SendAudio(p, "a", "b")
+		s.SendVideo(p, "a", box.CameraStream{
+			Rect: video.Rect{W: 256, H: 128}, Rate: video.Rate{Num: 1, Den: 1},
+		}, "b")
+	})
+	if err := s.RunFor(5 * time.Second); err != nil {
+		panic(err)
+	}
+	m := s.Box("b").Mixer().Stats(st.VCIs["b"])
+	return s.Box("b").PlayoutLatency(st.VCIs["b"]).Jitter(), m.Clawback.SilenceInserted, m.LostSegments
+}

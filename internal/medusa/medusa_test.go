@@ -1,0 +1,136 @@
+package medusa
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/occam"
+	"repro/internal/video"
+	"repro/internal/workload"
+)
+
+func TestExplodedAudioPath(t *testing.T) {
+	// Mic unit → network → speaker unit, no box in between.
+	rt := occam.NewRuntime()
+	defer rt.Shutdown()
+	net := atm.New(rt)
+	mic := NewMicUnit(rt, net, "mic", workload.NewTone(400, 10000))
+	spk := NewSpeakerUnit(rt, net, "spk")
+	l := net.AddLink("m-s", atm.LinkConfig{Bandwidth: 100_000_000})
+	net.OpenCircuit(1, mic.Host(), spk.Host(), l)
+	rt.Go("control", nil, occam.High, func(p *occam.Proc) { mic.Start(p, 1) })
+	if err := rt.RunUntil(occam.Time(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	st := spk.Mixer().Stats(1)
+	if st.Segments < 450 {
+		t.Fatalf("speaker received %d segments", st.Segments)
+	}
+	if st.LostSegments != 0 {
+		t.Fatalf("%d lost on a clean path", st.LostSegments)
+	}
+	// The same ≈8 ms one-way figure as the box (principles carry over).
+	best := spk.Latency(1).Min()
+	if best < 4*time.Millisecond || best > 12*time.Millisecond {
+		t.Fatalf("exploded-path latency %v", best)
+	}
+}
+
+func TestExplodedTannoy(t *testing.T) {
+	// One mic unit to three speaker units — split in the network.
+	rt := occam.NewRuntime()
+	defer rt.Shutdown()
+	net := atm.New(rt)
+	mic := NewMicUnit(rt, net, "mic", workload.NewTone(500, 9000))
+	var spks []*SpeakerUnit
+	var vcis []uint32
+	for i := 0; i < 3; i++ {
+		s := NewSpeakerUnit(rt, net, string(rune('a'+i)))
+		l := net.AddLink(string(rune('a'+i))+"-l", atm.LinkConfig{Bandwidth: 100_000_000})
+		vci := uint32(10 + i)
+		net.OpenCircuit(vci, mic.Host(), s.Host(), l)
+		spks = append(spks, s)
+		vcis = append(vcis, vci)
+	}
+	rt.Go("control", nil, occam.High, func(p *occam.Proc) { mic.Start(p, vcis...) })
+	if err := rt.RunUntil(occam.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range spks {
+		if got := s.Mixer().Stats(vcis[i]).Segments; got < 200 {
+			t.Fatalf("speaker %d got %d segments", i, got)
+		}
+	}
+}
+
+func TestExplodedVideoPath(t *testing.T) {
+	rt := occam.NewRuntime()
+	defer rt.Shutdown()
+	net := atm.New(rt)
+	cam := NewCameraUnit(rt, net, "cam", 128, 64, video.Rate{Num: 2, Den: 5})
+	disp := NewDisplayUnit(rt, net, "disp", 128, 64)
+	l := net.AddLink("c-d", atm.LinkConfig{Bandwidth: 100_000_000})
+	net.OpenCircuit(5, cam.Host(), disp.Host(), l)
+	rt.Go("control", nil, occam.High, func(p *occam.Proc) { cam.Start(p, 5) })
+	if err := rt.RunUntil(occam.Time(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if disp.Frames < 15 || disp.Frames > 21 {
+		t.Fatalf("displayed %d frames at 10fps over 2s", disp.Frames)
+	}
+	if disp.DecodeErrs != 0 {
+		t.Fatalf("%d decode errors", disp.DecodeErrs)
+	}
+	if disp.FrameLat.Max() > 100*time.Millisecond {
+		t.Fatalf("frame latency %v", disp.FrameLat.Max())
+	}
+}
+
+func TestNoRetuningAcrossLinkSpeeds(t *testing.T) {
+	// §5.2: "The Pandora boxes themselves have been upgraded to
+	// operate over 100Mbit/s ATM links instead of the ATM ring
+	// networks, and no retuning was found to be necessary." The same
+	// units work from 2 Mbit/s to 622 Mbit/s with identical defaults.
+	for _, bw := range []int64{2_000_000, 25_000_000, 100_000_000, 622_000_000} {
+		rt := occam.NewRuntime()
+		net := atm.New(rt)
+		mic := NewMicUnit(rt, net, "mic", workload.NewTone(400, 10000))
+		spk := NewSpeakerUnit(rt, net, "spk")
+		l := net.AddLink("m-s", atm.LinkConfig{Bandwidth: bw})
+		net.OpenCircuit(1, mic.Host(), spk.Host(), l)
+		rt.Go("control", nil, occam.High, func(p *occam.Proc) { mic.Start(p, 1) })
+		if err := rt.RunUntil(occam.Time(time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		st := spk.Mixer().Stats(1)
+		if st.Segments < 200 || st.LostSegments > 0 {
+			t.Fatalf("bw=%d: %d segments, %d lost — retuning needed", bw, st.Segments, st.LostSegments)
+		}
+		rt.Shutdown()
+	}
+}
+
+func TestStopSilencesMic(t *testing.T) {
+	rt := occam.NewRuntime()
+	defer rt.Shutdown()
+	net := atm.New(rt)
+	mic := NewMicUnit(rt, net, "mic", workload.NewTone(400, 10000))
+	spk := NewSpeakerUnit(rt, net, "spk")
+	net.OpenCircuit(1, mic.Host(), spk.Host())
+	rt.Go("control", nil, occam.High, func(p *occam.Proc) {
+		mic.Start(p, 1)
+		p.Sleep(300 * time.Millisecond)
+		mic.Stop(p)
+	})
+	if err := rt.RunUntil(occam.Time(500 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	at := mic.Segments()
+	if err := rt.RunUntil(occam.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if mic.Segments() > at {
+		t.Fatal("mic kept transmitting after Stop")
+	}
+}

@@ -1,0 +1,212 @@
+// Package metrics provides the measurement instruments used by the
+// experiments: latency/jitter trackers, time-series recorders for
+// figure-style output, and audio quality accounting that maps the
+// paper's qualitative loss statements (§3.8) onto measurable event
+// rates.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Tracker accumulates duration samples and reports order statistics.
+type Tracker struct {
+	name    string
+	samples []time.Duration
+	sorted  bool
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker(name string) *Tracker { return &Tracker{name: name} }
+
+// Add records one sample.
+func (t *Tracker) Add(d time.Duration) {
+	t.samples = append(t.samples, d)
+	t.sorted = false
+}
+
+// Count returns the number of samples.
+func (t *Tracker) Count() int { return len(t.samples) }
+
+// Min returns the smallest sample (0 if empty).
+func (t *Tracker) Min() time.Duration {
+	if len(t.samples) == 0 {
+		return 0
+	}
+	t.sortSamples()
+	return t.samples[0]
+}
+
+// Max returns the largest sample (0 if empty).
+func (t *Tracker) Max() time.Duration {
+	if len(t.samples) == 0 {
+		return 0
+	}
+	t.sortSamples()
+	return t.samples[len(t.samples)-1]
+}
+
+// Mean returns the average sample (0 if empty).
+func (t *Tracker) Mean() time.Duration {
+	if len(t.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range t.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(t.samples))
+}
+
+// Percentile returns the p'th percentile (0 ≤ p ≤ 100) by the
+// nearest-rank method.
+func (t *Tracker) Percentile(p float64) time.Duration {
+	if len(t.samples) == 0 {
+		return 0
+	}
+	t.sortSamples()
+	rank := int(p / 100 * float64(len(t.samples)-1))
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(t.samples) {
+		rank = len(t.samples) - 1
+	}
+	return t.samples[rank]
+}
+
+// Jitter returns max − min: the peak-to-peak delay variation, the
+// quantity the clawback buffer has to absorb.
+func (t *Tracker) Jitter() time.Duration { return t.Max() - t.Min() }
+
+func (t *Tracker) sortSamples() {
+	if !t.sorted {
+		sort.Slice(t.samples, func(i, j int) bool { return t.samples[i] < t.samples[j] })
+		t.sorted = true
+	}
+}
+
+// String summarises the tracker in a table-row-friendly form.
+func (t *Tracker) String() string {
+	return fmt.Sprintf("%s: n=%d min=%v mean=%v p99=%v max=%v",
+		t.name, t.Count(), t.Min(), t.Mean(), t.Percentile(99), t.Max())
+}
+
+// Point is one (time, value) sample of a series.
+type Point struct {
+	At    time.Duration
+	Value float64
+}
+
+// Series records a named time series — the data behind the
+// figure-style outputs (clawback delay vs time, muting factor vs
+// time).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// NewSeries returns an empty series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Add appends a sample.
+func (s *Series) Add(at time.Duration, v float64) {
+	s.Points = append(s.Points, Point{At: at, Value: v})
+}
+
+// At returns the value in force at time at (the most recent sample
+// not after it); ok is false before the first sample.
+func (s *Series) At(at time.Duration) (float64, bool) {
+	v, ok := 0.0, false
+	for _, p := range s.Points {
+		if p.At > at {
+			break
+		}
+		v, ok = p.Value, true
+	}
+	return v, ok
+}
+
+// Downsample returns at most n points, evenly spaced, always
+// including the first and last — enough to print a recognisable
+// figure as text.
+func (s *Series) Downsample(n int) []Point {
+	if n <= 0 || len(s.Points) <= n {
+		return s.Points
+	}
+	out := make([]Point, 0, n)
+	step := float64(len(s.Points)-1) / float64(n-1)
+	for i := 0; i < n; i++ {
+		out = append(out, s.Points[int(float64(i)*step)])
+	}
+	return out
+}
+
+// AudioQuality accumulates the §3.8 event classes for one stream and
+// scores them against the paper's audibility statements.
+type AudioQuality struct {
+	Blocks         uint64 // blocks played
+	SilentInserts  uint64 // 2 ms silences (clawback underruns)
+	DroppedBlocks  uint64 // blocks lost or discarded
+	ReplayedBlocks uint64 // concealment replays
+	ConsecutiveBad uint64 // worst run of bad (silent/replayed) blocks
+	currentBadRun  uint64
+}
+
+// Good records n good blocks.
+func (q *AudioQuality) Good(n uint64) {
+	q.Blocks += n
+	q.currentBadRun = 0
+}
+
+// Bad records one degraded block of the given kind.
+func (q *AudioQuality) Bad(silent, dropped, replayed bool) {
+	q.Blocks++
+	if silent {
+		q.SilentInserts++
+	}
+	if dropped {
+		q.DroppedBlocks++
+	}
+	if replayed {
+		q.ReplayedBlocks++
+	}
+	q.currentBadRun++
+	if q.currentBadRun > q.ConsecutiveBad {
+		q.ConsecutiveBad = q.currentBadRun
+	}
+}
+
+// Verdict classifies the stream against the paper's observations:
+// occasional 2 ms drops are "rarely noticeable in speech"; repeated
+// drops sound "gravelly"; frequent replays sound "garbled".
+type Verdict string
+
+// Verdicts, ordered from best to worst.
+const (
+	Clean      Verdict = "clean"
+	Occasional Verdict = "occasional"
+	Gravelly   Verdict = "gravelly"
+	Garbled    Verdict = "garbled"
+)
+
+// Verdict scores the accumulated events.
+func (q *AudioQuality) Verdict() Verdict {
+	if q.Blocks == 0 {
+		return Clean
+	}
+	bad := q.SilentInserts + q.DroppedBlocks + q.ReplayedBlocks
+	rate := float64(bad) / float64(q.Blocks)
+	switch {
+	case rate == 0:
+		return Clean
+	case rate < 0.01 && q.ConsecutiveBad <= 2:
+		return Occasional
+	case rate < 0.10:
+		return Gravelly
+	default:
+		return Garbled
+	}
+}

@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTrackerBasics(t *testing.T) {
+	tr := NewTracker("lat")
+	if tr.Min() != 0 || tr.Max() != 0 || tr.Mean() != 0 || tr.Percentile(50) != 0 {
+		t.Fatal("empty tracker not zero")
+	}
+	for _, d := range []time.Duration{3, 1, 4, 1, 5} {
+		tr.Add(d * time.Millisecond)
+	}
+	if tr.Count() != 5 {
+		t.Fatalf("Count = %d", tr.Count())
+	}
+	if tr.Min() != time.Millisecond || tr.Max() != 5*time.Millisecond {
+		t.Fatalf("min=%v max=%v", tr.Min(), tr.Max())
+	}
+	if tr.Mean() != 2800*time.Microsecond {
+		t.Fatalf("mean=%v", tr.Mean())
+	}
+	if tr.Jitter() != 4*time.Millisecond {
+		t.Fatalf("jitter=%v", tr.Jitter())
+	}
+	if tr.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestTrackerPercentiles(t *testing.T) {
+	tr := NewTracker("p")
+	for i := 1; i <= 100; i++ {
+		tr.Add(time.Duration(i) * time.Millisecond)
+	}
+	if p := tr.Percentile(0); p != time.Millisecond {
+		t.Fatalf("p0=%v", p)
+	}
+	if p := tr.Percentile(100); p != 100*time.Millisecond {
+		t.Fatalf("p100=%v", p)
+	}
+	p50 := tr.Percentile(50)
+	if p50 < 49*time.Millisecond || p50 > 51*time.Millisecond {
+		t.Fatalf("p50=%v", p50)
+	}
+}
+
+func TestTrackerAddAfterSortStaysCorrect(t *testing.T) {
+	tr := NewTracker("x")
+	tr.Add(5 * time.Millisecond)
+	_ = tr.Max() // forces sort
+	tr.Add(time.Millisecond)
+	if tr.Min() != time.Millisecond {
+		t.Fatal("sample added after sort was lost")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("delay")
+	if _, ok := s.At(0); ok {
+		t.Fatal("empty series has a value")
+	}
+	s.Add(0, 20)
+	s.Add(10*time.Second, 10)
+	s.Add(20*time.Second, 4)
+	if v, ok := s.At(5 * time.Second); !ok || v != 20 {
+		t.Fatalf("At(5s) = %v,%v", v, ok)
+	}
+	if v, _ := s.At(10 * time.Second); v != 10 {
+		t.Fatalf("At(10s) = %v", v)
+	}
+	if v, _ := s.At(time.Hour); v != 4 {
+		t.Fatalf("At(1h) = %v", v)
+	}
+}
+
+func TestSeriesDownsample(t *testing.T) {
+	s := NewSeries("d")
+	for i := 0; i < 1000; i++ {
+		s.Add(time.Duration(i)*time.Second, float64(i))
+	}
+	pts := s.Downsample(11)
+	if len(pts) != 11 {
+		t.Fatalf("downsample to %d points", len(pts))
+	}
+	if pts[0].Value != 0 || pts[10].Value != 999 {
+		t.Fatalf("endpoints %v %v", pts[0], pts[10])
+	}
+	if got := s.Downsample(2000); len(got) != 1000 {
+		t.Fatal("oversized downsample changed data")
+	}
+	if got := s.Downsample(0); len(got) != 1000 {
+		t.Fatal("zero downsample changed data")
+	}
+}
+
+func TestAudioQualityVerdicts(t *testing.T) {
+	var clean AudioQuality
+	clean.Good(10000)
+	if v := clean.Verdict(); v != Clean {
+		t.Fatalf("clean verdict %v", v)
+	}
+
+	var occ AudioQuality
+	occ.Good(9999)
+	occ.Bad(false, true, false)
+	if v := occ.Verdict(); v != Occasional {
+		t.Fatalf("occasional verdict %v", v)
+	}
+
+	var grav AudioQuality
+	for i := 0; i < 100; i++ {
+		grav.Good(30)
+		grav.Bad(false, true, false)
+	}
+	if v := grav.Verdict(); v != Gravelly {
+		t.Fatalf("gravelly verdict %v (rate ~3%%)", v)
+	}
+
+	var garb AudioQuality
+	for i := 0; i < 100; i++ {
+		garb.Good(2)
+		garb.Bad(false, false, true)
+		garb.Bad(false, false, true)
+	}
+	if v := garb.Verdict(); v != Garbled {
+		t.Fatalf("garbled verdict %v", v)
+	}
+}
+
+func TestAudioQualityBadRuns(t *testing.T) {
+	var q AudioQuality
+	q.Good(5000)
+	q.Bad(true, false, false)
+	q.Bad(true, false, false)
+	q.Bad(true, false, false)
+	q.Good(5000)
+	if q.ConsecutiveBad != 3 {
+		t.Fatalf("ConsecutiveBad = %d", q.ConsecutiveBad)
+	}
+	// A long bad run pushes an otherwise-low rate past Occasional.
+	if q.Verdict() == Occasional {
+		t.Fatal("3-block run rated occasional")
+	}
+}
+
+func TestAudioQualityEmpty(t *testing.T) {
+	var q AudioQuality
+	if q.Verdict() != Clean {
+		t.Fatal("empty quality not clean")
+	}
+}

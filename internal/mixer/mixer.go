@@ -1,0 +1,236 @@
+// Package mixer implements Pandora's destination-side audio mixing
+// (paper §2.0, §3.7.2, §3.8): any number of incoming audio streams
+// are mixed by software in real time, each arriving through its own
+// clawback buffer; "a 2ms block is read from the output end of each
+// buffer every 2ms by the audio mixing code".
+//
+// Stream lifecycle is fully adaptive (principle 8): "the audio code
+// does not have to be informed of the creation or deletion of
+// streams; it just adapts to the incoming data". A block arriving for
+// an unknown stream creates its clawback buffer; a buffer found empty
+// at mixing time is deactivated and removed.
+//
+// Error recovery follows §3.8: segments carry sequence numbers, so
+// the destination detects missing segments as soon as a later one
+// arrives; for audio we "replay the last 2ms block, and try to ensure
+// that it does not happen frequently" — concealment is bounded so
+// repeated loss degrades to silence rather than a garbled loop.
+package mixer
+
+import (
+	"sort"
+
+	"repro/internal/clawback"
+	"repro/internal/mulaw"
+	"repro/internal/segment"
+)
+
+// DefaultMaxConcealBlocks bounds how many replayed blocks one
+// sequence gap may insert ("Replaying the last 2ms block occasionally
+// is perfectly acceptable... replaying 2ms blocks frequently gives a
+// garbled effect").
+const DefaultMaxConcealBlocks = 4
+
+// Config parameterises a Mixer. Zero values select defaults.
+type Config struct {
+	// Clawback is the per-stream buffer configuration; its Pool field
+	// is overridden by the mixer's shared pool.
+	Clawback clawback.Config
+	// PoolBlocks is the shared clawback pool size (default 4 s).
+	PoolBlocks int
+	// MaxConcealBlocks bounds loss concealment per sequence gap.
+	MaxConcealBlocks int
+}
+
+// StreamStats reports one stream's reception history.
+type StreamStats struct {
+	Segments      uint64 // segments delivered
+	Blocks        uint64 // blocks delivered
+	LostSegments  uint64 // detected by sequence-number gaps
+	Concealed     uint64 // blocks filled by replaying the last block
+	Reactivations uint64 // times the stream was re-created after idle
+	Clawback      clawback.Stats
+}
+
+// stream is one incoming audio stream's destination state.
+type stream struct {
+	buf       *clawback.Buffer
+	nextSeq   uint32
+	seenAny   bool
+	lastBlock []byte
+	active    bool
+	stats     StreamStats
+}
+
+// Mixer mixes any number of incoming audio streams into one outgoing
+// 2 ms block per tick. Not safe for concurrent use (it lives inside
+// the audio transputer's block handler process).
+type Mixer struct {
+	cfg     Config
+	pool    *clawback.Pool
+	streams map[uint32]*stream
+	ticks   uint64
+
+	// OnPlayout, if set, is called for every block played with the
+	// stream id, the block's source timestamp and the playout time
+	// (both nanoseconds of stream time) — the end-to-end latency
+	// instrument for experiment E3.
+	OnPlayout func(stream uint32, stamp, now int64)
+}
+
+// New returns a mixer with the given configuration.
+func New(cfg Config) *Mixer {
+	if cfg.MaxConcealBlocks <= 0 {
+		cfg.MaxConcealBlocks = DefaultMaxConcealBlocks
+	}
+	m := &Mixer{
+		cfg:     cfg,
+		pool:    clawback.NewPool(cfg.PoolBlocks),
+		streams: make(map[uint32]*stream),
+	}
+	return m
+}
+
+// Pool returns the shared clawback pool (for reports).
+func (m *Mixer) Pool() *clawback.Pool { return m.pool }
+
+// ActiveStreams returns the number of streams currently mixing.
+func (m *Mixer) ActiveStreams() int {
+	n := 0
+	for _, s := range m.streams {
+		if s.active {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns the reception statistics for a stream, which persist
+// across deactivations.
+func (m *Mixer) Stats(id uint32) StreamStats {
+	s, ok := m.streams[id]
+	if !ok {
+		return StreamStats{}
+	}
+	st := s.stats
+	st.Clawback = s.buf.Stats()
+	return st
+}
+
+// Deliver feeds one arriving audio segment for stream id into its
+// clawback buffer, creating or reactivating the stream as needed and
+// concealing any sequence gap.
+func (m *Mixer) Deliver(id uint32, seg *segment.Audio) {
+	s, ok := m.streams[id]
+	if !ok {
+		cfg := m.cfg.Clawback
+		cfg.Pool = m.pool
+		s = &stream{buf: clawback.New(cfg), active: true}
+		m.streams[id] = s
+	} else if !s.active {
+		// "If a block arrives for a stream that does not have a
+		// buffer, a new clawback buffer will be inserted, and mixing
+		// will resume."
+		s.active = true
+		s.stats.Reactivations++
+	}
+	s.stats.Segments++
+
+	// Sequence-gap detection and bounded concealment (§3.8).
+	if s.seenAny && seg.Seq != s.nextSeq {
+		// Signed 32-bit difference so sequence wraparound and late
+		// duplicates both classify correctly.
+		gap := int(int32(seg.Seq - s.nextSeq)) // whole missing segments
+		if gap > 0 {
+			s.stats.LostSegments += uint64(gap)
+			conceal := gap * seg.Blocks()
+			if conceal > m.cfg.MaxConcealBlocks {
+				conceal = m.cfg.MaxConcealBlocks
+			}
+			base := int64(segment.TimestampTime(seg.Timestamp))
+			for i := 0; i < conceal && s.lastBlock != nil; i++ {
+				stamp := base - int64(conceal-i)*int64(segment.BlockDuration)
+				if s.buf.PushItem(clawback.Item{Data: s.lastBlock, Stamp: stamp}) != clawback.DropNone {
+					break
+				}
+				s.stats.Concealed++
+			}
+		}
+		// A negative gap is a late duplicate or reordering: the
+		// general rule applies — "the current segment is thrown
+		// away" — but we still resynchronise to it below.
+	}
+	s.nextSeq = seg.Seq + 1
+	s.seenAny = true
+
+	base := int64(segment.TimestampTime(seg.Timestamp))
+	for i := 0; i < seg.Blocks(); i++ {
+		blk := seg.Block(i)
+		s.buf.PushItem(clawback.Item{
+			Data:  blk,
+			Stamp: base + int64(i)*int64(segment.BlockDuration),
+		})
+		s.lastBlock = blk
+	}
+	s.stats.Blocks += uint64(seg.Blocks())
+}
+
+// Tick produces the next mixed 2 ms block of µ-law samples at stream
+// time now (nanoseconds). Streams whose buffers are empty contribute
+// silence and are deactivated; with no active streams the returned
+// block is pure silence.
+//
+// mixed reports how many streams contributed audio — the mixing work
+// done this tick, which the audio board accounts CPU time for.
+func (m *Mixer) Tick(now int64) (block []byte, mixed int) {
+	m.ticks++
+	var sum [segment.BlockSamples]int32
+	// Iterate deterministically: map order must not leak into audio.
+	for _, id := range m.orderedIDs() {
+		s := m.streams[id]
+		if !s.active {
+			continue
+		}
+		it, ok := s.buf.PopItem()
+		if !ok {
+			// "The time saved when a clawback buffer is found to be
+			// empty is used to deactivate the stream."
+			s.active = false
+			s.buf.Drain()
+			continue
+		}
+		for i := 0; i < segment.BlockSamples; i++ {
+			sum[i] += int32(mulaw.Decode(it.Data[i]))
+		}
+		if m.OnPlayout != nil {
+			m.OnPlayout(id, it.Stamp, now)
+		}
+		mixed++
+	}
+	out := make([]byte, segment.BlockSamples)
+	for i := range out {
+		v := sum[i]
+		switch {
+		case v > 32767:
+			v = 32767
+		case v < -32768:
+			v = -32768
+		}
+		out[i] = mulaw.Encode(int16(v))
+	}
+	return out, mixed
+}
+
+// Ticks returns how many mixing ticks have run.
+func (m *Mixer) Ticks() uint64 { return m.ticks }
+
+// orderedIDs returns the stream ids in ascending order for
+// deterministic mixing.
+func (m *Mixer) orderedIDs() []uint32 {
+	ids := make([]uint32, 0, len(m.streams))
+	for id := range m.streams {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,207 @@
+package mixer
+
+import (
+	"testing"
+
+	"repro/internal/clawback"
+	"repro/internal/mulaw"
+	"repro/internal/segment"
+)
+
+// seg builds an audio segment of nblocks constant-amplitude blocks.
+func seg(seq uint32, amp int16, nblocks int) *segment.Audio {
+	blocks := make([][]byte, nblocks)
+	for i := range blocks {
+		b := make([]byte, segment.BlockSamples)
+		for j := range b {
+			b[j] = mulaw.Encode(amp)
+		}
+		blocks[i] = b
+	}
+	return segment.NewAudio(seq, 0, blocks)
+}
+
+func TestSilenceWithNoStreams(t *testing.T) {
+	m := New(Config{})
+	blk, mixed := m.Tick(0)
+	if mixed != 0 {
+		t.Fatalf("mixed %d streams", mixed)
+	}
+	if mulaw.Energy(blk) != 0 {
+		t.Fatal("no-stream tick is not silent")
+	}
+}
+
+func TestSingleStreamPassesThrough(t *testing.T) {
+	m := New(Config{})
+	m.Deliver(1, seg(0, 8000, 2))
+	blk, mixed := m.Tick(0)
+	if mixed != 1 {
+		t.Fatalf("mixed = %d", mixed)
+	}
+	got := mulaw.Decode(blk[0])
+	want := mulaw.Decode(mulaw.Encode(8000))
+	if got < want-want/8 || got > want+want/8 {
+		t.Fatalf("mixed sample %d, want ≈%d", got, want)
+	}
+}
+
+func TestTwoStreamsSum(t *testing.T) {
+	m := New(Config{})
+	m.Deliver(1, seg(0, 5000, 2))
+	m.Deliver(2, seg(0, 3000, 2))
+	blk, mixed := m.Tick(0)
+	if mixed != 2 {
+		t.Fatalf("mixed = %d", mixed)
+	}
+	got := int32(mulaw.Decode(blk[0]))
+	if got < 7000 || got > 9000 {
+		t.Fatalf("sum = %d, want ≈8000", got)
+	}
+}
+
+func TestManyStreamsNoLimit(t *testing.T) {
+	// "No limit is placed on the number of incoming streams that can
+	// be mixed."
+	m := New(Config{})
+	for id := uint32(0); id < 40; id++ {
+		m.Deliver(id, seg(0, 100, 2))
+	}
+	_, mixed := m.Tick(0)
+	if mixed != 40 {
+		t.Fatalf("mixed %d of 40 streams", mixed)
+	}
+}
+
+func TestMixSaturatesInsteadOfWrapping(t *testing.T) {
+	m := New(Config{})
+	for id := uint32(0); id < 4; id++ {
+		m.Deliver(id, seg(0, 20000, 2))
+	}
+	blk, _ := m.Tick(0)
+	got := int32(mulaw.Decode(blk[0]))
+	if got < 30000 {
+		t.Fatalf("saturating mix gave %d, want near +32124", got)
+	}
+}
+
+func TestEmptyBufferDeactivatesStream(t *testing.T) {
+	m := New(Config{})
+	m.Deliver(1, seg(0, 100, 1))
+	m.Tick(0) // consumes the only block
+	if m.ActiveStreams() != 1 {
+		t.Fatal("stream deactivated too early")
+	}
+	m.Tick(0) // empty pop: deactivate
+	if m.ActiveStreams() != 0 {
+		t.Fatal("stream not deactivated on empty buffer")
+	}
+	// Arrival re-creates the buffer and mixing resumes.
+	m.Deliver(1, seg(1, 100, 1))
+	if m.ActiveStreams() != 1 {
+		t.Fatal("stream not reactivated on arrival")
+	}
+	if m.Stats(1).Reactivations != 1 {
+		t.Fatalf("Reactivations = %d", m.Stats(1).Reactivations)
+	}
+}
+
+func TestDeactivationReleasesPool(t *testing.T) {
+	m := New(Config{PoolBlocks: 10})
+	m.Deliver(1, seg(0, 100, 2))
+	m.Tick(0)
+	m.Tick(0)
+	m.Tick(0) // deactivate (buffer already empty)
+	if m.Pool().Used() != 0 {
+		t.Fatalf("pool used %d after deactivation", m.Pool().Used())
+	}
+}
+
+func TestSequenceGapConcealed(t *testing.T) {
+	m := New(Config{})
+	m.Deliver(1, seg(0, 8000, 2))
+	m.Deliver(1, seg(2, 8000, 2)) // seq 1 lost: one segment = 2 blocks
+	st := m.Stats(1)
+	if st.LostSegments != 1 {
+		t.Fatalf("LostSegments = %d", st.LostSegments)
+	}
+	if st.Concealed != 2 {
+		t.Fatalf("Concealed = %d, want 2 replayed blocks", st.Concealed)
+	}
+	// The concealed blocks replay the last block: audio continues at
+	// the same amplitude with no silent gap.
+	for i := 0; i < 6; i++ {
+		blk, mixed := m.Tick(0)
+		if mixed != 1 {
+			t.Fatalf("tick %d: mixed=%d (gap audible)", i, mixed)
+		}
+		if e := mulaw.Energy(blk); e == 0 {
+			t.Fatalf("tick %d: silence in concealed stream", i)
+		}
+	}
+}
+
+func TestConcealmentBounded(t *testing.T) {
+	// A huge gap must not flood the buffer with replayed blocks.
+	m := New(Config{MaxConcealBlocks: 4})
+	m.Deliver(1, seg(0, 8000, 2))
+	m.Deliver(1, seg(100, 8000, 2)) // 99 segments lost
+	st := m.Stats(1)
+	if st.Concealed != 4 {
+		t.Fatalf("Concealed = %d, want the 4-block bound", st.Concealed)
+	}
+	if st.LostSegments != 99 {
+		t.Fatalf("LostSegments = %d", st.LostSegments)
+	}
+}
+
+func TestDuplicateOrLateSegmentResynchronises(t *testing.T) {
+	m := New(Config{})
+	m.Deliver(1, seg(5, 100, 2))
+	m.Deliver(1, seg(3, 100, 2)) // out of order / duplicate
+	if m.Stats(1).LostSegments != 0 {
+		t.Fatal("negative gap counted as loss")
+	}
+	m.Deliver(1, seg(4, 100, 2)) // continues from the resync point
+	if m.Stats(1).LostSegments != 0 {
+		t.Fatalf("LostSegments = %d after resync", m.Stats(1).LostSegments)
+	}
+}
+
+func TestStatsUnknownStream(t *testing.T) {
+	m := New(Config{})
+	if st := m.Stats(42); st.Segments != 0 {
+		t.Fatal("stats for unknown stream not zero")
+	}
+}
+
+func TestPerStreamClawbackIsolation(t *testing.T) {
+	// One stream's jitter buffer state must not affect another's.
+	m := New(Config{Clawback: clawback.Config{LimitBlocks: 3}})
+	for i := 0; i < 10; i++ {
+		m.Deliver(1, seg(uint32(i), 100, 2)) // floods stream 1 to its limit
+	}
+	m.Deliver(2, seg(0, 100, 2))
+	s1, s2 := m.Stats(1), m.Stats(2)
+	if s1.Clawback.LimitDrops == 0 {
+		t.Fatal("stream 1 not limited")
+	}
+	if s2.Clawback.LimitDrops != 0 || s2.Clawback.Accepted != 2 {
+		t.Fatalf("stream 2 affected by stream 1: %+v", s2.Clawback)
+	}
+}
+
+func TestMixedCountTracksConsumption(t *testing.T) {
+	m := New(Config{})
+	m.Deliver(1, seg(0, 100, 3))
+	m.Deliver(2, seg(0, 100, 1))
+	if _, mixed := m.Tick(0); mixed != 2 {
+		t.Fatal("tick 1")
+	}
+	if _, mixed := m.Tick(0); mixed != 1 { // stream 2 empty now
+		t.Fatal("tick 2")
+	}
+	if m.Ticks() != 2 {
+		t.Fatalf("Ticks = %d", m.Ticks())
+	}
+}

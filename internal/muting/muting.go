@@ -1,0 +1,198 @@
+// Package muting implements the echo-suppression muting scheme of
+// paper §4.3: the data stream to the loudspeaker is monitored for
+// samples exceeding a threshold; while the threshold is being
+// exceeded, the microphone stream is muted in two stages and returned
+// to full volume only after the loudspeaker output has stayed below
+// the threshold long enough for room reverberations to die away.
+//
+// Defaults follow figure 4.1: a deep stage at 20 % lasting 22 ms
+// after the last threshold crossing ("the sounds from the speaker
+// will have travelled about 22 feet before we return to the 50%
+// factor"), then 50 % for a further 22 ms, then 100 %. Stage changes
+// happen at 2 ms block granularity ("the smallest unit of data that
+// we move around in the audio code"), and the two-stage shape keeps
+// each step small enough that no audible click is heard. The factors
+// are applied by µ-law lookup tables (mulaw.ScaleTable) as blocks are
+// copied between fifos, giving at least 4 ms of reaction margin.
+package muting
+
+import (
+	"time"
+
+	"repro/internal/mulaw"
+)
+
+// Defaults from figure 4.1.
+const (
+	// DefaultThreshold is the linear speaker level that triggers
+	// muting. The paper leaves the value configurable; a quarter of
+	// full scale suits normal speech levels.
+	DefaultThreshold = 8000
+	// DefaultDeepFactor is the first muting stage.
+	DefaultDeepFactor = 0.20
+	// DefaultMidFactor is the second muting stage.
+	DefaultMidFactor = 0.50
+	// DefaultDeepHold is how long the deep stage lasts after the last
+	// threshold crossing.
+	DefaultDeepHold = 22 * time.Millisecond
+	// DefaultMidHold is how long the mid stage lasts after that.
+	DefaultMidHold = 22 * time.Millisecond
+)
+
+// Config parameterises a Muter; "the threshold, muting factors and
+// delay times are all dynamically alterable". Zero values select the
+// paper's defaults.
+type Config struct {
+	Threshold  int32
+	DeepFactor float64
+	MidFactor  float64
+	DeepHold   time.Duration
+	MidHold    time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threshold <= 0 {
+		c.Threshold = DefaultThreshold
+	}
+	if c.DeepFactor <= 0 {
+		c.DeepFactor = DefaultDeepFactor
+	}
+	if c.MidFactor <= 0 {
+		c.MidFactor = DefaultMidFactor
+	}
+	if c.DeepHold <= 0 {
+		c.DeepHold = DefaultDeepHold
+	}
+	if c.MidHold <= 0 {
+		c.MidHold = DefaultMidHold
+	}
+	return c
+}
+
+// Stage identifies the current muting level.
+type Stage int
+
+const (
+	// Full volume: no recent threshold crossing.
+	Full Stage = iota
+	// Mid is the 50 % stage.
+	Mid
+	// Deep is the 20 % stage.
+	Deep
+)
+
+func (s Stage) String() string {
+	switch s {
+	case Full:
+		return "100%"
+	case Mid:
+		return "50%"
+	case Deep:
+		return "20%"
+	}
+	return "?"
+}
+
+// Muter is the muting state machine plus its µ-law scale tables. It
+// is driven by time values (nanoseconds of stream time); the caller
+// observes the loudspeaker stream and applies the muter to the
+// microphone stream. Not safe for concurrent use.
+type Muter struct {
+	cfg Config
+
+	deepTable *mulaw.ScaleTable
+	midTable  *mulaw.ScaleTable
+
+	lastExceed    int64 // stream time of last threshold crossing (ns)
+	everExceed    bool
+	entryMidUntil int64 // entry step: mid stage until this time
+	crossings     uint64
+	mutedBlocks   uint64
+}
+
+// New returns a Muter with the given configuration.
+func New(cfg Config) *Muter {
+	c := cfg.withDefaults()
+	return &Muter{
+		cfg:       c,
+		deepTable: mulaw.NewScaleTable(c.DeepFactor),
+		midTable:  mulaw.NewScaleTable(c.MidFactor),
+	}
+}
+
+// Config returns the effective configuration.
+func (m *Muter) Config() Config { return m.cfg }
+
+// Crossings returns how many threshold crossings have been observed.
+func (m *Muter) Crossings() uint64 { return m.crossings }
+
+// MutedBlocks returns how many microphone blocks were attenuated.
+func (m *Muter) MutedBlocks() uint64 { return m.mutedBlocks }
+
+// ObserveSpeaker inspects one outgoing loudspeaker block at stream
+// time now (in nanoseconds). The threshold detector runs before the
+// samples reach the codec input fifo, giving the 4 ms reaction
+// margin.
+func (m *Muter) ObserveSpeaker(now int64, block []byte) {
+	if mulaw.Peak(block) > m.cfg.Threshold {
+		if !m.everExceed || m.StageAt(now) == Full {
+			// A new mute episode: enter via the mid stage for one
+			// block so no single step is too large.
+			m.entryMidUntil = now + int64(2*time.Millisecond)
+			m.crossings++
+		}
+		m.lastExceed = now
+		m.everExceed = true
+	}
+}
+
+// StageAt returns the muting stage in force at stream time now.
+// On entry to a mute episode the first block passes through the mid
+// (50 %) stage so neither step exceeds a factor of about 2.5 — "the
+// steps are not so high that audible clicks are heard".
+func (m *Muter) StageAt(now int64) Stage {
+	if !m.everExceed {
+		return Full
+	}
+	since := now - m.lastExceed
+	if since < 0 {
+		return Full
+	}
+	if now < m.entryMidUntil {
+		return Mid
+	}
+	switch {
+	case since < int64(m.cfg.DeepHold):
+		return Deep
+	case since < int64(m.cfg.DeepHold+m.cfg.MidHold):
+		return Mid
+	default:
+		return Full
+	}
+}
+
+// FactorAt returns the gain factor for stream time now.
+func (m *Muter) FactorAt(now int64) float64 {
+	switch m.StageAt(now) {
+	case Deep:
+		return m.cfg.DeepFactor
+	case Mid:
+		return m.cfg.MidFactor
+	}
+	return 1.0
+}
+
+// ApplyMic attenuates one microphone block in place according to the
+// stage in force at stream time now, and returns the stage applied.
+func (m *Muter) ApplyMic(now int64, block []byte) Stage {
+	st := m.StageAt(now)
+	switch st {
+	case Deep:
+		m.deepTable.Apply(block)
+		m.mutedBlocks++
+	case Mid:
+		m.midTable.Apply(block)
+		m.mutedBlocks++
+	}
+	return st
+}

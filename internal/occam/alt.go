@@ -1,0 +1,195 @@
+package occam
+
+import "fmt"
+
+// altState is the shared state of one alternation: the first guard to
+// fire claims it and wakes the process.
+type altState struct {
+	p      *Proc
+	fired  bool
+	chosen int
+}
+
+// Guard is one alternative of a PRI ALT. Construct guards with Recv,
+// After, Timeout, Skip and When.
+type Guard interface {
+	// poll attempts to fire the guard immediately (mu held).
+	poll(p *Proc) bool
+	// enable registers the guard to fire later (mu held).
+	enable(a *altState, idx int)
+	// disable removes the registration after the alt completes
+	// (mu held).
+	disable()
+}
+
+// Alt performs a prioritised alternation (Occam PRI ALT) over the
+// guards and returns the index of the one that fired. Guards are
+// polled in order, so earlier guards win when several are ready — the
+// property Pandora relies on to keep command channels ahead of data
+// channels (principle 4). With no ready guard the process blocks until
+// one fires.
+func (p *Proc) Alt(guards ...Guard) int {
+	if len(guards) == 0 {
+		panic("occam: Alt with no guards")
+	}
+	rt := p.rt
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for i, g := range guards {
+		if g.poll(p) {
+			return i
+		}
+	}
+	a := &altState{p: p, chosen: -1}
+	for i, g := range guards {
+		g.enable(a, i)
+	}
+	rt.park(p, fmt.Sprintf("alt over %d guards", len(guards)))
+	for _, g := range guards {
+		g.disable()
+	}
+	if a.chosen < 0 {
+		panic("occam: alt woke without a fired guard")
+	}
+	return a.chosen
+}
+
+// recvGuard fires when ch has a sender; the value lands in *dst.
+type recvGuard[T any] struct {
+	ch  *Chan[T]
+	dst *T
+	a   *altState
+}
+
+// Recv returns a guard that fires when a value can be received from
+// ch, storing it in *dst.
+func Recv[T any](ch *Chan[T], dst *T) Guard {
+	return &recvGuard[T]{ch: ch, dst: dst}
+}
+
+func (g *recvGuard[T]) poll(p *Proc) bool {
+	c := g.ch
+	if len(c.sendq) == 0 {
+		return false
+	}
+	w := c.sendq[0]
+	copy(c.sendq, c.sendq[1:])
+	c.sendq = c.sendq[:len(c.sendq)-1]
+	*g.dst = w.v
+	c.rt.ready(w.p)
+	return true
+}
+
+func (g *recvGuard[T]) enable(a *altState, idx int) {
+	g.a = a
+	g.ch.alts = append(g.ch.alts, &altReg[T]{a: a, idx: idx, dst: g.dst})
+}
+
+func (g *recvGuard[T]) disable() {
+	if g.a != nil {
+		g.ch.removeAlt(g.a)
+		g.a = nil
+	}
+}
+
+// timeGuard fires at an absolute virtual time (Occam "tim ? AFTER t").
+type timeGuard struct {
+	at Time
+	ev *timerEv
+}
+
+// After returns a guard that fires once the virtual clock reaches t.
+func After(at Time) Guard { return &timeGuard{at: at} }
+
+func (g *timeGuard) poll(p *Proc) bool { return p.rt.now >= g.at }
+
+func (g *timeGuard) enable(a *altState, idx int) {
+	rt := a.p.rt
+	g.ev = rt.addTimer(g.at, nil, func() {
+		if !a.fired {
+			a.fired = true
+			a.chosen = idx
+			rt.ready(a.p)
+		}
+	})
+}
+
+func (g *timeGuard) disable() {
+	if g.ev != nil {
+		g.ev.cancelled = true
+		g.ev = nil
+	}
+}
+
+// timeoutGuard fires a duration after the Alt begins.
+type timeoutGuard struct {
+	d  Time
+	ev *timerEv
+}
+
+// Timeout returns a guard that fires d after the alternation starts
+// waiting.
+func Timeout(d Time) Guard { return &timeoutGuard{d: d} }
+
+func (g *timeoutGuard) poll(p *Proc) bool { return g.d <= 0 }
+
+func (g *timeoutGuard) enable(a *altState, idx int) {
+	rt := a.p.rt
+	g.ev = rt.addTimer(rt.now+g.d, nil, func() {
+		if !a.fired {
+			a.fired = true
+			a.chosen = idx
+			rt.ready(a.p)
+		}
+	})
+}
+
+func (g *timeoutGuard) disable() {
+	if g.ev != nil {
+		g.ev.cancelled = true
+		g.ev = nil
+	}
+}
+
+// skipGuard always fires (Occam SKIP): as the last guard it makes the
+// alternation non-blocking.
+type skipGuard struct{}
+
+// Skip returns a guard that is always ready. Place it last to poll the
+// other guards without blocking.
+func Skip() Guard { return skipGuard{} }
+
+func (skipGuard) poll(*Proc) bool { return true }
+func (skipGuard) enable(a *altState, i int) {
+	// A reachable enabled SKIP fires at once; Alt polls guards first,
+	// so enable is only reached if an earlier guard also fired — which
+	// cannot happen. Guard against misuse anyway.
+	panic("occam: Skip guard enabled; place Skip last")
+}
+func (skipGuard) disable() {}
+
+// whenGuard conditions another guard (Occam boolean guard).
+type whenGuard struct {
+	cond bool
+	g    Guard
+}
+
+// When returns g if cond is true, otherwise an inert guard that never
+// fires (the Occam "cond & guard" form).
+func When(cond bool, g Guard) Guard { return &whenGuard{cond: cond, g: g} }
+
+func (w *whenGuard) poll(p *Proc) bool {
+	return w.cond && w.g.poll(p)
+}
+
+func (w *whenGuard) enable(a *altState, idx int) {
+	if w.cond {
+		w.g.enable(a, idx)
+	}
+}
+
+func (w *whenGuard) disable() {
+	if w.cond {
+		w.g.disable()
+	}
+}

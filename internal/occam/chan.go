@@ -1,0 +1,148 @@
+package occam
+
+import "fmt"
+
+// Chan is an Occam rendezvous channel carrying values of type T.
+// Send blocks until a receiver takes the value; Recv blocks until a
+// sender offers one. Channels are unbuffered: communication is the
+// synchronisation, exactly as on the transputer.
+//
+// Unlike Occam, any number of processes may wait to send or receive on
+// the same channel; waiters are served in FIFO order. This is used by
+// Pandora-style fan-in (many producers into a switch input).
+type Chan[T any] struct {
+	rt    *Runtime
+	name  string
+	sendq []*sendWaiter[T]
+	recvq []*recvWaiter[T]
+	alts  []*altReg[T]
+}
+
+type sendWaiter[T any] struct {
+	p *Proc
+	v T
+}
+
+type recvWaiter[T any] struct {
+	p *Proc
+	v T
+}
+
+type altReg[T any] struct {
+	a   *altState
+	idx int
+	dst *T
+}
+
+// NewChan returns a new rendezvous channel on rt with a diagnostic
+// name.
+func NewChan[T any](rt *Runtime, name string) *Chan[T] {
+	return &Chan[T]{rt: rt, name: name}
+}
+
+// Name returns the channel's diagnostic name.
+func (c *Chan[T]) Name() string { return c.name }
+
+// Send offers v on the channel, blocking until a receiver (direct or
+// via Alt) takes it.
+func (c *Chan[T]) Send(p *Proc, v T) {
+	rt := c.rt
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	// A receiver already waiting?
+	if len(c.recvq) > 0 {
+		w := c.recvq[0]
+		copy(c.recvq, c.recvq[1:])
+		c.recvq = c.recvq[:len(c.recvq)-1]
+		w.v = v
+		rt.ready(w.p)
+		return
+	}
+	// An alternation waiting on this channel?
+	if reg := c.takeAlt(); reg != nil {
+		*reg.dst = v
+		reg.a.chosen = reg.idx
+		rt.ready(reg.a.p)
+		return
+	}
+	w := &sendWaiter[T]{p: p, v: v}
+	c.sendq = append(c.sendq, w)
+	rt.park(p, fmt.Sprintf("send %s", c.name))
+}
+
+// takeAlt removes and returns the first live (unfired) alternation
+// registration, marking it fired. Caller holds mu.
+func (c *Chan[T]) takeAlt() *altReg[T] {
+	for len(c.alts) > 0 {
+		reg := c.alts[0]
+		copy(c.alts, c.alts[1:])
+		c.alts = c.alts[:len(c.alts)-1]
+		if !reg.a.fired {
+			reg.a.fired = true
+			return reg
+		}
+	}
+	return nil
+}
+
+// Recv receives a value from the channel, blocking until a sender
+// offers one.
+func (c *Chan[T]) Recv(p *Proc) T {
+	rt := c.rt
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if len(c.sendq) > 0 {
+		w := c.sendq[0]
+		copy(c.sendq, c.sendq[1:])
+		c.sendq = c.sendq[:len(c.sendq)-1]
+		rt.ready(w.p)
+		return w.v
+	}
+	w := &recvWaiter[T]{p: p}
+	c.recvq = append(c.recvq, w)
+	rt.park(p, fmt.Sprintf("recv %s", c.name))
+	return w.v
+}
+
+// TrySend offers v without blocking; it reports whether a waiting
+// receiver took the value. (Not an Occam primitive, but the natural
+// dual of a SKIP-guarded alternation; used where the paper's processes
+// "do not send a segment if the next process down the line is not
+// ready", §2.2 principle 5.)
+func (c *Chan[T]) TrySend(p *Proc, v T) bool {
+	rt := c.rt
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if len(c.recvq) > 0 {
+		w := c.recvq[0]
+		copy(c.recvq, c.recvq[1:])
+		c.recvq = c.recvq[:len(c.recvq)-1]
+		w.v = v
+		rt.ready(w.p)
+		return true
+	}
+	if reg := c.takeAlt(); reg != nil {
+		*reg.dst = v
+		reg.a.chosen = reg.idx
+		rt.ready(reg.a.p)
+		return true
+	}
+	return false
+}
+
+// pending reports whether a sender is waiting. Caller holds mu.
+func (c *Chan[T]) pending() bool { return len(c.sendq) > 0 }
+
+// removeAlt deletes every registration belonging to a. Caller holds mu.
+func (c *Chan[T]) removeAlt(a *altState) {
+	out := c.alts[:0]
+	for _, reg := range c.alts {
+		if reg.a != a {
+			out = append(out, reg)
+		}
+	}
+	for i := len(out); i < len(c.alts); i++ {
+		c.alts[i] = nil
+	}
+	c.alts = out
+}

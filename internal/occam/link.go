@@ -1,0 +1,100 @@
+package occam
+
+import (
+	"fmt"
+	"time"
+)
+
+// Link models an Inmos transputer link: a unidirectional point-to-point
+// channel with a serial bandwidth (5, 10 or 20 Mbit/s on real
+// hardware; Pandora used 20 Mbit/s links and 100 Mbit/s FIFOs, §1.1).
+//
+// A transfer occupies the link for size×8/bandwidth of virtual time;
+// transfers are serialised, so a large video message delays a
+// following audio message — exactly the effect the paper measures in
+// §4.2 ("video segments can hold up following audio segments,
+// introducing up to 20ms of jitter").
+//
+// The receive side is an ordinary rendezvous channel, so a receiver
+// may include the link in an alternation via In().
+type Link[T any] struct {
+	rt        *Runtime
+	name      string
+	bandwidth int64 // bits per second
+	ch        *Chan[T]
+	busyUntil Time
+	bytesSent uint64
+	transfers uint64
+}
+
+// NewLink returns a link with the given bandwidth in bits per second.
+func NewLink[T any](rt *Runtime, name string, bitsPerSecond int64) *Link[T] {
+	if bitsPerSecond <= 0 {
+		panic("occam: link bandwidth must be positive")
+	}
+	return &Link[T]{
+		rt:        rt,
+		name:      name,
+		bandwidth: bitsPerSecond,
+		ch:        NewChan[T](rt, name),
+	}
+}
+
+// Name returns the link's diagnostic name.
+func (l *Link[T]) Name() string { return l.name }
+
+// BytesSent returns the total payload bytes transferred.
+func (l *Link[T]) BytesSent() uint64 {
+	l.rt.mu.Lock()
+	defer l.rt.mu.Unlock()
+	return l.bytesSent
+}
+
+// TransferTime returns how long a message of size bytes occupies the
+// link.
+func (l *Link[T]) TransferTime(size int) time.Duration {
+	return time.Duration(int64(size) * 8 * int64(time.Second) / l.bandwidth)
+}
+
+// Send transmits v, which is accounted as size bytes on the wire. The
+// sender is blocked while the link is busy with earlier transfers,
+// then for the transfer time, then until the receiver accepts the
+// value (link DMA plus rendezvous).
+func (l *Link[T]) Send(p *Proc, v T, size int) {
+	if size < 0 {
+		panic("occam: negative link transfer size")
+	}
+	rt := l.rt
+	rt.mu.Lock()
+	start := rt.now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	done := start.Add(l.TransferTime(size))
+	l.busyUntil = done
+	l.bytesSent += uint64(size)
+	l.transfers++
+	rt.mu.Unlock()
+	p.SleepUntil(done)
+	l.ch.Send(p, v)
+}
+
+// Recv receives the next message from the link, blocking until one
+// arrives.
+func (l *Link[T]) Recv(p *Proc) T { return l.ch.Recv(p) }
+
+// In returns a guard that fires when a message can be received from
+// the link, for use in an alternation.
+func (l *Link[T]) In(dst *T) Guard { return Recv(l.ch, dst) }
+
+// Busy reports whether a transfer is in progress at the current
+// instant (diagnostics).
+func (l *Link[T]) Busy() bool {
+	l.rt.mu.Lock()
+	defer l.rt.mu.Unlock()
+	return l.busyUntil > l.rt.now
+}
+
+func (l *Link[T]) String() string {
+	return fmt.Sprintf("link %s @%d bit/s", l.name, l.bandwidth)
+}

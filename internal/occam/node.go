@@ -1,0 +1,115 @@
+package occam
+
+import (
+	"fmt"
+	"time"
+)
+
+// Node models one transputer's CPU. Processes account for computation
+// by calling Proc.Consume, which occupies the node exclusively for a
+// duration of virtual time; concurrent requests queue, high priority
+// first (the transputer's two-level scheduler). Code outside Consume
+// is free, so costs are attached explicitly where they matter — see
+// the calibrated constants in internal/box.
+type Node struct {
+	rt      *Runtime
+	name    string
+	busy    bool
+	waiting []*cpuReq
+	busyFor time.Duration // accumulated busy time (utilisation metric)
+	grants  uint64
+}
+
+type cpuReq struct {
+	p   *Proc
+	d   time.Duration
+	pri Priority
+	seq uint64
+}
+
+// NewNode returns a new CPU resource named name.
+func NewNode(rt *Runtime, name string) *Node {
+	return &Node{rt: rt, name: name}
+}
+
+// Name returns the node's diagnostic name.
+func (n *Node) Name() string { return n.name }
+
+// BusyTime returns the total virtual time the CPU has spent granted.
+func (n *Node) BusyTime() time.Duration {
+	n.rt.mu.Lock()
+	defer n.rt.mu.Unlock()
+	return n.busyFor
+}
+
+// Utilisation returns BusyTime divided by elapsed virtual time.
+func (n *Node) Utilisation() float64 {
+	n.rt.mu.Lock()
+	defer n.rt.mu.Unlock()
+	if n.rt.now == 0 {
+		return 0
+	}
+	return float64(n.busyFor) / float64(n.rt.now)
+}
+
+// Consume occupies the process's node for d of virtual time, blocking
+// the process until its grant completes. If the node is busy the
+// request queues behind earlier requests; higher-priority processes
+// are granted first. Consume on a process with no node just sleeps.
+func (p *Proc) Consume(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	n := p.node
+	if n == nil {
+		p.Sleep(d)
+		return
+	}
+	rt := n.rt
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.seq++
+	req := &cpuReq{p: p, d: d, pri: p.pri, seq: rt.seq}
+	n.insert(req)
+	if !n.busy {
+		n.grantNext()
+	}
+	rt.park(p, fmt.Sprintf("cpu %s for %v", n.name, d))
+}
+
+// insert queues req, high priority ahead of low, FIFO within a
+// priority. Caller holds mu.
+func (n *Node) insert(req *cpuReq) {
+	if req.pri == High {
+		// Insert after the last queued High request.
+		i := 0
+		for i < len(n.waiting) && n.waiting[i].pri == High {
+			i++
+		}
+		n.waiting = append(n.waiting, nil)
+		copy(n.waiting[i+1:], n.waiting[i:])
+		n.waiting[i] = req
+		return
+	}
+	n.waiting = append(n.waiting, req)
+}
+
+// grantNext starts the next queued request, scheduling its completion.
+// Caller holds mu; node must be idle.
+func (n *Node) grantNext() {
+	if len(n.waiting) == 0 {
+		return
+	}
+	req := n.waiting[0]
+	copy(n.waiting, n.waiting[1:])
+	n.waiting = n.waiting[:len(n.waiting)-1]
+	n.busy = true
+	n.busyFor += req.d
+	n.grants++
+	rt := n.rt
+	rt.addTimer(rt.now.Add(req.d), nil, func() {
+		n.busy = false
+		rt.ready(req.p)
+		n.grantNext()
+	})
+}

@@ -1,0 +1,320 @@
+package occam
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRunEmpty(t *testing.T) {
+	rt := NewRuntime()
+	if err := rt.Run(); err != nil {
+		t.Fatalf("Run() on empty runtime: %v", err)
+	}
+	if !rt.Done() {
+		t.Fatal("empty runtime not Done")
+	}
+}
+
+func TestSingleProcRuns(t *testing.T) {
+	rt := NewRuntime()
+	ran := false
+	rt.Go("p", nil, Low, func(p *Proc) { ran = true })
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("process body did not run")
+	}
+}
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	rt := NewRuntime()
+	var woke Time
+	rt.Go("sleeper", nil, Low, func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		woke = p.Now()
+	})
+	start := time.Now()
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != Time(5*time.Millisecond) {
+		t.Fatalf("woke at %v, want 5ms", woke)
+	}
+	if wall := time.Since(start); wall > time.Second {
+		t.Fatalf("virtual sleep took %v of wall time", wall)
+	}
+}
+
+func TestSleepUntilPastReturnsImmediately(t *testing.T) {
+	rt := NewRuntime()
+	rt.Go("p", nil, Low, func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		before := p.Now()
+		p.SleepUntil(0)
+		if p.Now() != before {
+			t.Errorf("SleepUntil(past) advanced time from %v to %v", before, p.Now())
+		}
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimersFireInOrder(t *testing.T) {
+	rt := NewRuntime()
+	var order []int
+	for i, d := range []time.Duration{3 * time.Millisecond, time.Millisecond, 2 * time.Millisecond} {
+		i, d := i, d
+		rt.Go("p", nil, Low, func(p *Proc) {
+			p.Sleep(d)
+			order = append(order, i)
+		})
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("wake order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSameInstantTimersFIFO(t *testing.T) {
+	rt := NewRuntime()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		rt.Go("p", nil, Low, func(p *Proc) {
+			p.Sleep(time.Millisecond)
+			order = append(order, i)
+		})
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-instant wake order %v, want ascending", order)
+		}
+	}
+}
+
+func TestRunUntilStopsAtLimit(t *testing.T) {
+	rt := NewRuntime()
+	var wokeAt Time = -1
+	rt.Go("p", nil, Low, func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		wokeAt = p.Now()
+	})
+	if err := rt.RunUntil(Time(4 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if wokeAt != -1 {
+		t.Fatalf("process woke before limit, at %v", wokeAt)
+	}
+	if rt.Now() != Time(4*time.Millisecond) {
+		t.Fatalf("clock at %v after RunUntil(4ms)", rt.Now())
+	}
+	if err := rt.RunUntil(Time(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if wokeAt != Time(10*time.Millisecond) {
+		t.Fatalf("woke at %v, want 10ms", wokeAt)
+	}
+}
+
+func TestRunForIsRelative(t *testing.T) {
+	rt := NewRuntime()
+	rt.Go("ticker", nil, Low, func(p *Proc) {
+		for {
+			p.Sleep(time.Millisecond)
+		}
+	})
+	if err := rt.RunFor(3 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RunFor(3 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Now() != Time(6*time.Millisecond) {
+		t.Fatalf("clock at %v, want 6ms", rt.Now())
+	}
+	rt.Shutdown()
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	rt := NewRuntime()
+	ch := NewChan[int](rt, "never")
+	rt.Go("stuck", nil, Low, func(p *Proc) {
+		ch.Recv(p)
+	})
+	err := rt.Run()
+	if err == nil {
+		t.Fatal("deadlock not detected")
+	}
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("error %T, want *DeadlockError", err)
+	}
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatal("DeadlockError does not unwrap to ErrDeadlock")
+	}
+	if len(de.Procs) != 1 {
+		t.Fatalf("deadlock reports %d procs, want 1", len(de.Procs))
+	}
+	rt.Shutdown()
+}
+
+func TestShutdownUnwindsBlockedProcs(t *testing.T) {
+	rt := NewRuntime()
+	ch := NewChan[int](rt, "never")
+	for i := 0; i < 10; i++ {
+		rt.Go("stuck", nil, Low, func(p *Proc) { ch.Recv(p) })
+	}
+	if err := rt.RunUntil(Time(time.Millisecond)); err != nil {
+		// Blocked-on-channel-only is a deadlock; either outcome is
+		// fine here, we only care that Shutdown reclaims goroutines.
+		var de *DeadlockError
+		if !errors.As(err, &de) {
+			t.Fatal(err)
+		}
+	}
+	rt.Shutdown() // must not hang
+	if rt.NumProcs() != 0 {
+		t.Fatalf("%d procs alive after Shutdown", rt.NumProcs())
+	}
+}
+
+func TestHighPriorityRunsFirst(t *testing.T) {
+	rt := NewRuntime()
+	var order []string
+	// Both become runnable at the same instant; High must run first
+	// even though it was queued second.
+	rt.Go("low", nil, Low, func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		order = append(order, "low")
+	})
+	rt.Go("high", nil, High, func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		order = append(order, "high")
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "high" {
+		t.Fatalf("order %v, want high first", order)
+	}
+}
+
+func TestGoFromInsideProc(t *testing.T) {
+	rt := NewRuntime()
+	ran := false
+	rt.Go("parent", nil, Low, func(p *Proc) {
+		rt.Go("child", nil, Low, func(p *Proc) { ran = true })
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("dynamically created process did not run")
+	}
+}
+
+func TestYieldRoundRobins(t *testing.T) {
+	rt := NewRuntime()
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		rt.Go("p", nil, Low, func(p *Proc) {
+			for round := 0; round < 2; round++ {
+				order = append(order, i)
+				p.Yield()
+			}
+		})
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestContextSwitchCounter(t *testing.T) {
+	rt := NewRuntime()
+	rt.Go("p", nil, Low, func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Yield()
+		}
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Switches() < 10 {
+		t.Fatalf("Switches() = %d, want >= 10", rt.Switches())
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	// The same program must produce the identical event order twice.
+	run := func() []string {
+		rt := NewRuntime()
+		var log []string
+		ch := NewChan[int](rt, "c")
+		for i := 0; i < 4; i++ {
+			i := i
+			rt.Go("sender", nil, Low, func(p *Proc) {
+				p.Sleep(time.Duration(i%2) * time.Millisecond)
+				ch.Send(p, i)
+			})
+		}
+		rt.Go("recv", nil, Low, func(p *Proc) {
+			for i := 0; i < 4; i++ {
+				v := ch.Recv(p)
+				log = append(log, string(rune('a'+v)))
+			}
+		})
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	tt := Time(1500)
+	if tt.Micros() != 1 {
+		t.Errorf("Micros() = %d", tt.Micros())
+	}
+	if Time(2*time.Millisecond).Millis() != 2.0 {
+		t.Error("Millis() wrong")
+	}
+	if Time(time.Second).Seconds() != 1.0 {
+		t.Error("Seconds() wrong")
+	}
+	if Time(0).Add(time.Millisecond) != Time(time.Millisecond) {
+		t.Error("Add wrong")
+	}
+	if Time(time.Second).Sub(Time(time.Millisecond)) != 999*time.Millisecond {
+		t.Error("Sub wrong")
+	}
+	if Forever.String() != "forever" {
+		t.Error("Forever.String() wrong")
+	}
+	if Time(0).String() == "" {
+		t.Error("empty String()")
+	}
+}

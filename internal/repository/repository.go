@@ -1,0 +1,184 @@
+// Package repository implements the Pandora repository: a network
+// node that records live streams and plays them back (§3.2, §4.1 —
+// "stored audio streams are used for video recording, playback, and
+// videomail applications").
+//
+// Two paper-specific behaviours:
+//
+//   - Priority reversal (§2.1): "incoming data streams should be
+//     recorded as accurately as possible, even if that means degrading
+//     streams that are currently being played out. It is a simple
+//     matter to play a stream again, but recording one again could
+//     present greater difficulties."
+//   - Off-line re-segmentation (§3.2): live 2 ms-block segments are
+//     split and merged "to form 40ms long segments containing 320
+//     bytes of data plus a new 36 byte header", cutting the disk space
+//     taken by headers. "These can be played back directly to any
+//     Pandora box."
+//
+// Timestamp offsets between streams recorded together are kept so
+// they can be resynchronised at playback (§3.2: "streams to be
+// synchronised during playback must have been recorded on the same
+// repository, where their timestamp offsets are recorded").
+package repository
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/occam"
+	"repro/internal/segment"
+)
+
+// Recording is one stored stream.
+type Recording struct {
+	Stream   uint32
+	Segments []*segment.Audio
+	// FirstTimestamp is the stream's timestamp offset, recorded so
+	// streams captured together can be resynchronised at playback.
+	FirstTimestamp uint32
+	// LostSegments counts sequence gaps observed while recording.
+	LostSegments uint64
+}
+
+// Blocks returns the total number of 2 ms blocks stored.
+func (r *Recording) Blocks() int {
+	n := 0
+	for _, s := range r.Segments {
+		n += s.Blocks()
+	}
+	return n
+}
+
+// Duration returns the audio time stored.
+func (r *Recording) Duration() time.Duration {
+	return time.Duration(r.Blocks()) * segment.BlockDuration
+}
+
+// StoredBytes returns the wire bytes the recording occupies,
+// including every segment header — what the re-segmentation reduces.
+func (r *Recording) StoredBytes() int {
+	n := 0
+	for _, s := range r.Segments {
+		n += s.WireSize()
+	}
+	return n
+}
+
+// HeaderOverhead returns header bytes as a fraction of stored bytes.
+func (r *Recording) HeaderOverhead() float64 {
+	total := r.StoredBytes()
+	if total == 0 {
+		return 0
+	}
+	headers := len(r.Segments) * segment.AudioHeaderSize
+	return float64(headers) / float64(total)
+}
+
+// Resegment performs the off-line merge: 2 ms blocks are split out
+// and re-grouped into 40 ms segments (320 data bytes + 36 byte
+// header), renumbered from zero with timestamps rebased onto the
+// original first block. A trailing partial group keeps its shorter
+// length, so no audio is lost.
+func (r *Recording) Resegment() *Recording {
+	var blocks [][]byte
+	for _, s := range r.Segments {
+		for i := 0; i < s.Blocks(); i++ {
+			blocks = append(blocks, s.Block(i))
+		}
+	}
+	out := &Recording{
+		Stream:         r.Stream,
+		FirstTimestamp: r.FirstTimestamp,
+		LostSegments:   r.LostSegments,
+	}
+	base := segment.TimestampTime(r.FirstTimestamp)
+	for i, seq := 0, uint32(0); i < len(blocks); seq++ {
+		end := i + segment.RepositoryBlocksPerSegment
+		if end > len(blocks) {
+			end = len(blocks)
+		}
+		at := base.Add(time.Duration(i) * segment.BlockDuration)
+		out.Segments = append(out.Segments, segment.NewAudio(seq, at, blocks[i:end]))
+		i = end
+	}
+	return out
+}
+
+// Repository is the network node. It records every circuit addressed
+// to it and can play recordings back over outgoing circuits.
+type Repository struct {
+	rt   *occam.Runtime
+	host *atm.Host
+	recs map[uint32]*Recording
+	next map[uint32]uint32 // per-stream expected sequence number
+	seen map[uint32]bool
+}
+
+// New creates a repository as network host name and starts its
+// recorder process. The recorder runs at High priority — the §2.1
+// reversal: recording is never starved by playback.
+func New(rt *occam.Runtime, net *atm.Network, name string) *Repository {
+	r := &Repository{
+		rt:   rt,
+		host: net.AddHost(name),
+		recs: make(map[uint32]*Recording),
+		next: make(map[uint32]uint32),
+		seen: make(map[uint32]bool),
+	}
+	rt.Go(name+".recorder", nil, occam.High, r.runRecorder)
+	return r
+}
+
+// Host returns the repository's network endpoint.
+func (r *Repository) Host() *atm.Host { return r.host }
+
+// Recording returns the recording for a VCI (nil if nothing arrived).
+func (r *Repository) Recording(vci uint32) *Recording { return r.recs[vci] }
+
+func (r *Repository) runRecorder(p *occam.Proc) {
+	for {
+		m := r.host.Rx.Recv(p)
+		seg, ok := m.Payload.(*segment.Audio)
+		if !ok {
+			continue // video recording stores segments opaquely; audio only here
+		}
+		rec, ok := r.recs[m.VCI]
+		if !ok {
+			rec = &Recording{Stream: m.VCI, FirstTimestamp: seg.Timestamp}
+			r.recs[m.VCI] = rec
+		}
+		if r.seen[m.VCI] && seg.Seq != r.next[m.VCI] {
+			if gap := int(int32(seg.Seq - r.next[m.VCI])); gap > 0 {
+				rec.LostSegments += uint64(gap)
+			}
+		}
+		r.next[m.VCI] = seg.Seq + 1
+		r.seen[m.VCI] = true
+		rec.Segments = append(rec.Segments, seg)
+	}
+}
+
+// Playback replays a recording over an outgoing circuit at its
+// original cadence, from a new process. Segments keep their stored
+// headers — re-segmented 40 ms segments "can be played back directly
+// to any Pandora box", whose mixer accepts any mixture of sizes.
+// Playback runs at Low priority (recording wins under overload).
+func (r *Repository) Playback(rec *Recording, vci uint32) {
+	r.rt.Go(fmt.Sprintf("playback.%d", vci), nil, occam.Low, func(p *occam.Proc) {
+		start := p.Now()
+		elapsed := time.Duration(0)
+		for _, s := range rec.Segments {
+			p.SleepUntil(start.Add(elapsed))
+			// Re-stamp so destination clawback measures real network
+			// delay, not archive age.
+			out := *s
+			out.Timestamp = segment.Timestamp(p.Now())
+			if err := r.host.Send(p, atm.Message{VCI: vci, Size: out.WireSize(), Payload: &out}); err != nil {
+				return
+			}
+			elapsed += s.Duration()
+		}
+	})
+}

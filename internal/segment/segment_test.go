@@ -1,0 +1,290 @@
+package segment
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/occam"
+)
+
+func testBlocks(n int) [][]byte {
+	blocks := make([][]byte, n)
+	for i := range blocks {
+		b := make([]byte, BlockSamples)
+		for j := range b {
+			b[j] = byte(i*16 + j)
+		}
+		blocks[i] = b
+	}
+	return blocks
+}
+
+func TestAudioConstants(t *testing.T) {
+	if BlockDuration != 2*time.Millisecond {
+		t.Fatalf("BlockDuration = %v, want 2ms", BlockDuration)
+	}
+	// The repository format: 40 ms segments of 320 bytes + 36 byte
+	// header (§3.2).
+	if RepositoryBlocksPerSegment*BlockSamples != 320 {
+		t.Fatalf("repository segment carries %d bytes, want 320",
+			RepositoryBlocksPerSegment*BlockSamples)
+	}
+	if AudioHeaderSize != 36 {
+		t.Fatalf("AudioHeaderSize = %d, want the paper's 36 bytes", AudioHeaderSize)
+	}
+	if time.Duration(RepositoryBlocksPerSegment)*BlockDuration != 40*time.Millisecond {
+		t.Fatal("repository segment does not span 40ms")
+	}
+}
+
+func TestNewAudio(t *testing.T) {
+	a := NewAudio(7, occam.Time(10*time.Millisecond), testBlocks(2))
+	if a.Blocks() != 2 {
+		t.Fatalf("Blocks() = %d", a.Blocks())
+	}
+	if a.Duration() != 4*time.Millisecond {
+		t.Fatalf("Duration() = %v", a.Duration())
+	}
+	if a.Seq != 7 || a.Type != TypeAudio || a.Version != Version {
+		t.Fatalf("header %+v", a.Common)
+	}
+	if a.SamplingRate != 8000 || a.Format != FormatMuLaw8 {
+		t.Fatalf("audio header %+v", a)
+	}
+	if got := a.Block(1)[0]; got != 16 {
+		t.Fatalf("Block(1)[0] = %d", got)
+	}
+}
+
+func TestAudioTimestampResolution(t *testing.T) {
+	// 64 µs ticks (§3.2).
+	a := NewAudio(0, occam.Time(128*time.Microsecond), testBlocks(1))
+	if a.Timestamp != 2 {
+		t.Fatalf("Timestamp = %d, want 2 ticks of 64µs", a.Timestamp)
+	}
+	if TimestampTime(a.Timestamp) != occam.Time(128*time.Microsecond) {
+		t.Fatal("TimestampTime not inverse of Timestamp")
+	}
+	// Sub-tick instants quantise down.
+	if Timestamp(occam.Time(63*time.Microsecond)) != 0 {
+		t.Fatal("sub-tick timestamp did not quantise")
+	}
+}
+
+func TestAudioEncodeDecodeRoundTrip(t *testing.T) {
+	a := NewAudio(99, occam.Time(time.Second), testBlocks(12))
+	wire := a.Encode(nil)
+	if len(wire) != a.WireSize() {
+		t.Fatalf("wire %d bytes, WireSize %d", len(wire), a.WireSize())
+	}
+	got, n, err := DecodeAudio(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(wire) {
+		t.Fatalf("consumed %d of %d", n, len(wire))
+	}
+	if got.Seq != a.Seq || got.Timestamp != a.Timestamp || !bytes.Equal(got.Data, a.Data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestAudioDecodeErrors(t *testing.T) {
+	a := NewAudio(1, 0, testBlocks(2))
+	wire := a.Encode(nil)
+
+	if _, _, err := DecodeAudio(wire[:10]); !errors.Is(err, ErrShort) {
+		t.Fatalf("short common header: %v", err)
+	}
+	if _, _, err := DecodeAudio(wire[:CommonHeaderSize+4]); !errors.Is(err, ErrShort) {
+		t.Fatalf("short audio header: %v", err)
+	}
+	if _, _, err := DecodeAudio(wire[:len(wire)-1]); !errors.Is(err, ErrShort) {
+		t.Fatalf("truncated data: %v", err)
+	}
+
+	bad := append([]byte(nil), wire...)
+	bad[3] = 9 // version
+	if _, _, err := DecodeAudio(bad); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad version: %v", err)
+	}
+
+	bad = append([]byte(nil), wire...)
+	bad[19] = byte(len(wire) + 8) // length field
+	if _, _, err := DecodeAudio(append(bad, 0, 0, 0, 0, 0, 0, 0, 0)); !errors.Is(err, ErrBadLength) {
+		t.Fatalf("bad length: %v", err)
+	}
+
+	v := NewVideo(1, 0, 0, 1, 0, 0, 0, 8, 0, 1, make([]byte, 8))
+	if _, _, err := DecodeAudio(v.Encode(nil)); !errors.Is(err, ErrBadType) {
+		t.Fatal("video decoded as audio")
+	}
+}
+
+func TestAudioRaggedBlocksRejected(t *testing.T) {
+	a := NewAudio(1, 0, testBlocks(1))
+	a.Data = a.Data[:10] // not a whole block
+	a.Length = uint32(a.WireSize())
+	wire := a.Encode(nil)
+	if _, _, err := DecodeAudio(wire); !errors.Is(err, ErrRagged) {
+		t.Fatalf("ragged audio accepted: %v", err)
+	}
+}
+
+func TestVideoEncodeDecodeRoundTrip(t *testing.T) {
+	data := make([]byte, 64*16)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	v := NewVideo(42, occam.Time(40*time.Millisecond), 3, 4, 2, 100, 50, 64, 50, 16, data)
+	v.Args = []uint32{2, 7}
+	v.Length = uint32(v.WireSize())
+	wire := v.Encode(nil)
+	if len(wire) != v.WireSize() {
+		t.Fatalf("wire %d bytes, WireSize %d", len(wire), v.WireSize())
+	}
+	got, n, err := DecodeVideo(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(wire) {
+		t.Fatalf("consumed %d of %d", n, len(wire))
+	}
+	if got.FrameNumber != 3 || got.NumSegments != 4 || got.SegmentNum != 2 {
+		t.Fatalf("frame placement %+v", got)
+	}
+	if got.XOffset != 100 || got.YOffset != 50 || got.Width != 64 ||
+		got.StartLine != 50 || got.NumLines != 16 {
+		t.Fatalf("geometry %+v", got)
+	}
+	if len(got.Args) != 2 || got.Args[1] != 7 {
+		t.Fatalf("args %v", got.Args)
+	}
+	if !bytes.Equal(got.Data, data) {
+		t.Fatal("data mismatch")
+	}
+}
+
+func TestVideoVariableArgs(t *testing.T) {
+	// "We have a variable number of fields after the compression type
+	// field so that compression parameters for any scheme can be
+	// accommodated" (§3.3).
+	for _, nargs := range []int{0, 1, 5, 16} {
+		v := NewVideo(1, 0, 0, 1, 0, 0, 0, 8, 0, 1, make([]byte, 8))
+		v.Args = make([]uint32, nargs)
+		for i := range v.Args {
+			v.Args[i] = uint32(i * 3)
+		}
+		v.Length = uint32(v.WireSize())
+		got, _, err := DecodeVideo(v.Encode(nil))
+		if err != nil {
+			t.Fatalf("nargs=%d: %v", nargs, err)
+		}
+		if len(got.Args) != nargs {
+			t.Fatalf("nargs=%d decoded %d", nargs, len(got.Args))
+		}
+	}
+}
+
+func TestVideoDecodeErrors(t *testing.T) {
+	v := NewVideo(1, 0, 0, 1, 0, 0, 0, 8, 0, 1, make([]byte, 8))
+	wire := v.Encode(nil)
+	if _, _, err := DecodeVideo(wire[:CommonHeaderSize+8]); !errors.Is(err, ErrShort) {
+		t.Fatalf("short video header: %v", err)
+	}
+	a := NewAudio(1, 0, testBlocks(1))
+	if _, _, err := DecodeVideo(a.Encode(nil)); !errors.Is(err, ErrBadType) {
+		t.Fatal("audio decoded as video")
+	}
+	// Absurd argument count must be rejected, not allocated.
+	bad := append([]byte(nil), wire...)
+	bad[CommonHeaderSize+28] = 0xFF
+	bad[CommonHeaderSize+29] = 0xFF
+	bad[CommonHeaderSize+30] = 0xFF
+	bad[CommonHeaderSize+31] = 0xFF
+	if _, _, err := DecodeVideo(bad); err == nil {
+		t.Fatal("absurd arg count accepted")
+	}
+}
+
+func TestGenericDecode(t *testing.T) {
+	a := NewAudio(5, 0, testBlocks(2))
+	s, _, err := Decode(a.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Head().Type != TypeAudio {
+		t.Fatal("generic decode misidentified audio")
+	}
+	v := NewVideo(1, 0, 0, 1, 0, 0, 0, 8, 0, 1, make([]byte, 8))
+	s, _, err = Decode(v.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Head().Type != TypeVideo {
+		t.Fatal("generic decode misidentified video")
+	}
+	if _, _, err := Decode(nil); !errors.Is(err, ErrShort) {
+		t.Fatal("nil buffer accepted")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TypeAudio.String() != "audio" || TypeVideo.String() != "video" ||
+		TypeTest.String() != "test" || Type(9).String() == "" {
+		t.Fatal("Type.String broken")
+	}
+}
+
+func TestQuickAudioRoundTrip(t *testing.T) {
+	f := func(seq uint32, ts int64, nblocks uint8, fill byte) bool {
+		n := int(nblocks%12) + 1
+		blocks := make([][]byte, n)
+		for i := range blocks {
+			b := make([]byte, BlockSamples)
+			for j := range b {
+				b[j] = fill + byte(i+j)
+			}
+			blocks[i] = b
+		}
+		if ts < 0 {
+			ts = -ts
+		}
+		a := NewAudio(seq, occam.Time(ts), blocks)
+		got, _, err := DecodeAudio(a.Encode(nil))
+		if err != nil {
+			return false
+		}
+		return got.Seq == seq && bytes.Equal(got.Data, a.Data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackToBackSegmentsDecode(t *testing.T) {
+	// Several segments concatenated on a byte stream must parse in
+	// sequence using the consumed counts.
+	var wire []byte
+	for i := 0; i < 5; i++ {
+		wire = NewAudio(uint32(i), 0, testBlocks(i%3+1)).Encode(wire)
+	}
+	off, count := 0, 0
+	for off < len(wire) {
+		a, n, err := DecodeAudio(wire[off:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Seq != uint32(count) {
+			t.Fatalf("segment %d has seq %d", count, a.Seq)
+		}
+		off += n
+		count++
+	}
+	if count != 5 {
+		t.Fatalf("decoded %d segments", count)
+	}
+}

@@ -1,0 +1,77 @@
+package video
+
+import "repro/internal/segment"
+
+// Assembly (§3.6): "We do not display any part of a video frame until
+// all of the segments have been received, otherwise the effect of a
+// tear can be seen when part of the image is moving parallel to a
+// segment boundary."
+
+// AssemblyStats reports a per-stream assembler's history.
+type AssemblyStats struct {
+	Complete   uint64 // frames delivered whole
+	Abandoned  uint64 // frames dropped because a newer frame arrived
+	Duplicates uint64 // repeated segment numbers discarded
+}
+
+// Assembler collects the rectangular segments of one stream's frames
+// and releases each frame only when complete.
+type Assembler struct {
+	width, height int
+	current       uint32 // frame number being assembled
+	started       bool
+	have          map[uint32]bool
+	needed        uint32
+	img           *Frame
+	stats         AssemblyStats
+}
+
+// NewAssembler returns an assembler for a stream whose frames are
+// width×height.
+func NewAssembler(width, height int) *Assembler {
+	return &Assembler{width: width, height: height}
+}
+
+// Stats returns the assembly counters.
+func (a *Assembler) Stats() AssemblyStats { return a.stats }
+
+// Add offers one decoded video segment with its pixel data. When the
+// segment completes a frame, the whole frame is returned; otherwise
+// nil. A segment of a newer frame abandons the one in progress
+// (late segments of old frames are discarded — the general §3.8 rule,
+// the current segment is thrown away).
+func (a *Assembler) Add(hdr *segment.Video, pixels *Frame) *Frame {
+	if !a.started || hdr.FrameNumber != a.current {
+		if a.started && int32(hdr.FrameNumber-a.current) < 0 {
+			// A late segment of an older frame.
+			a.stats.Duplicates++
+			return nil
+		}
+		if a.started && len(a.have) > 0 {
+			a.stats.Abandoned++
+		}
+		a.current = hdr.FrameNumber
+		a.started = true
+		a.have = make(map[uint32]bool)
+		a.needed = hdr.NumSegments
+		a.img = NewFrame(a.width, a.height)
+	}
+	if a.have[hdr.SegmentNum] {
+		a.stats.Duplicates++
+		return nil
+	}
+	a.have[hdr.SegmentNum] = true
+	a.img.Blit(pixels, int(hdr.XOffset), int(hdr.YOffset))
+	if uint32(len(a.have)) == a.needed {
+		img := a.img
+		a.have = make(map[uint32]bool)
+		a.img = nil
+		a.started = false
+		a.stats.Complete++
+		return img
+	}
+	return nil
+}
+
+// InProgress reports whether a partial frame is waiting for segments.
+func (a *Assembler) InProgress() bool { return a.started && len(a.have) > 0 }

@@ -1,0 +1,250 @@
+package video
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The compression engine of §3.6: "Each line of video data has a one
+// byte compression header added, which is used by the compression
+// hardware to determine what sub-sampling and DPCM coding should be
+// applied." The scheme here packs 4-bit quantised DPCM deltas, two
+// pixels per byte, with optional 2:1 horizontal sub-sampling —
+// parameters ride in the per-line header exactly as on the hardware,
+// so "compression schemes and parameters can be changed from one
+// segment to the next".
+
+// LineParams is the one-byte compression header of one video line.
+type LineParams struct {
+	// Subsample selects 2:1 horizontal sub-sampling.
+	Subsample bool
+	// Shift is the DPCM quantiser shift (0 = finest, 3 = coarsest).
+	Shift uint8
+	// Raw disables DPCM: the line is carried verbatim (used for the
+	// dummy flush lines, which must not disturb decoder state).
+	Raw bool
+}
+
+// headerByte encodes the params.
+func (lp LineParams) headerByte() byte {
+	b := lp.Shift & 0x03
+	if lp.Subsample {
+		b |= 0x04
+	}
+	if lp.Raw {
+		b |= 0x08
+	}
+	return b
+}
+
+func paramsFromHeader(b byte) LineParams {
+	return LineParams{
+		Shift:     b & 0x03,
+		Subsample: b&0x04 != 0,
+		Raw:       b&0x08 != 0,
+	}
+}
+
+// CompressLine encodes one line of pixels with the given parameters,
+// returning header byte + packed deltas. The reconstruction the
+// decoder will produce is also returned, since DPCM prediction must
+// run against reconstructed values at both ends.
+func CompressLine(line []byte, lp LineParams) (wire []byte, recon []byte) {
+	src := line
+	if lp.Subsample {
+		sub := make([]byte, (len(line)+1)/2)
+		for i := range sub {
+			sub[i] = line[2*i]
+		}
+		src = sub
+	}
+	if lp.Raw {
+		wire = append([]byte{lp.headerByte()}, src...)
+		return wire, expand(src, lp.Subsample, len(line))
+	}
+	wire = make([]byte, 1, 1+(len(src)+1)/2)
+	wire[0] = lp.headerByte()
+	reconSub := make([]byte, len(src))
+	pred := 128
+	var nibbles []byte
+	for i, px := range src {
+		delta := int(px) - pred
+		q := delta >> lp.Shift
+		if q > 7 {
+			q = 7
+		}
+		if q < -8 {
+			q = -8
+		}
+		nibbles = append(nibbles, byte(q&0x0F))
+		pred += q << lp.Shift
+		if pred > 255 {
+			pred = 255
+		}
+		if pred < 0 {
+			pred = 0
+		}
+		reconSub[i] = byte(pred)
+	}
+	for i := 0; i < len(nibbles); i += 2 {
+		b := nibbles[i] << 4
+		if i+1 < len(nibbles) {
+			b |= nibbles[i+1]
+		}
+		wire = append(wire, b)
+	}
+	return wire, expand(reconSub, lp.Subsample, len(line))
+}
+
+// expand undoes horizontal sub-sampling by linear interpolation.
+func expand(sub []byte, subsampled bool, width int) []byte {
+	if !subsampled {
+		out := make([]byte, len(sub))
+		copy(out, sub)
+		return out
+	}
+	out := make([]byte, width)
+	for i := 0; i < width; i++ {
+		j := i / 2
+		if i%2 == 0 || j+1 >= len(sub) {
+			out[i] = sub[j]
+		} else {
+			out[i] = byte((int(sub[j]) + int(sub[j+1])) / 2)
+		}
+	}
+	return out
+}
+
+// Decompression errors.
+var (
+	ErrLineTooShort = errors.New("video: compressed line truncated")
+)
+
+// DecompressLine decodes one compressed line back to width pixels.
+func DecompressLine(wire []byte, width int) ([]byte, error) {
+	if len(wire) < 1 {
+		return nil, ErrLineTooShort
+	}
+	lp := paramsFromHeader(wire[0])
+	body := wire[1:]
+	subWidth := width
+	if lp.Subsample {
+		subWidth = (width + 1) / 2
+	}
+	if lp.Raw {
+		if len(body) < subWidth {
+			return nil, ErrLineTooShort
+		}
+		return expand(body[:subWidth], lp.Subsample, width), nil
+	}
+	if len(body) < (subWidth+1)/2 {
+		return nil, ErrLineTooShort
+	}
+	sub := make([]byte, subWidth)
+	pred := 128
+	for i := 0; i < subWidth; i++ {
+		nib := body[i/2]
+		if i%2 == 0 {
+			nib >>= 4
+		}
+		q := int(int8(nib<<4) >> 4) // sign-extend the 4-bit delta
+		pred += q << lp.Shift
+		if pred > 255 {
+			pred = 255
+		}
+		if pred < 0 {
+			pred = 0
+		}
+		sub[i] = byte(pred)
+	}
+	return expand(sub, lp.Subsample, width), nil
+}
+
+// CompressedLineSize returns the wire size of one line.
+func CompressedLineSize(width int, lp LineParams) int {
+	sub := width
+	if lp.Subsample {
+		sub = (width + 1) / 2
+	}
+	if lp.Raw {
+		return 1 + sub
+	}
+	return 1 + (sub+1)/2
+}
+
+// Interpolator is the decompression hardware's vertical interpolator
+// plus the software last-line cache of §3.6: "Maintain a software
+// cache of the last line processed on each stream, and reload the
+// interpolation hardware whenever we interleave segments."
+//
+// The hardware holds the last line of exactly one stream; decoding a
+// segment from a different stream requires reloading from the cache.
+// Reloads are counted so experiments can show the cost of
+// interleaving.
+type Interpolator struct {
+	cache      map[uint32][]byte // per-stream last line
+	loaded     uint32            // stream whose line is in "hardware"
+	hasLoaded  bool
+	reloads    uint64
+	interleave uint64
+}
+
+// NewInterpolator returns an interpolator with an empty cache.
+func NewInterpolator() *Interpolator {
+	return &Interpolator{cache: make(map[uint32][]byte)}
+}
+
+// Reloads returns how many cache→hardware reloads interleaving has
+// forced.
+func (ip *Interpolator) Reloads() uint64 { return ip.reloads }
+
+// Begin prepares to decode a segment of the given stream, reloading
+// the hardware from the software cache when the stream changes.
+// It returns the previous line to interpolate against (nil at the
+// top of a stream or after a discontinuity).
+func (ip *Interpolator) Begin(stream uint32) []byte {
+	if !ip.hasLoaded || ip.loaded != stream {
+		if ip.hasLoaded {
+			ip.interleave++
+		}
+		ip.loaded = stream
+		ip.hasLoaded = true
+		if prev, ok := ip.cache[stream]; ok {
+			ip.reloads++
+			return prev
+		}
+		return nil
+	}
+	return ip.cache[stream]
+}
+
+// Advance records that line is now the last processed line of the
+// loaded stream.
+func (ip *Interpolator) Advance(stream uint32, line []byte) {
+	if !ip.hasLoaded || ip.loaded != stream {
+		panic(fmt.Sprintf("video: Advance for stream %d without Begin", stream))
+	}
+	ip.cache[stream] = append([]byte(nil), line...)
+}
+
+// Forget drops a stream's cached line (stream closed).
+func (ip *Interpolator) Forget(stream uint32) {
+	delete(ip.cache, stream)
+	if ip.hasLoaded && ip.loaded == stream {
+		ip.hasLoaded = false
+	}
+}
+
+// InterpolateVertical reconstructs a skipped line as the average of
+// its neighbours — the "interpolate... vertically" capability whose
+// first line needs the previous segment's last line.
+func InterpolateVertical(prev, next []byte) []byte {
+	if prev == nil {
+		return append([]byte(nil), next...)
+	}
+	out := make([]byte, len(next))
+	for i := range out {
+		out[i] = byte((int(prev[i]) + int(next[i])) / 2)
+	}
+	return out
+}

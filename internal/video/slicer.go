@@ -1,0 +1,195 @@
+package video
+
+import (
+	"repro/internal/occam"
+	"repro/internal/segment"
+)
+
+// Slicing (§3.6): "Each segment of video data is reduced further into
+// several slices of a few lines each for transmission through the
+// compression subsystem... A header slice description precedes the
+// first slice of a segment... When the last slice has been sent, a
+// tail marker is sent over the link."
+
+// DefaultSliceLines is the slice height ("a few lines each").
+const DefaultSliceLines = 4
+
+// DummyFlushLines is how many raw dummy lines follow each segment to
+// flush the compression pipeline ("we send a few dummy lines after
+// each video segment").
+const DummyFlushLines = 2
+
+// SliceKind distinguishes descriptions on the capture→server link.
+type SliceKind int
+
+const (
+	// SliceHead precedes the first slice and carries the full segment
+	// header, the compression algorithm and the stream number.
+	SliceHead SliceKind = iota
+	// SliceData describes one slice of compressed lines in the fifo.
+	SliceData
+	// SliceTail marks the end of a segment's slices.
+	SliceTail
+	// SliceDummy describes pipeline-flushing dummy lines that the
+	// server "must not attempt to read... until some other data has
+	// pushed them through".
+	SliceDummy
+)
+
+func (k SliceKind) String() string {
+	switch k {
+	case SliceHead:
+		return "head"
+	case SliceData:
+		return "data"
+	case SliceTail:
+		return "tail"
+	case SliceDummy:
+		return "dummy"
+	}
+	return "?"
+}
+
+// SliceDesc is one slice description sent over the transputer link,
+// modelling the data that is in transit through the fifos and
+// compression hardware.
+type SliceDesc struct {
+	Kind   SliceKind
+	Stream uint32
+	// Header is the full segment header (SliceHead only).
+	Header *segment.Video
+	// Lines and Bytes describe the compressed slice (SliceData/Dummy):
+	// "a small description containing the number of lines and their
+	// length after compression".
+	Lines int
+	Bytes int
+	// Data carries the compressed lines through the simulated fifo.
+	Data [][]byte
+}
+
+// SliceSegment cuts a captured rectangle into compressed slices plus
+// head/tail/dummy descriptions ready for the link, and returns the
+// total compressed byte count.
+func SliceSegment(hdr *segment.Video, img *Frame, lp LineParams, sliceLines int) ([]SliceDesc, int) {
+	if sliceLines <= 0 {
+		sliceLines = DefaultSliceLines
+	}
+	descs := []SliceDesc{{Kind: SliceHead, Stream: hdr.Seq, Header: hdr}}
+	total := 0
+	for y := 0; y < img.H; y += sliceLines {
+		end := y + sliceLines
+		if end > img.H {
+			end = img.H
+		}
+		d := SliceDesc{Kind: SliceData, Lines: end - y}
+		for row := y; row < end; row++ {
+			wire, _ := CompressLine(img.Row(row), lp)
+			d.Data = append(d.Data, wire)
+			d.Bytes += len(wire)
+		}
+		total += d.Bytes
+		descs = append(descs, d)
+	}
+	descs = append(descs, SliceDesc{Kind: SliceTail})
+	// Dummy flush lines: raw so they cannot disturb DPCM state.
+	dummy := SliceDesc{Kind: SliceDummy, Lines: DummyFlushLines}
+	blank := make([]byte, img.W)
+	for i := 0; i < DummyFlushLines; i++ {
+		wire, _ := CompressLine(blank, LineParams{Raw: true})
+		dummy.Data = append(dummy.Data, wire)
+		dummy.Bytes += len(wire)
+	}
+	descs = append(descs, dummy)
+	return descs, total
+}
+
+// HoldbackBuffer is the special buffer on the capture→server link
+// (§3.6): "It is designed to always hold back one slice description
+// at all times, with any tail or head descriptions that follow, until
+// another slice description is read. In this way, the buffer chain
+// models the slice of data that will always be held in the
+// compression pipeline, but still allows for several slices to be in
+// transit when necessary."
+//
+// Concretely: head/tail/dummy descriptions are control — they flow
+// only while a data slice is held behind them; a data slice is
+// released only when the *next* data slice arrives (the new slice
+// pushes the old one out of the pipeline).
+type HoldbackBuffer struct {
+	held     []SliceDesc // the retained data slice + trailing control
+	out      []SliceDesc // ready for the server
+	heldData bool
+}
+
+// Put offers one slice description to the buffer.
+func (hb *HoldbackBuffer) Put(d SliceDesc) {
+	if d.Kind == SliceData || d.Kind == SliceDummy {
+		// A new slice entering the pipeline pushes the held one out.
+		if hb.heldData {
+			hb.out = append(hb.out, hb.held...)
+			hb.held = hb.held[:0]
+		}
+		hb.held = append(hb.held, d)
+		hb.heldData = true
+		return
+	}
+	if hb.heldData {
+		// Control descriptions queue behind the held slice.
+		hb.held = append(hb.held, d)
+	} else {
+		hb.out = append(hb.out, d)
+	}
+}
+
+// Take removes the next description available to the server, if any.
+func (hb *HoldbackBuffer) Take() (SliceDesc, bool) {
+	if len(hb.out) == 0 {
+		return SliceDesc{}, false
+	}
+	d := hb.out[0]
+	hb.out = hb.out[1:]
+	return d, true
+}
+
+// Held returns how many descriptions are retained, modelling the
+// pipeline occupancy.
+func (hb *HoldbackBuffer) Held() int { return len(hb.held) }
+
+// ReassembleSegment decodes a sequence of data slices back into a
+// frame of the given geometry, using the interpolator's per-stream
+// line cache for vertical continuity across segments.
+func ReassembleSegment(ip *Interpolator, stream uint32, descs []SliceDesc, width, height int) (*Frame, error) {
+	img := NewFrame(width, height)
+	prev := ip.Begin(stream)
+	_ = prev // vertical continuity: available to interpolation modes
+	y := 0
+	for _, d := range descs {
+		if d.Kind != SliceData {
+			continue
+		}
+		for _, wire := range d.Data {
+			if y >= height {
+				break
+			}
+			line, err := DecompressLine(wire, width)
+			if err != nil {
+				return nil, err
+			}
+			copy(img.Row(y), line)
+			ip.Advance(stream, line)
+			y++
+		}
+	}
+	return img, nil
+}
+
+// CaptureTiming computes when a rectangle may safely be read from the
+// framestore: "The reading of the blocks is carefully timed so that
+// the data from the camera being written continuously on a second
+// port does not update any part of a block while it is being read."
+// See Scan.SafeReadStart.
+type CaptureTiming struct {
+	Scan Scan
+	// ReadTime is how long reading one rectangle takes.
+	ReadTime func(r Rect) occam.Time
+}

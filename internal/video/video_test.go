@@ -1,0 +1,464 @@
+package video
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/occam"
+	"repro/internal/segment"
+)
+
+func gradient(w, h, seed int) *Frame {
+	f := NewFrame(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			f.Set(x, y, byte((x+y*2+seed)&0xFF))
+		}
+	}
+	return f
+}
+
+func TestFrameBasics(t *testing.T) {
+	f := NewFrame(8, 4)
+	f.Set(3, 2, 77)
+	if f.At(3, 2) != 77 {
+		t.Fatal("Set/At broken")
+	}
+	if len(f.Row(2)) != 8 || f.Row(2)[3] != 77 {
+		t.Fatal("Row broken")
+	}
+	sub := f.SubImage(Rect{X: 2, Y: 2, W: 4, H: 2})
+	if sub.At(1, 0) != 77 {
+		t.Fatal("SubImage offset wrong")
+	}
+	g := NewFrame(8, 4)
+	g.Blit(sub, 2, 2)
+	if g.At(3, 2) != 77 {
+		t.Fatal("Blit offset wrong")
+	}
+	if !f.Equal(f) || f.Equal(NewFrame(8, 4)) {
+		t.Fatal("Equal broken")
+	}
+	if f.MeanAbsDiff(f) != 0 {
+		t.Fatal("MeanAbsDiff(self) != 0")
+	}
+}
+
+func TestFramestorePorts(t *testing.T) {
+	fs := NewFramestore(16, 8)
+	src := gradient(16, 8, 0)
+	fs.WriteLines(src, 0, 8)
+	got := fs.ReadRect(Rect{X: 4, Y: 2, W: 8, H: 4})
+	want := src.SubImage(Rect{X: 4, Y: 2, W: 8, H: 4})
+	if !got.Equal(want) {
+		t.Fatal("ReadRect mismatch")
+	}
+	// Partial write only touches given rows.
+	src2 := gradient(16, 8, 99)
+	fs.WriteLines(src2, 0, 4)
+	if fs.ReadRect(Rect{W: 16, H: 1}).Row(0)[0] != src2.Row(0)[0] {
+		t.Fatal("partial write missed row 0")
+	}
+	if fs.ReadRect(Rect{Y: 7, W: 16, H: 1}).Row(0)[0] != src.Row(7)[0] {
+		t.Fatal("partial write touched row 7")
+	}
+}
+
+func TestRateFractions(t *testing.T) {
+	// "2/5 gives an average of 10 frames per second."
+	r := Rate{Num: 2, Den: 5}
+	if r.FPS() != 10 {
+		t.Fatalf("FPS = %v", r.FPS())
+	}
+	taken := 0
+	for n := 0; n < 100; n++ {
+		if r.Take(n) {
+			taken++
+		}
+	}
+	if taken != 40 {
+		t.Fatalf("2/5 took %d of 100 frames, want 40", taken)
+	}
+	// Full rate takes everything.
+	full := Rate{Num: 1, Den: 1}
+	for n := 0; n < 10; n++ {
+		if !full.Take(n) {
+			t.Fatal("1/1 skipped a frame")
+		}
+	}
+	if (Rate{}).Take(3) || (Rate{Num: 3, Den: 2}).Valid() {
+		t.Fatal("invalid rates accepted")
+	}
+}
+
+func TestRateSpreadIsEven(t *testing.T) {
+	// Bresenham selection: never two gaps of wildly different length
+	// for 1/3 (the gaps are exactly 3).
+	r := Rate{Num: 1, Den: 3}
+	var last, count int
+	for n := 0; n < 99; n++ {
+		if r.Take(n) {
+			if count > 0 && n-last != 3 {
+				t.Fatalf("1/3 gap of %d at frame %d", n-last, n)
+			}
+			last = n
+			count++
+		}
+	}
+	if count != 33 {
+		t.Fatalf("1/3 took %d of 99", count)
+	}
+}
+
+func TestQuickRateTakesExactFraction(t *testing.T) {
+	f := func(num, den uint8) bool {
+		n := int(num%10) + 1
+		d := int(den%10) + 1
+		if n > d {
+			n, d = d, n
+		}
+		r := Rate{Num: n, Den: d}
+		taken := 0
+		for i := 0; i < 10*d; i++ {
+			if r.Take(i) {
+				taken++
+			}
+		}
+		return taken == 10*n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressLineRoundTripLossBounded(t *testing.T) {
+	line := gradient(64, 1, 5).Row(0)
+	for _, lp := range []LineParams{
+		{},
+		{Shift: 1},
+		{Shift: 3},
+		{Subsample: true},
+		{Subsample: true, Shift: 2},
+	} {
+		wire, recon := CompressLine(line, lp)
+		got, err := DecompressLine(wire, 64)
+		if err != nil {
+			t.Fatalf("%+v: %v", lp, err)
+		}
+		// Decoder must match the encoder's reconstruction exactly.
+		for i := range got {
+			if got[i] != recon[i] {
+				t.Fatalf("%+v: decoder diverges from encoder recon at %d", lp, i)
+			}
+		}
+		if len(wire) != CompressedLineSize(64, lp) {
+			t.Fatalf("%+v: wire %d bytes, want %d", lp, len(wire), CompressedLineSize(64, lp))
+		}
+	}
+}
+
+func TestCompressionActuallyCompresses(t *testing.T) {
+	lp := LineParams{Shift: 1}
+	if CompressedLineSize(64, lp) >= 64 {
+		t.Fatal("DPCM line not smaller than raw")
+	}
+	if s := CompressedLineSize(64, LineParams{Subsample: true}); s >= 36 {
+		t.Fatalf("subsampled line %d bytes", s)
+	}
+}
+
+func TestRawLineExact(t *testing.T) {
+	line := gradient(32, 1, 9).Row(0)
+	wire, _ := CompressLine(line, LineParams{Raw: true})
+	got, err := DecompressLine(wire, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range line {
+		if got[i] != line[i] {
+			t.Fatal("raw line not exact")
+		}
+	}
+}
+
+func TestDecompressErrors(t *testing.T) {
+	if _, err := DecompressLine(nil, 8); err == nil {
+		t.Fatal("nil wire accepted")
+	}
+	if _, err := DecompressLine([]byte{0}, 8); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+func TestDPCMTracksSmoothContent(t *testing.T) {
+	// A smooth gradient must survive fine-shift DPCM with small error.
+	line := make([]byte, 64)
+	for i := range line {
+		line[i] = byte(100 + i)
+	}
+	wire, _ := CompressLine(line, LineParams{})
+	got, _ := DecompressLine(wire, 64)
+	for i := 8; i < len(line); i++ { // allow leading convergence from pred=128
+		d := int(got[i]) - int(line[i])
+		if d < -8 || d > 8 {
+			t.Fatalf("pixel %d error %d", i, d)
+		}
+	}
+}
+
+func TestSliceSegmentStructure(t *testing.T) {
+	img := gradient(32, 10, 1)
+	hdr := segment.NewVideo(0, 0, 1, 1, 0, 0, 0, 32, 0, 10, nil)
+	descs, total := SliceSegment(hdr, img, LineParams{}, 4)
+	if descs[0].Kind != SliceHead || descs[0].Header != hdr {
+		t.Fatal("no head description")
+	}
+	var dataSlices, lines int
+	for _, d := range descs {
+		if d.Kind == SliceData {
+			dataSlices++
+			lines += d.Lines
+		}
+	}
+	if dataSlices != 3 || lines != 10 { // 4+4+2
+		t.Fatalf("dataSlices=%d lines=%d", dataSlices, lines)
+	}
+	if descs[len(descs)-2].Kind != SliceTail {
+		t.Fatal("no tail before dummy")
+	}
+	if descs[len(descs)-1].Kind != SliceDummy {
+		t.Fatal("no dummy flush")
+	}
+	if total <= 0 {
+		t.Fatal("zero compressed size")
+	}
+}
+
+func TestHoldbackBufferModelsPipeline(t *testing.T) {
+	// The tail of segment 1 must not be released until segment 2's
+	// first data slice pushes segment 1's last slice through.
+	var hb HoldbackBuffer
+	img := gradient(16, 4, 2)
+	hdr1 := segment.NewVideo(0, 0, 1, 1, 0, 0, 0, 16, 0, 4, nil)
+	descs1, _ := SliceSegment(hdr1, img, LineParams{}, 4)
+	for _, d := range descs1 {
+		hb.Put(d)
+	}
+	var got []SliceKind
+	for {
+		d, ok := hb.Take()
+		if !ok {
+			break
+		}
+		got = append(got, d.Kind)
+	}
+	// Head flows freely; the single data slice is held; the dummy
+	// pushed the data slice out, so we see head+data, but tail waits
+	// behind... tail follows data in held. Check the invariant
+	// directly: the buffer still holds something (the pipeline is
+	// never empty between segments).
+	if hb.Held() == 0 {
+		t.Fatal("pipeline model empty after one segment")
+	}
+	// A second segment's slices push the rest through.
+	hdr2 := segment.NewVideo(1, 0, 2, 1, 0, 0, 0, 16, 0, 4, nil)
+	descs2, _ := SliceSegment(hdr2, img, LineParams{}, 4)
+	for _, d := range descs2 {
+		hb.Put(d)
+	}
+	for {
+		d, ok := hb.Take()
+		if !ok {
+			break
+		}
+		got = append(got, d.Kind)
+	}
+	// Everything from segment 1 must have emerged by now.
+	var tails int
+	for _, k := range got {
+		if k == SliceTail {
+			tails++
+		}
+	}
+	if tails < 1 {
+		t.Fatalf("segment 1 tail never emerged: %v", got)
+	}
+}
+
+func TestInterpolatorReloadOnInterleave(t *testing.T) {
+	ip := NewInterpolator()
+	lineA := []byte{1, 2, 3}
+	lineB := []byte{9, 8, 7}
+	if prev := ip.Begin(1); prev != nil {
+		t.Fatal("fresh stream has a previous line")
+	}
+	ip.Advance(1, lineA)
+	// Same stream continues: no reload.
+	if prev := ip.Begin(1); prev == nil || prev[0] != 1 {
+		t.Fatal("continuation lost the last line")
+	}
+	reloadsBefore := ip.Reloads()
+	// Interleave stream 2, then return to stream 1: reload required.
+	ip.Begin(2)
+	ip.Advance(2, lineB)
+	prev := ip.Begin(1)
+	if prev == nil || prev[0] != 1 {
+		t.Fatal("stream 1 cache lost across interleave")
+	}
+	if ip.Reloads() <= reloadsBefore {
+		t.Fatal("interleave did not count a reload")
+	}
+	ip.Forget(1)
+	if prev := ip.Begin(1); prev != nil {
+		t.Fatal("Forget did not clear the cache")
+	}
+}
+
+func TestInterleavedDecodeMatchesSequential(t *testing.T) {
+	// Decoding two streams' segments interleaved must give the same
+	// pixels as decoding them back to back — the whole point of the
+	// line cache (§3.6 choice 3).
+	imgA := gradient(16, 8, 3)
+	imgB := gradient(16, 8, 200)
+	hdrA := segment.NewVideo(0, 0, 1, 1, 0, 0, 0, 16, 0, 8, nil)
+	hdrB := segment.NewVideo(0, 0, 1, 1, 0, 0, 0, 16, 0, 8, nil)
+	slicesA, _ := SliceSegment(hdrA, imgA, LineParams{}, 4)
+	slicesB, _ := SliceSegment(hdrB, imgB, LineParams{}, 4)
+
+	seq := NewInterpolator()
+	seqA, err := ReassembleSegment(seq, 1, slicesA, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqB, err := ReassembleSegment(seq, 2, slicesB, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inter := NewInterpolator()
+	// Interleave at segment granularity with fresh assemblies.
+	intA, _ := ReassembleSegment(inter, 1, slicesA[:3], 16, 8)
+	_ = intA
+	// Decode B fully in between.
+	intB, err := ReassembleSegment(inter, 2, slicesB, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intA2, err := ReassembleSegment(inter, 1, slicesA, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !intB.Equal(seqB) {
+		t.Fatal("stream B decode differs when interleaved")
+	}
+	if !intA2.Equal(seqA) {
+		t.Fatal("stream A decode differs when interleaved")
+	}
+}
+
+func TestScanSafeReadNeverCollides(t *testing.T) {
+	scan := Scan{Lines: 100, Period: 40 * time.Millisecond}
+	rect := Rect{Y: 30, H: 20, W: 64, X: 0}
+	readTime := 5 * time.Millisecond
+	for _, start := range []time.Duration{0, 3 * time.Millisecond, 12 * time.Millisecond, 13 * time.Millisecond, 39 * time.Millisecond} {
+		now := occam.Time(start)
+		at := scan.SafeReadStart(now, rect, readTime)
+		if at < now {
+			t.Fatalf("SafeReadStart went backwards: %v < %v", at, now)
+		}
+		if scan.Collides(at, rect, readTime) {
+			t.Fatalf("collision at %v (from %v): scan line %d..", at, now, scan.LineAt(at))
+		}
+		if at.Sub(now) > 2*scan.Period {
+			t.Fatalf("waited %v for a safe window", at.Sub(now))
+		}
+	}
+}
+
+func TestScanCollides(t *testing.T) {
+	scan := Scan{Lines: 100, Period: 40 * time.Millisecond}
+	rect := Rect{Y: 0, H: 100, W: 1}
+	// Reading the whole frame while the scan runs must collide.
+	if !scan.Collides(0, rect, 10*time.Millisecond) {
+		t.Fatal("full-frame read during scan did not collide")
+	}
+	small := Rect{Y: 90, H: 5, W: 1}
+	// Scan is at line 0 at t=0; a fast read of the bottom is safe.
+	if scan.Collides(0, small, time.Millisecond) {
+		t.Fatal("bottom read collided with scan at the top")
+	}
+}
+
+func TestAssemblerCompleteFrame(t *testing.T) {
+	a := NewAssembler(32, 8)
+	full := gradient(32, 8, 7)
+	top := full.SubImage(Rect{X: 0, Y: 0, W: 32, H: 4})
+	bottom := full.SubImage(Rect{X: 0, Y: 4, W: 32, H: 4})
+	h1 := segment.NewVideo(0, 0, 1, 2, 0, 0, 0, 32, 0, 4, nil)
+	h2 := segment.NewVideo(1, 0, 1, 2, 1, 0, 4, 32, 4, 4, nil)
+	if img := a.Add(h1, top); img != nil {
+		t.Fatal("partial frame displayed — visible tear")
+	}
+	if a.InProgress() != true {
+		t.Fatal("assembly not in progress")
+	}
+	img := a.Add(h2, bottom)
+	if img == nil {
+		t.Fatal("complete frame not released")
+	}
+	if !img.Equal(full) {
+		t.Fatal("assembled frame wrong")
+	}
+	if a.Stats().Complete != 1 {
+		t.Fatalf("stats %+v", a.Stats())
+	}
+}
+
+func TestAssemblerAbandonsOnNewerFrame(t *testing.T) {
+	a := NewAssembler(32, 8)
+	piece := gradient(32, 4, 0)
+	h1 := segment.NewVideo(0, 0, 1, 2, 0, 0, 0, 32, 0, 4, nil)
+	a.Add(h1, piece)
+	// Frame 2 arrives before frame 1 completed.
+	h2 := segment.NewVideo(2, 0, 2, 2, 0, 0, 0, 32, 0, 4, nil)
+	a.Add(h2, piece)
+	if a.Stats().Abandoned != 1 {
+		t.Fatalf("stats %+v", a.Stats())
+	}
+	// A late segment of old frame 1 is discarded.
+	h1b := segment.NewVideo(1, 0, 1, 2, 1, 0, 4, 32, 4, 4, nil)
+	if img := a.Add(h1b, piece); img != nil {
+		t.Fatal("stale segment completed a frame")
+	}
+	if a.Stats().Duplicates != 1 {
+		t.Fatalf("stats %+v", a.Stats())
+	}
+}
+
+func TestAssemblerDuplicateSegment(t *testing.T) {
+	a := NewAssembler(32, 8)
+	piece := gradient(32, 4, 0)
+	h := segment.NewVideo(0, 0, 1, 2, 0, 0, 0, 32, 0, 4, nil)
+	a.Add(h, piece)
+	if img := a.Add(h, piece); img != nil {
+		t.Fatal("duplicate completed frame")
+	}
+	if a.Stats().Duplicates != 1 {
+		t.Fatal("duplicate not counted")
+	}
+}
+
+func TestRectString(t *testing.T) {
+	if (Rect{X: 1, Y: 2, W: 3, H: 4}).String() != "3x4+1+2" {
+		t.Fatal("Rect.String broken")
+	}
+	if (Rate{Num: 2, Den: 5}).String() != "2/5" {
+		t.Fatal("Rate.String broken")
+	}
+	for _, k := range []SliceKind{SliceHead, SliceData, SliceTail, SliceDummy, SliceKind(9)} {
+		if k.String() == "" {
+			t.Fatal("SliceKind.String broken")
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Package workload provides deterministic signal and traffic
+// generators for the experiments: audio sources (tones, speech-like
+// burst processes), video traffic, and the random processes used for
+// jitter and loss injection. Everything is seeded and reproducible —
+// the experiments must produce identical numbers on every run.
+package workload
+
+import "math"
+
+// RNG is a small, fast, deterministic generator (xorshift64*),
+// independent of math/rand so results never change under us.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed (0 is remapped).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Norm returns an approximately normal value with the given mean and
+// standard deviation (sum of uniforms, adequate for jitter shaping).
+func (r *RNG) Norm(mean, stddev float64) float64 {
+	var s float64
+	for i := 0; i < 12; i++ {
+		s += r.Float64()
+	}
+	return mean + (s-6)*stddev
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	if u >= 1 {
+		u = 0.999999999
+	}
+	return mean * -math.Log(1-u)
+}

@@ -1,0 +1,42 @@
+package workload
+
+import "repro/internal/video"
+
+// Camera generates deterministic synthetic camera frames: a smooth
+// gradient with a bright moving block, enough structure to exercise
+// the DPCM codec, sub-sampling and tear detection.
+type Camera struct {
+	w, h  int
+	frame int
+}
+
+// NewCamera returns a camera of the given dimensions.
+func NewCamera(w, h int) *Camera { return &Camera{w: w, h: h} }
+
+// NextFrame produces the next frame.
+func (c *Camera) NextFrame() *video.Frame {
+	f := c.FrameAt(c.frame)
+	c.frame++
+	return f
+}
+
+// FrameAt produces frame number n deterministically.
+func (c *Camera) FrameAt(n int) *video.Frame {
+	f := video.NewFrame(c.w, c.h)
+	for y := 0; y < c.h; y++ {
+		for x := 0; x < c.w; x++ {
+			f.Set(x, y, byte((x*2+y+n*3)&0xFF))
+		}
+	}
+	// A bright block moving one pixel per frame — motion parallel to
+	// segment boundaries, the §3.6 tear-revealing case.
+	bs := c.w / 8
+	bx := (n * 1) % (c.w - bs)
+	by := c.h / 3
+	for y := by; y < by+bs && y < c.h; y++ {
+		for x := bx; x < bx+bs; x++ {
+			f.Set(x, y, 250)
+		}
+	}
+	return f
+}
