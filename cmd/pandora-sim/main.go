@@ -30,6 +30,9 @@ func main() {
 	loss := flag.Float64("loss", 0, "link loss rate (0..1)")
 	withVideo := flag.Bool("video", false, "also send video between the first two boxes")
 	muting := flag.Bool("muting", false, "enable echo muting on every box")
+	stats := flag.Bool("stats", false, "print the full observability counter table")
+	prom := flag.Bool("prom", false, "print counters in Prometheus text format")
+	traceN := flag.Int("trace", 0, "print the last N trace events")
 	flag.Parse()
 	if *boxes < 2 {
 		fmt.Fprintln(os.Stderr, "need at least 2 boxes")
@@ -100,6 +103,29 @@ func main() {
 		a := s.Box(n).AudioStats()
 		if a.LateTicks > 0 || a.MicDrops > 0 {
 			fmt.Printf("%s overloaded: %d late ticks, %d mic drops\n", n, a.LateTicks, a.MicDrops)
+		}
+	}
+
+	if *stats {
+		fmt.Println()
+		fmt.Print(s.Obs.Snapshot().Table())
+	}
+	if *prom {
+		fmt.Println()
+		fmt.Print(s.Obs.Snapshot().Prometheus())
+	}
+	if *traceN > 0 {
+		evs := s.Obs.Tracer().Events()
+		if dropped := s.Obs.Tracer().Total() - uint64(len(evs)); dropped > 0 {
+			fmt.Printf("\n(%d older events evicted from the %d-event ring)\n",
+				dropped, s.Obs.Tracer().Cap())
+		}
+		if len(evs) > *traceN {
+			evs = evs[len(evs)-*traceN:]
+		}
+		fmt.Println()
+		for _, e := range evs {
+			fmt.Println(e)
 		}
 	}
 }

@@ -3,22 +3,33 @@
 // adapting after a burst (§3.7.2), and the muting factor timeline of
 // figure 4.1 — as tab-separated values ready for plotting.
 //
+// The events series instead dumps the obs event trace of a short
+// two-box call: stream lifecycle, drops with reasons, and overload
+// transitions, stamped with virtual time.
+//
 // Usage:
 //
 //	pandora-trace -series clawback > clawback.tsv
 //	pandora-trace -series muting   > muting.tsv
+//	pandora-trace -series events   > events.tsv
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"repro/internal/atm"
+	"repro/internal/box"
+	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/occam"
+	"repro/internal/workload"
 )
 
 func main() {
-	series := flag.String("series", "clawback", "which series to dump: clawback | muting")
+	series := flag.String("series", "clawback", "which series to dump: clawback | muting | events")
 	flag.Parse()
 
 	switch *series {
@@ -34,8 +45,45 @@ func main() {
 		for _, p := range s.Points {
 			fmt.Printf("%.1f\t%.2f\n", p.At.Seconds()*1000, p.Value)
 		}
+	case "events":
+		dumpEvents()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown series %q\n", *series)
 		os.Exit(1)
+	}
+}
+
+// dumpEvents runs a two-box audio call over a congested link long
+// enough to exercise drops and overload transitions, then prints the
+// obs event ring as TSV.
+func dumpEvents() {
+	s := core.NewSystem()
+	defer s.Shutdown()
+	for i, name := range []string{"alice", "bob"} {
+		s.AddBox(box.Config{
+			Name:     name,
+			Mic:      workload.NewSpeech(uint64(i+1), 12000),
+			Features: box.Features{JitterCorrection: true},
+		})
+	}
+	// A slow, lossy link so the trace shows drops, not just opens.
+	s.Connect("alice", "bob", atm.LinkConfig{
+		Bandwidth: 2_000_000,
+		LossRate:  0.02,
+		Seed:      7,
+	})
+	s.Control(func(p *occam.Proc) {
+		ab, _ := s.AudioCall(p, "alice", "bob")
+		p.Sleep(3 * time.Second)
+		s.Close(p, ab)
+	})
+	if err := s.RunFor(4 * time.Second); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("# seconds\tkind\tsource\tstream\tdetail")
+	for _, e := range s.Obs.Tracer().Events() {
+		fmt.Printf("%.6f\t%s\t%s\t%d\t%s\n",
+			time.Duration(e.At).Seconds(), e.Kind, e.Source, e.Stream, e.Detail)
 	}
 }

@@ -23,6 +23,7 @@ package allocator
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/occam"
 )
 
@@ -74,6 +75,8 @@ type Pool struct {
 
 	starvations uint64
 	grants      uint64
+	trace       *obs.Tracer
+	source      string
 }
 
 // New creates a pool of n buffers and starts the allocator process on
@@ -100,6 +103,18 @@ func New(rt *occam.Runtime, node *occam.Node, n int, reports *occam.Chan[Report]
 	return pl
 }
 
+// Observe registers the pool's counters and free-buffer gauge on reg,
+// labelled with owner (the box name), and traces starvation episodes.
+func (pl *Pool) Observe(reg *obs.Registry, owner string) {
+	lb := obs.L("box", owner)
+	reg.CounterFunc("allocator_grants_total", func() uint64 { return pl.grants }, lb)
+	reg.CounterFunc("allocator_starvations_total", func() uint64 { return pl.starvations }, lb)
+	reg.GaugeFunc("allocator_free", func() float64 { return float64(len(pl.free)) }, lb)
+	reg.GaugeFunc("allocator_total", func() float64 { return float64(len(pl.bufs)) }, lb)
+	pl.trace = reg.Tracer()
+	pl.source = owner + ".allocator"
+}
+
 // run is the allocator process: reference-count changes are always
 // served; requests only when buffers are free.
 func (pl *Pool) run(p *occam.Proc) {
@@ -119,6 +134,7 @@ func (pl *Pool) run(p *occam.Proc) {
 			pl.applyRefChange(ch)
 			if wasStarved && len(pl.free) > 0 {
 				wasStarved = false
+				pl.trace.Emit(obs.EvRecover, pl.source, 0, "buffers free again")
 			}
 		case 1:
 			if pl.reports != nil {
@@ -137,6 +153,7 @@ func (pl *Pool) run(p *occam.Proc) {
 				// The next request will block: log the fault.
 				wasStarved = true
 				pl.starvations++
+				pl.trace.Emit(obs.EvOverload, pl.source, 0, "buffer pool exhausted")
 				if pl.reports != nil {
 					pl.reports.TrySend(p, Report{Starved: true, Free: 0, Total: len(pl.bufs)})
 				}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/occam"
 	"repro/internal/workload"
 )
@@ -85,13 +86,18 @@ type LinkStats struct {
 // handed to the next port on their circuit after the propagation
 // delay.
 type Link struct {
-	rt    *occam.Runtime
-	nm    string
-	cfg   LinkConfig
-	in    *occam.Chan[Message]
-	rng   *workload.RNG
-	next  map[uint32]port // route per VCI
-	stats LinkStats
+	rt   *occam.Runtime
+	nm   string
+	cfg  LinkConfig
+	in   *occam.Chan[Message]
+	rng  *workload.RNG
+	next map[uint32]port // route per VCI
+
+	forwarded  *obs.Counter
+	queueDrops *obs.Counter
+	lossDrops  *obs.Counter
+	bytes      *obs.Counter
+	trace      *obs.Tracer
 
 	queue  []Message
 	txReq  *occam.Chan[struct{}]
@@ -101,14 +107,18 @@ type Link struct {
 // NewLink creates a link and starts its queue and transmit processes.
 func NewLink(rt *occam.Runtime, name string, cfg LinkConfig) *Link {
 	l := &Link{
-		rt:     rt,
-		nm:     name,
-		cfg:    cfg.withDefaults(),
-		in:     occam.NewChan[Message](rt, name+".in"),
-		rng:    workload.NewRNG(cfg.Seed),
-		next:   make(map[uint32]port),
-		txReq:  occam.NewChan[struct{}](rt, name+".txreq"),
-		txItem: occam.NewChan[Message](rt, name+".txitem"),
+		rt:         rt,
+		nm:         name,
+		cfg:        cfg.withDefaults(),
+		in:         occam.NewChan[Message](rt, name+".in"),
+		rng:        workload.NewRNG(cfg.Seed),
+		next:       make(map[uint32]port),
+		forwarded:  obs.NewCounter(),
+		queueDrops: obs.NewCounter(),
+		lossDrops:  obs.NewCounter(),
+		bytes:      obs.NewCounter(),
+		txReq:      occam.NewChan[struct{}](rt, name+".txreq"),
+		txItem:     occam.NewChan[Message](rt, name+".txitem"),
 	}
 	rt.Go(name+".queue", nil, occam.High, l.runQueue)
 	rt.Go(name+".tx", nil, occam.High, l.runTx)
@@ -121,10 +131,38 @@ func (l *Link) Name() string { return l.nm }
 func (l *Link) name() string { return l.nm }
 
 // Stats returns a copy of the traffic counters.
-func (l *Link) Stats() LinkStats { return l.stats }
+func (l *Link) Stats() LinkStats {
+	return LinkStats{
+		Forwarded:  l.forwarded.Value(),
+		QueueDrops: l.queueDrops.Value(),
+		LossDrops:  l.lossDrops.Value(),
+		Bytes:      l.bytes.Value(),
+	}
+}
 
-// route sets the next hop for a VCI.
-func (l *Link) route(vci uint32, to port) { l.next[vci] = to }
+// observe adopts the link's counters into reg and attaches the tracer.
+func (l *Link) observe(reg *obs.Registry) {
+	lb := obs.L("link", l.nm)
+	reg.RegisterCounter("atm_link_forwarded_total", l.forwarded, lb)
+	reg.RegisterCounter("atm_link_queue_drops_total", l.queueDrops, lb)
+	reg.RegisterCounter("atm_link_loss_drops_total", l.lossDrops, lb)
+	reg.RegisterCounter("atm_link_bytes_total", l.bytes, lb)
+	reg.GaugeFunc("atm_link_queue_depth", func() float64 { return float64(len(l.queue)) }, lb)
+	l.trace = reg.Tracer()
+}
+
+// route sets the next hop for a VCI. Re-routing the same VCI to a
+// different port would cross-wire one circuit's traffic into another's
+// destination, so a conflicting route is a programming error
+// (OpenCircuit documents per-(link, VCI) uniqueness); setting the same
+// next hop again is an idempotent no-op.
+func (l *Link) route(vci uint32, to port) {
+	if old, ok := l.next[vci]; ok && old != to {
+		panic(fmt.Sprintf("atm: link %s: VCI %d already routed to %s (conflicting route to %s)",
+			l.nm, vci, old.name(), to.name()))
+	}
+	l.next[vci] = to
+}
 
 // accept enqueues a message arriving at the link. The queue process
 // always listens, so upstream never blocks; overflow means drop-tail.
@@ -149,11 +187,13 @@ func (l *Link) runQueue(p *occam.Proc) {
 			l.txItem.Send(p, head)
 		case 1:
 			if l.cfg.LossRate > 0 && l.rng.Bool(l.cfg.LossRate) {
-				l.stats.LossDrops++
+				l.lossDrops.Inc()
+				l.trace.Emit(obs.EvDrop, "atm."+l.nm, m.VCI, "loss")
 				continue
 			}
 			if len(l.queue) >= l.cfg.QueueLimit {
-				l.stats.QueueDrops++
+				l.queueDrops.Inc()
+				l.trace.Emit(obs.EvDrop, "atm."+l.nm, m.VCI, "queue-overflow")
 				continue
 			}
 			l.queue = append(l.queue, m)
@@ -173,11 +213,12 @@ func (l *Link) runTx(p *occam.Proc) {
 		nxt, ok := l.next[m.VCI]
 		if !ok {
 			// Unrouted VCI: the circuit was torn down mid-flight.
-			l.stats.LossDrops++
+			l.lossDrops.Inc()
+			l.trace.Emit(obs.EvDrop, "atm."+l.nm, m.VCI, "unrouted")
 			continue
 		}
-		l.stats.Forwarded++
-		l.stats.Bytes += uint64(m.Size)
+		l.forwarded.Inc()
+		l.bytes.Add(uint64(m.Size))
 		nxt.accept(p, m)
 	}
 }
@@ -214,6 +255,7 @@ func (h *Host) Send(p *occam.Proc, m Message) error {
 // Network is a collection of hosts, links and circuits.
 type Network struct {
 	rt       *occam.Runtime
+	obs      *obs.Registry
 	hosts    map[string]*Host
 	links    map[string]*Link
 	circuits map[circuitKey]*circuit
@@ -235,6 +277,16 @@ func New(rt *occam.Runtime) *Network {
 		hosts:    make(map[string]*Host),
 		links:    make(map[string]*Link),
 		circuits: make(map[circuitKey]*circuit),
+	}
+}
+
+// Observe attaches an observability registry: every link (existing
+// and future) registers its per-link counters and queue-depth gauge,
+// and circuit changes and drops are traced.
+func (n *Network) Observe(reg *obs.Registry) {
+	n.obs = reg
+	for _, l := range n.links {
+		l.observe(reg)
 	}
 }
 
@@ -260,6 +312,9 @@ func (n *Network) AddLink(name string, cfg LinkConfig) *Link {
 		panic("atm: duplicate link " + name)
 	}
 	l := NewLink(n.rt, name, cfg)
+	if n.obs != nil {
+		l.observe(n.obs)
+	}
 	n.links[name] = l
 	return l
 }
@@ -285,6 +340,7 @@ func (n *Network) OpenCircuit(vci uint32, from, to *Host, links ...*Link) {
 		}
 	}
 	n.circuits[key] = &circuit{first: first}
+	n.obs.Tracer().Emit(obs.EvStreamOpen, "atm."+from.nm, vci, "circuit to "+to.nm)
 }
 
 // CloseCircuit tears down a circuit (messages in flight on unrouted
@@ -294,4 +350,5 @@ func (n *Network) CloseCircuit(vci uint32, from *Host, links ...*Link) {
 	for _, l := range links {
 		delete(l.next, vci)
 	}
+	n.obs.Tracer().Emit(obs.EvStreamClose, "atm."+from.nm, vci, "circuit closed")
 }

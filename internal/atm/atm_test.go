@@ -287,6 +287,53 @@ func TestDirectHostToHostCircuit(t *testing.T) {
 	}
 }
 
+func TestConflictingVCIRoutePanics(t *testing.T) {
+	// Opening a second circuit with the same VCI through the same link
+	// to a different next hop would silently cross-wire the first
+	// stream's cells; it must fail loudly instead.
+	rt := occam.NewRuntime()
+	net := New(rt)
+	a := net.AddHost("a")
+	b := net.AddHost("b")
+	c := net.AddHost("c")
+	l := net.AddLink("shared", LinkConfig{Bandwidth: 10_000_000})
+	net.OpenCircuit(7, a, b, l)
+	defer rt.Shutdown()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting VCI route accepted")
+		}
+	}()
+	net.OpenCircuit(7, a, c, l)
+}
+
+func TestSharedHopSameNextHopAllowed(t *testing.T) {
+	// Two circuits from different sources may share a downstream hop
+	// with the same VCI as long as the next hop agrees — installing
+	// the identical route twice is harmless.
+	rt := occam.NewRuntime()
+	net := New(rt)
+	a1 := net.AddHost("a1")
+	a2 := net.AddHost("a2")
+	b := net.AddHost("b")
+	shared := net.AddLink("shared", LinkConfig{Bandwidth: 10_000_000})
+	net.OpenCircuit(7, a1, b, shared)
+	net.OpenCircuit(7, a2, b, shared)
+	received := 0
+	drain(rt, b, nil, &received)
+	rt.Go("tx", nil, occam.Low, func(p *occam.Proc) {
+		a1.Send(p, Message{VCI: 7, Size: 100})
+		a2.Send(p, Message{VCI: 7, Size: 100})
+	})
+	if err := rt.RunUntil(occam.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	rt.Shutdown()
+	if received != 2 {
+		t.Fatalf("received %d", received)
+	}
+}
+
 func TestDuplicateRegistrationPanics(t *testing.T) {
 	rt := occam.NewRuntime()
 	net := New(rt)

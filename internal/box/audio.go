@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/decouple"
+	"repro/internal/obs"
 	"repro/internal/occam"
 	"repro/internal/segment"
 )
@@ -23,7 +24,8 @@ import (
 
 func (b *Box) startAudio() {
 	rt, name := b.rt, b.cfg.Name
-	b.micOutBuf = decouple.New[audioMsg](rt, b.audioNode, name+".micbuf", 8, nil, decouple.WithReady())
+	b.micOutBuf = decouple.New[audioMsg](rt, b.audioNode, name+".micbuf", 8, nil,
+		decouple.WithReady(), decouple.WithObs(b.cfg.Obs))
 
 	outPri, inPri := occam.High, occam.Low
 	if b.cfg.RepositoryPriority {
@@ -73,12 +75,16 @@ func (b *Box) runMicReader(p *occam.Proc) {
 			case cmd.StartMic != nil:
 				stream, active, seq = *cmd.StartMic, true, 0
 				blocks = nil
+				b.trace.Emit(obs.EvStreamOpen, b.cfg.Name+".mic", stream, "mic started")
 			case cmd.StopMic:
 				active = false
+				b.trace.Emit(obs.EvStreamClose, b.cfg.Name+".mic", stream, "mic stopped")
 			}
 			if cmd.SetBlocks > 0 && cmd.SetBlocks <= segment.MaxBlocksPerSegment {
 				perSeg = cmd.SetBlocks
 				blocks = nil
+				b.trace.Emit(obs.EvReconfig, b.cfg.Name+".mic", stream,
+					"blocks-per-segment changed")
 			}
 		}
 		if !active {
@@ -106,6 +112,7 @@ func (b *Box) runMicReader(p *occam.Proc) {
 				// Back pressure reached the source: throw away data
 				// here, closest to the codec (§3.7.1).
 				b.audioStat.MicDrops++
+				b.trace.Emit(obs.EvDrop, b.cfg.Name+".mic", stream, "mic-backpressure")
 			} else {
 				b.audioStat.MicSegs++
 			}
@@ -145,10 +152,12 @@ func (b *Box) runBlockHandler(p *occam.Proc) {
 		start := p.Now()
 		if start > deadline+occam.Time(segment.BlockDuration) {
 			// We are more than a whole block late: account the
-			// missed ticks rather than replaying them all.
+			// missed ticks rather than replaying them all. This is
+			// principle 1's overload signal on the audio board.
 			missed := int64(start-deadline) / int64(segment.BlockDuration)
 			n += missed
 			b.audioStat.LateTicks += uint64(missed)
+			b.trace.Emit(obs.EvOverload, b.cfg.Name+".audio", 0, "mixing tick overran")
 		}
 		blk, mixed := b.mix.Tick(int64(p.Now()))
 		cost := audioTickBase + time.Duration(mixed)*audioMixCost

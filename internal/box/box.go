@@ -22,6 +22,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mixer"
 	"repro/internal/muting"
+	"repro/internal/obs"
 	"repro/internal/occam"
 	"repro/internal/segment"
 	"repro/internal/video"
@@ -121,6 +122,10 @@ type Config struct {
 	// transmission time of each segment, and without InterleaveNetwork
 	// a large video segment holds up following audio (§4.2).
 	NetInterfaceBits int64
+	// Obs, if non-nil, registers every board's counters and gauges
+	// (labelled with the box name) and traces lifecycle, drop and
+	// overload events. core.System sets it automatically.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -229,7 +234,9 @@ type Box struct {
 	displayStat DisplayStats
 
 	// Instruments.
-	playout map[uint32]*metrics.Tracker
+	playout     map[uint32]*metrics.Tracker
+	playoutHist *obs.Histogram
+	trace       *obs.Tracer
 }
 
 // SwitchStats counts the server switch's work.
@@ -285,6 +292,9 @@ func New(rt *occam.Runtime, net *atm.Network, cfg Config) *Box {
 	b.displayStat.FrameLat = metrics.NewTracker(cfg.Name + ".frameLat")
 	b.Log = NewHostLog(rt, b.Reports)
 	b.pool = allocator.New(rt, b.serverNode, cfg.PoolBuffers, nil)
+	b.pool.Observe(cfg.Obs, cfg.Name)
+	b.trace = cfg.Obs.Tracer()
+	b.observe()
 
 	// Inter-board links (figure 1.2/1.3 bandwidths).
 	b.audioToServer = occam.NewLink[audioMsg](rt, cfg.Name+".a2s", audioLinkBandwidth)
@@ -293,7 +303,7 @@ func New(rt *occam.Runtime, net *atm.Network, cfg Config) *Box {
 	b.serverToMixer = occam.NewLink[videoMsg](rt, cfg.Name+".s2m", fifoBandwidth)
 
 	// Clawback configuration for the destination mixer.
-	mcfg := mixer.Config{}
+	mcfg := mixer.Config{Obs: cfg.Obs, Name: cfg.Name}
 	if cfg.ClawbackTarget > 0 {
 		mcfg.Clawback.TargetBlocks = cfg.ClawbackTarget
 	}
@@ -306,6 +316,37 @@ func New(rt *occam.Runtime, net *atm.Network, cfg Config) *Box {
 	b.startCapture()
 	b.startDisplay()
 	return b
+}
+
+// observe registers the board counters on the box's registry (no-op
+// when none is configured). The counters themselves stay plain struct
+// fields on the hot paths; the registry reads them through callbacks.
+func (b *Box) observe() {
+	reg := b.cfg.Obs
+	lb := obs.L("box", b.cfg.Name)
+
+	// Server board: the switch.
+	reg.CounterFunc("switch_switched_total", func() uint64 { return b.swStats.Switched }, lb)
+	reg.CounterFunc("switch_noroute_total", func() uint64 { return b.swStats.NoRoute }, lb)
+	for slot := 0; slot < numOutBufs; slot++ {
+		slot := slot
+		slb := []obs.Label{lb, obs.L("output", slotName(slot))}
+		reg.CounterFunc("switch_full_drops_total", func() uint64 { return b.swStats.FullDrops[slot] }, slb...)
+		reg.CounterFunc("switch_age_drops_total", func() uint64 { return b.swStats.AgeDrops[slot] }, slb...)
+	}
+
+	// Audio board.
+	reg.CounterFunc("audio_ticks_total", func() uint64 { return b.audioStat.TicksRun }, lb)
+	reg.CounterFunc("audio_late_ticks_total", func() uint64 { return b.audioStat.LateTicks }, lb)
+	reg.CounterFunc("audio_mic_blocks_total", func() uint64 { return b.audioStat.MicBlocks }, lb)
+	reg.CounterFunc("audio_mic_segments_total", func() uint64 { return b.audioStat.MicSegs }, lb)
+	reg.CounterFunc("audio_mic_drops_total", func() uint64 { return b.audioStat.MicDrops }, lb)
+	b.playoutHist = reg.Histogram("audio_playout_latency_ms", nil, lb)
+
+	// Mixer (display) board.
+	reg.CounterFunc("display_segments_total", func() uint64 { return b.displayStat.Segments }, lb)
+	reg.CounterFunc("display_frames_total", func() uint64 { return b.displayStat.Frames }, lb)
+	reg.CounterFunc("display_decode_errors_total", func() uint64 { return b.displayStat.DecodeErrs }, lb)
 }
 
 // Host returns the box's network endpoint.
@@ -344,7 +385,9 @@ func (b *Box) recordPlayout(stream uint32, stamp, now int64) {
 	// The paper's one-way figure runs microphone input to speaker
 	// output: add the codec output fifo ("2ms in the buffering from
 	// the codec", §4.2) after the mixing pop.
-	b.PlayoutLatency(stream).Add(time.Duration(now-stamp) + segment.BlockDuration)
+	lat := time.Duration(now-stamp) + segment.BlockDuration
+	b.PlayoutLatency(stream).Add(lat)
+	b.playoutHist.Observe(float64(lat) / float64(time.Millisecond))
 }
 
 // --- Control interface (host commands, §1.2) ---

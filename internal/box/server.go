@@ -8,6 +8,7 @@ import (
 	"repro/internal/allocator"
 	"repro/internal/atm"
 	"repro/internal/decouple"
+	"repro/internal/obs"
 	"repro/internal/occam"
 	"repro/internal/segment"
 )
@@ -32,11 +33,27 @@ const (
 	numOutBufs
 )
 
+// slotName names a decoupling buffer slot for metrics and traces.
+func slotName(slot int) string {
+	switch slot {
+	case bufSpeaker:
+		return "speaker"
+	case bufNetAudio:
+		return "net-audio"
+	case bufNetVideo:
+		return "net-video"
+	case bufDisplay:
+		return "display"
+	}
+	return "?"
+}
+
 func (b *Box) startServer() {
 	rt, name := b.rt, b.cfg.Name
 	mk := func(slot int, nm string, capacity int) {
 		b.outBufs[slot] = decouple.New[*allocator.Buffer](
-			rt, b.serverNode, name+"."+nm, capacity, nil, decouple.WithReady())
+			rt, b.serverNode, name+"."+nm, capacity, nil,
+			decouple.WithReady(), decouple.WithObs(b.cfg.Obs))
 	}
 	mk(bufSpeaker, "spkbuf", switchBufferSegments)
 	mk(bufNetAudio, "netAbuf", netAudioBufferSegments)
@@ -131,9 +148,13 @@ func (b *Box) runSwitch(p *occam.Proc) {
 				// Principle 3: under pressure, the oldest streams
 				// degrade first.
 				if degrade[slot] > 0 && b.isAmongOldest(routes, r, slot, degrade[slot]) {
+					// Principle 3 in action: the oldest stream degrades
+					// to protect the younger ones.
 					b.swStats.AgeDrops[slot]++
 					b.swStats.PerStreamDrops[buf.Stream]++
 					b.pool.Release(p, buf)
+					b.trace.Emit(obs.EvDrop, b.cfg.Name+".switch", buf.Stream,
+						"age-degrade "+slotName(slot))
 					continue
 				}
 				if !senders[slot].Deliver(p, buf) {
@@ -148,6 +169,8 @@ func (b *Box) runSwitch(p *occam.Proc) {
 						"output %d full: dropping (total %d)", slot, b.swStats.FullDrops[slot])
 					if degrade[slot] < b.streamsFor(routes, slot)-1 {
 						degrade[slot]++
+						b.trace.Emit(obs.EvOverload, b.cfg.Name+".switch", buf.Stream,
+							fmt.Sprintf("output %s full, degrading %d oldest", slotName(slot), degrade[slot]))
 					}
 					lastForced[slot] = p.Now()
 				}
@@ -158,6 +181,10 @@ func (b *Box) runSwitch(p *occam.Proc) {
 				if degrade[slot] > 0 && p.Now().Sub(lastForced[slot]) > 500*time.Millisecond {
 					degrade[slot]--
 					lastForced[slot] = p.Now()
+					if degrade[slot] == 0 {
+						b.trace.Emit(obs.EvRecover, b.cfg.Name+".switch", 0,
+							"output "+slotName(slot)+" recovered")
+					}
 				}
 			}
 		}
@@ -169,8 +196,11 @@ func (b *Box) handleSwitchCommand(p *occam.Proc, rep *Reporter, routes map[uint3
 	case cmd.Set != nil:
 		r := *cmd.Set
 		routes[r.Stream] = &r
+		b.trace.Emit(obs.EvReconfig, b.cfg.Name+".switch", r.Stream,
+			fmt.Sprintf("route set: %v", r.Outputs))
 	case cmd.HasClose:
 		delete(routes, cmd.Close)
+		b.trace.Emit(obs.EvReconfig, b.cfg.Name+".switch", cmd.Close, "route closed")
 	case cmd.ReportReq:
 		rep.Report(p, "status", "routes=%d switched=%d noroute=%d",
 			len(routes), b.swStats.Switched, b.swStats.NoRoute)

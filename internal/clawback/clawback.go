@@ -30,6 +30,7 @@ package clawback
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/segment"
 )
 
@@ -138,6 +139,12 @@ type Config struct {
 	// correction the paper warns about fires during occasional short
 	// intervals of low jitter and degrades the stream unnecessarily.
 	NoReset bool
+	// Obs, if non-nil, registers the buffer's counters (labelled with
+	// Owner) and traces drops. A nil registry costs nothing.
+	Obs *obs.Registry
+	// Owner identifies this buffer in metrics and traces, e.g.
+	// "bob/1001" for stream 1001 arriving at box bob.
+	Owner string
 }
 
 func (c Config) withDefaults() Config {
@@ -156,9 +163,10 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats accumulates the counters the buffer reports on its report
-// channel ("the process reports this condition so that the cause can
-// be investigated").
+// Stats reports the counters the buffer accumulates ("the process
+// reports this condition so that the cause can be investigated").
+// The counters live in the observability registry when one is
+// attached; Stats is reconstructed from them on demand.
 type Stats struct {
 	Pushed          uint64 // blocks offered
 	Accepted        uint64 // blocks queued
@@ -190,19 +198,55 @@ type Buffer struct {
 	minBlocks  int // minimum occupancy since last reset (multi-rate)
 	sinceReset int // blocks accepted since last reset (multi-rate)
 
-	stats Stats
+	pushed   *obs.Counter
+	accepted *obs.Counter
+	popped   *obs.Counter
+	silence  *obs.Counter
+	claw     *obs.Counter
+	limit    *obs.Counter
+	pool     *obs.Counter
+	trace    *obs.Tracer
+	source   string
 }
 
 // New returns a buffer with the given configuration.
 func New(cfg Config) *Buffer {
-	return &Buffer{cfg: cfg.withDefaults()}
+	cfg = cfg.withDefaults()
+	reg := cfg.Obs
+	owner := cfg.Owner
+	if owner == "" {
+		owner = "clawback"
+	}
+	lb := obs.L("stream", owner)
+	return &Buffer{
+		cfg:      cfg,
+		pushed:   reg.Counter("clawback_pushed_total", lb),
+		accepted: reg.Counter("clawback_accepted_total", lb),
+		popped:   reg.Counter("clawback_popped_total", lb),
+		silence:  reg.Counter("clawback_silence_total", lb),
+		claw:     reg.Counter("clawback_claw_drops_total", lb),
+		limit:    reg.Counter("clawback_limit_drops_total", lb),
+		pool:     reg.Counter("clawback_pool_drops_total", lb),
+		trace:    reg.Tracer(),
+		source:   "clawback." + owner,
+	}
 }
 
 // Config returns the effective configuration.
 func (b *Buffer) Config() Config { return b.cfg }
 
 // Stats returns a copy of the accumulated counters.
-func (b *Buffer) Stats() Stats { return b.stats }
+func (b *Buffer) Stats() Stats {
+	return Stats{
+		Pushed:          b.pushed.Value(),
+		Accepted:        b.accepted.Value(),
+		Popped:          b.popped.Value(),
+		SilenceInserted: b.silence.Value(),
+		ClawDrops:       b.claw.Value(),
+		LimitDrops:      b.limit.Value(),
+		PoolDrops:       b.pool.Value(),
+	}
+}
 
 // Len returns the current occupancy in blocks.
 func (b *Buffer) Len() int { return len(b.queue) }
@@ -219,30 +263,34 @@ func (b *Buffer) Push(blk []byte) DropReason { return b.PushItem(Item{Data: blk}
 
 // PushItem offers an arriving block with its source timestamp.
 func (b *Buffer) PushItem(it Item) DropReason {
-	b.stats.Pushed++
+	b.pushed.Inc()
 	if len(b.queue) >= b.cfg.LimitBlocks {
 		// "we throw away samples if the buffer is above its limit
 		// when they arrive."
-		b.stats.LimitDrops++
+		b.limit.Inc()
+		b.trace.Emit(obs.EvDrop, b.source, 0, DropLimit.String())
 		return DropLimit
 	}
 	if b.cfg.MultiRate {
 		if b.pushMultiRate() {
-			b.stats.ClawDrops++
+			b.claw.Inc()
+			b.trace.Emit(obs.EvDrop, b.source, 0, DropClaw.String())
 			return DropClaw
 		}
 	} else {
 		if b.pushSingleRate() {
-			b.stats.ClawDrops++
+			b.claw.Inc()
+			b.trace.Emit(obs.EvDrop, b.source, 0, DropClaw.String())
 			return DropClaw
 		}
 	}
 	if b.cfg.Pool != nil && !b.cfg.Pool.take() {
-		b.stats.PoolDrops++
+		b.pool.Inc()
+		b.trace.Emit(obs.EvDrop, b.source, 0, DropPool.String())
 		return DropPool
 	}
 	b.queue = append(b.queue, it)
-	b.stats.Accepted++
+	b.accepted.Inc()
 	return DropNone
 }
 
@@ -307,7 +355,7 @@ func (b *Buffer) Pop() (blk []byte, ok bool) {
 // PopItem takes the next block with its source timestamp.
 func (b *Buffer) PopItem() (it Item, ok bool) {
 	if len(b.queue) == 0 {
-		b.stats.SilenceInserted++
+		b.silence.Inc()
 		return Item{}, false
 	}
 	it = b.queue[0]
@@ -316,7 +364,7 @@ func (b *Buffer) PopItem() (it Item, ok bool) {
 	if b.cfg.Pool != nil {
 		b.cfg.Pool.give()
 	}
-	b.stats.Popped++
+	b.popped.Inc()
 	return it, true
 }
 

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/atm"
 	"repro/internal/box"
+	"repro/internal/obs"
 	"repro/internal/occam"
 	"repro/internal/repository"
 )
@@ -38,6 +39,10 @@ type Stream struct {
 type System struct {
 	RT  *occam.Runtime
 	Net *atm.Network
+	// Obs is the system-wide observability registry: every box, link
+	// and buffer registers its counters here, stamped with the
+	// runtime's virtual clock.
+	Obs *obs.Registry
 
 	boxes map[string]*box.Box
 	repos map[string]*repository.Repository
@@ -50,15 +55,18 @@ type System struct {
 // NewSystem returns an empty system.
 func NewSystem() *System {
 	rt := occam.NewRuntime()
-	return &System{
+	s := &System{
 		RT:         rt,
 		Net:        atm.New(rt),
+		Obs:        obs.New(rt),
 		boxes:      make(map[string]*box.Box),
 		repos:      make(map[string]*repository.Repository),
 		paths:      make(map[string][]*atm.Link),
 		nextVCI:    1000,
 		nextStream: make(map[string]uint32),
 	}
+	s.Net.Observe(s.Obs)
+	return s
 }
 
 // AddBox creates a Pandora box. cfg.Name must be unique and non-empty.
@@ -68,6 +76,9 @@ func (s *System) AddBox(cfg box.Config) *box.Box {
 	}
 	if _, dup := s.boxes[cfg.Name]; dup {
 		panic("core: duplicate box " + cfg.Name)
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = s.Obs
 	}
 	b := box.New(s.RT, s.Net, cfg)
 	s.boxes[cfg.Name] = b

@@ -3,6 +3,7 @@ package decouple
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/occam"
 )
 
@@ -49,6 +50,7 @@ type Process[T any] struct {
 	Rep   *occam.Chan[Report] // shared report sink, may be nil
 
 	ring *Ring[T]
+	reg  *obs.Registry
 
 	outReq   *occam.Chan[struct{}]
 	outItem  *occam.Chan[T]
@@ -60,10 +62,16 @@ type Option func(*options)
 
 type options struct {
 	ready bool
+	reg   *obs.Registry
 }
 
 // WithReady attaches the ready channel of figure 3.6.
 func WithReady() Option { return func(o *options) { o.ready = true } }
+
+// WithObs registers the buffer's occupancy gauge and activity counters
+// (labelled with the buffer name) on reg, and lets senders register
+// their refusal counters.
+func WithObs(reg *obs.Registry) Option { return func(o *options) { o.reg = reg } }
 
 // New creates a decoupling buffer of the given capacity and starts
 // its processes on rt. reports may be nil if nobody collects them.
@@ -85,6 +93,12 @@ func New[T any](rt *occam.Runtime, node *occam.Node, name string, capacity int, 
 	if o.ready {
 		d.Ready = occam.NewChan[bool](rt, name+".ready")
 	}
+	d.reg = o.reg
+	lb := obs.L("buffer", name)
+	d.reg.GaugeFunc("decouple_queued", func() float64 { return float64(d.ring.Len()) }, lb)
+	d.reg.GaugeFunc("decouple_limit", func() float64 { return float64(d.ring.Cap()) }, lb)
+	d.reg.CounterFunc("decouple_pushed_total", d.ring.Pushed, lb)
+	d.reg.CounterFunc("decouple_popped_total", d.ring.Popped, lb)
 	rt.Go(name+".queue", node, occam.High, d.runQueue)
 	rt.Go(name+".pump", node, occam.High, d.runPump)
 	return d
@@ -172,23 +186,30 @@ func (d *Process[T]) handleCommand(p *occam.Proc, cmd Command) {
 type Sender[T any] struct {
 	buf     *Process[T]
 	canSend bool
-	dropped uint64
+	refused *obs.Counter
+	trace   *obs.Tracer
 }
 
 // NewSender returns a ready-protocol client for buf, which must have
-// been created WithReady.
+// been created WithReady. Senders of the same buffer share one
+// refusal counter (decouple_refused_total{buffer=...}).
 func NewSender[T any](buf *Process[T]) *Sender[T] {
 	if buf.Ready == nil {
 		panic("decouple: NewSender on buffer without ready channel")
 	}
-	return &Sender[T]{buf: buf, canSend: true}
+	return &Sender[T]{
+		buf:     buf,
+		canSend: true,
+		refused: buf.reg.Counter("decouple_refused_total", obs.L("buffer", buf.name)),
+		trace:   buf.reg.Tracer(),
+	}
 }
 
 // CanSend reports whether the last reply permitted more data.
 func (s *Sender[T]) CanSend() bool { return s.canSend }
 
 // Dropped returns how many items Deliver refused.
-func (s *Sender[T]) Dropped() uint64 { return s.dropped }
+func (s *Sender[T]) Dropped() uint64 { return s.refused.Value() }
 
 // Deliver sends v if the buffer last said READY and reads the
 // immediate reply; otherwise it counts a drop and returns false —
@@ -196,7 +217,8 @@ func (s *Sender[T]) Dropped() uint64 { return s.dropped }
 // block waiting for the buffer to become free".
 func (s *Sender[T]) Deliver(p *occam.Proc, v T) bool {
 	if !s.canSend {
-		s.dropped++
+		s.refused.Inc()
+		s.trace.Emit(obs.EvDrop, "decouple."+s.buf.name, 0, "ready-refusal")
 		return false
 	}
 	s.buf.In.Send(p, v)

@@ -18,10 +18,12 @@
 package mixer
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/clawback"
 	"repro/internal/mulaw"
+	"repro/internal/obs"
 	"repro/internal/segment"
 )
 
@@ -40,16 +42,35 @@ type Config struct {
 	PoolBlocks int
 	// MaxConcealBlocks bounds loss concealment per sequence gap.
 	MaxConcealBlocks int
+	// Obs, if non-nil, registers per-stream and pool instruments
+	// (labelled with Name) and traces stream lifecycle and drops.
+	Obs *obs.Registry
+	// Name identifies this mixer in metrics and traces (usually the
+	// box name; default "mixer").
+	Name string
 }
 
-// StreamStats reports one stream's reception history.
+// StreamStats reports one stream's reception history. The counters
+// live in the observability registry when one is attached; StreamStats
+// is reconstructed from them on demand.
 type StreamStats struct {
-	Segments      uint64 // segments delivered
-	Blocks        uint64 // blocks delivered
-	LostSegments  uint64 // detected by sequence-number gaps
-	Concealed     uint64 // blocks filled by replaying the last block
-	Reactivations uint64 // times the stream was re-created after idle
-	Clawback      clawback.Stats
+	Segments       uint64 // segments delivered
+	Blocks         uint64 // blocks delivered
+	LostSegments   uint64 // detected by sequence-number gaps
+	Concealed      uint64 // blocks filled by replaying the last block
+	LateDuplicates uint64 // late or duplicate segments thrown away (§3.8)
+	Reactivations  uint64 // times the stream was re-created after idle
+	Clawback       clawback.Stats
+}
+
+// streamCounters are one stream's registry instruments.
+type streamCounters struct {
+	segments      *obs.Counter
+	blocks        *obs.Counter
+	lost          *obs.Counter
+	concealed     *obs.Counter
+	lateDups      *obs.Counter
+	reactivations *obs.Counter
 }
 
 // stream is one incoming audio stream's destination state.
@@ -59,7 +80,7 @@ type stream struct {
 	seenAny   bool
 	lastBlock []byte
 	active    bool
-	stats     StreamStats
+	c         streamCounters
 }
 
 // Mixer mixes any number of incoming audio streams into one outgoing
@@ -83,11 +104,20 @@ func New(cfg Config) *Mixer {
 	if cfg.MaxConcealBlocks <= 0 {
 		cfg.MaxConcealBlocks = DefaultMaxConcealBlocks
 	}
+	if cfg.Name == "" {
+		cfg.Name = "mixer"
+	}
 	m := &Mixer{
 		cfg:     cfg,
 		pool:    clawback.NewPool(cfg.PoolBlocks),
 		streams: make(map[uint32]*stream),
 	}
+	lb := obs.L("box", cfg.Name)
+	cfg.Obs.GaugeFunc("clawback_pool_used", func() float64 { return float64(m.pool.Used()) }, lb)
+	cfg.Obs.GaugeFunc("clawback_pool_capacity", func() float64 { return float64(m.pool.Capacity()) }, lb)
+	cfg.Obs.CounterFunc("clawback_pool_exhausted_total", func() uint64 { return m.pool.Exhausted }, lb)
+	cfg.Obs.GaugeFunc("mixer_active_streams", func() float64 { return float64(m.ActiveStreams()) }, lb)
+	cfg.Obs.CounterFunc("mixer_ticks_total", func() uint64 { return m.ticks }, lb)
 	return m
 }
 
@@ -112,29 +142,61 @@ func (m *Mixer) Stats(id uint32) StreamStats {
 	if !ok {
 		return StreamStats{}
 	}
-	st := s.stats
-	st.Clawback = s.buf.Stats()
-	return st
+	return StreamStats{
+		Segments:       s.c.segments.Value(),
+		Blocks:         s.c.blocks.Value(),
+		LostSegments:   s.c.lost.Value(),
+		Concealed:      s.c.concealed.Value(),
+		LateDuplicates: s.c.lateDups.Value(),
+		Reactivations:  s.c.reactivations.Value(),
+		Clawback:       s.buf.Stats(),
+	}
 }
+
+// newStream creates destination state for stream id, registering its
+// instruments and its clawback buffer's.
+func (m *Mixer) newStream(id uint32) *stream {
+	cfg := m.cfg.Clawback
+	cfg.Pool = m.pool
+	cfg.Obs = m.cfg.Obs
+	cfg.Owner = fmt.Sprintf("%s/%d", m.cfg.Name, id)
+	reg := m.cfg.Obs
+	lbs := []obs.Label{obs.L("box", m.cfg.Name), obs.L("stream", fmt.Sprint(id))}
+	return &stream{
+		buf:    clawback.New(cfg),
+		active: true,
+		c: streamCounters{
+			segments:      reg.Counter("mixer_segments_total", lbs...),
+			blocks:        reg.Counter("mixer_blocks_total", lbs...),
+			lost:          reg.Counter("mixer_lost_segments_total", lbs...),
+			concealed:     reg.Counter("mixer_concealed_total", lbs...),
+			lateDups:      reg.Counter("mixer_late_duplicates_total", lbs...),
+			reactivations: reg.Counter("mixer_reactivations_total", lbs...),
+		},
+	}
+}
+
+func (m *Mixer) source() string { return m.cfg.Name + ".mixer" }
 
 // Deliver feeds one arriving audio segment for stream id into its
 // clawback buffer, creating or reactivating the stream as needed and
 // concealing any sequence gap.
 func (m *Mixer) Deliver(id uint32, seg *segment.Audio) {
+	tr := m.cfg.Obs.Tracer()
 	s, ok := m.streams[id]
 	if !ok {
-		cfg := m.cfg.Clawback
-		cfg.Pool = m.pool
-		s = &stream{buf: clawback.New(cfg), active: true}
+		s = m.newStream(id)
 		m.streams[id] = s
+		tr.Emit(obs.EvStreamOpen, m.source(), id, "stream created")
 	} else if !s.active {
 		// "If a block arrives for a stream that does not have a
 		// buffer, a new clawback buffer will be inserted, and mixing
 		// will resume."
 		s.active = true
-		s.stats.Reactivations++
+		s.c.reactivations.Inc()
+		tr.Emit(obs.EvStreamOpen, m.source(), id, "stream reactivated")
 	}
-	s.stats.Segments++
+	s.c.segments.Inc()
 
 	// Sequence-gap detection and bounded concealment (§3.8).
 	if s.seenAny && seg.Seq != s.nextSeq {
@@ -142,7 +204,7 @@ func (m *Mixer) Deliver(id uint32, seg *segment.Audio) {
 		// duplicates both classify correctly.
 		gap := int(int32(seg.Seq - s.nextSeq)) // whole missing segments
 		if gap > 0 {
-			s.stats.LostSegments += uint64(gap)
+			s.c.lost.Add(uint64(gap))
 			conceal := gap * seg.Blocks()
 			if conceal > m.cfg.MaxConcealBlocks {
 				conceal = m.cfg.MaxConcealBlocks
@@ -153,12 +215,19 @@ func (m *Mixer) Deliver(id uint32, seg *segment.Audio) {
 				if s.buf.PushItem(clawback.Item{Data: s.lastBlock, Stamp: stamp}) != clawback.DropNone {
 					break
 				}
-				s.stats.Concealed++
+				s.c.concealed.Inc()
 			}
+		} else {
+			// A negative gap is a late duplicate or reordering: the
+			// general rule applies — "the current segment is thrown
+			// away" (§3.8). Queueing its blocks would play duplicated
+			// audio, so the payload is discarded; the stream still
+			// resynchronises to the duplicate's sequence number.
+			s.c.lateDups.Inc()
+			tr.Emit(obs.EvDrop, m.source(), id, "late-duplicate")
+			s.nextSeq = seg.Seq + 1
+			return
 		}
-		// A negative gap is a late duplicate or reordering: the
-		// general rule applies — "the current segment is thrown
-		// away" — but we still resynchronise to it below.
 	}
 	s.nextSeq = seg.Seq + 1
 	s.seenAny = true
@@ -172,7 +241,7 @@ func (m *Mixer) Deliver(id uint32, seg *segment.Audio) {
 		})
 		s.lastBlock = blk
 	}
-	s.stats.Blocks += uint64(seg.Blocks())
+	s.c.blocks.Add(uint64(seg.Blocks()))
 }
 
 // Tick produces the next mixed 2 ms block of µ-law samples at stream
@@ -197,6 +266,7 @@ func (m *Mixer) Tick(now int64) (block []byte, mixed int) {
 			// empty is used to deactivate the stream."
 			s.active = false
 			s.buf.Drain()
+			m.cfg.Obs.Tracer().Emit(obs.EvStreamClose, m.source(), id, "stream deactivated")
 			continue
 		}
 		for i := 0; i < segment.BlockSamples; i++ {

@@ -168,6 +168,62 @@ func TestDuplicateOrLateSegmentResynchronises(t *testing.T) {
 	}
 }
 
+func TestLateDuplicatePayloadDiscarded(t *testing.T) {
+	// A late duplicate must not queue its blocks — they would play
+	// as repeated audio. Only the first copy's payload survives.
+	m := New(Config{})
+	m.Deliver(1, seg(0, 8000, 2))
+	m.Deliver(1, seg(0, 8000, 2)) // exact duplicate
+	st := m.Stats(1)
+	if st.LateDuplicates != 1 {
+		t.Fatalf("LateDuplicates = %d, want 1", st.LateDuplicates)
+	}
+	if st.Blocks != 2 {
+		t.Fatalf("Blocks = %d: duplicate payload was queued", st.Blocks)
+	}
+	if st.Clawback.Accepted != 2 {
+		t.Fatalf("clawback accepted %d blocks, want 2", st.Clawback.Accepted)
+	}
+	// The stream still resynchronises past the duplicate.
+	m.Deliver(1, seg(1, 8000, 2))
+	if st := m.Stats(1); st.LostSegments != 0 || st.Blocks != 4 {
+		t.Fatalf("resync broken: %+v", st)
+	}
+}
+
+func TestReorderedSequenceCounts(t *testing.T) {
+	// Arrival order 1,3,2,2: segment 2 is first concealed as lost,
+	// then both late copies are thrown away.
+	m := New(Config{})
+	m.Deliver(1, seg(1, 8000, 2)) // queued, nextSeq=2
+	m.Deliver(1, seg(3, 8000, 2)) // gap +1: conceal 2 blocks, queue, nextSeq=4
+	m.Deliver(1, seg(2, 8000, 2)) // gap -2: late, dropped, nextSeq=3
+	m.Deliver(1, seg(2, 8000, 2)) // gap -1: late again, dropped
+	st := m.Stats(1)
+	if st.Segments != 4 {
+		t.Fatalf("Segments = %d", st.Segments)
+	}
+	if st.Blocks != 4 {
+		t.Fatalf("Blocks = %d, want only segments 1 and 3 queued", st.Blocks)
+	}
+	if st.LostSegments != 1 || st.Concealed != 2 {
+		t.Fatalf("loss accounting: %+v", st)
+	}
+	if st.LateDuplicates != 2 {
+		t.Fatalf("LateDuplicates = %d, want 2", st.LateDuplicates)
+	}
+	// 2 real + 2 concealed + 2 real blocks are buffered: six ticks of
+	// audio, then the buffer runs dry.
+	for i := 0; i < 6; i++ {
+		if _, mixed := m.Tick(0); mixed != 1 {
+			t.Fatalf("tick %d: mixed=%d", i, mixed)
+		}
+	}
+	if _, mixed := m.Tick(0); mixed != 0 {
+		t.Fatal("late duplicates queued extra audio")
+	}
+}
+
 func TestStatsUnknownStream(t *testing.T) {
 	m := New(Config{})
 	if st := m.Stats(42); st.Segments != 0 {

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"fmt"
+
+	"repro/internal/occam"
+)
+
+// The event tracer: a bounded ring buffer of data-path events stamped
+// with virtual time. Where the registry answers "how many", the trace
+// answers "when and in what order" — the paper's host-log report lines
+// (§3.8), but structured, bounded, and cheap enough to leave on.
+
+// EventKind classifies a trace event.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// EvStreamOpen: a stream was created or reactivated somewhere on
+	// the data path (mixer stream activation, route installed, mic or
+	// camera started).
+	EvStreamOpen EventKind = iota
+	// EvStreamClose: the reverse.
+	EvStreamClose
+	// EvDrop: data was discarded; Detail carries the reason (the
+	// clawback DropReason, "queue", "loss", "late-duplicate", ...).
+	EvDrop
+	// EvOverload: a resource entered an overloaded state (output
+	// buffer full, allocator starved, audio tick overran).
+	EvOverload
+	// EvRecover: an overloaded resource relaxed back to normal.
+	EvRecover
+	// EvReconfig: a control-plane change (route table update,
+	// blocks-per-segment change, resize).
+	EvReconfig
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvStreamOpen:
+		return "stream-open"
+	case EvStreamClose:
+		return "stream-close"
+	case EvDrop:
+		return "drop"
+	case EvOverload:
+		return "overload"
+	case EvRecover:
+		return "recover"
+	case EvReconfig:
+		return "reconfig"
+	}
+	return "?"
+}
+
+// Event is one traced occurrence.
+type Event struct {
+	At     occam.Time
+	Kind   EventKind
+	Source string // emitting component, e.g. "atm.alice-bob.0" or "alice.switch"
+	Stream uint32 // stream number / VCI, 0 when not applicable
+	Detail string // reason or free-form note
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("[%10.3fms] %-12s %-24s", e.At.Millis(), e.Kind, e.Source)
+	if e.Stream != 0 {
+		s += fmt.Sprintf(" stream=%-6d", e.Stream)
+	} else {
+		s += "              "
+	}
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}
+
+// DefaultTraceCap bounds the event ring: old events are overwritten,
+// so a long simulation keeps its most recent history.
+const DefaultTraceCap = 4096
+
+// Tracer is the bounded event ring. Emit is nil-receiver safe, so
+// instrumented code traces unconditionally.
+type Tracer struct {
+	clock Clock
+	buf   []Event
+	next  int
+	n     int
+	total uint64
+}
+
+func newTracer(clock Clock, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{clock: clock, buf: make([]Event, capacity)}
+}
+
+// Emit records one event stamped with the current virtual time.
+func (t *Tracer) Emit(kind EventKind, source string, stream uint32, detail string) {
+	if t == nil {
+		return
+	}
+	var at occam.Time
+	if t.clock != nil {
+		at = t.clock.Now()
+	}
+	t.buf[t.next] = Event{At: at, Kind: kind, Source: source, Stream: stream, Detail: detail}
+	t.next = (t.next + 1) % len(t.buf)
+	if t.n < len(t.buf) {
+		t.n++
+	}
+	t.total++
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, 0, t.n)
+	start := t.next - t.n
+	if start < 0 {
+		start += len(t.buf)
+	}
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.buf[(start+i)%len(t.buf)])
+	}
+	return out
+}
+
+// Total returns how many events were ever emitted (including ones the
+// ring has since overwritten).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// Cap returns the ring capacity.
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.buf)
+}

@@ -202,7 +202,9 @@ func DecodeAudio(buf []byte) (*Audio, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	if c.Type != TypeAudio {
+	if c.Type != TypeAudio && c.Type != TypeTest {
+		// Test segments from the server's software test generator
+		// (figure 3.3) share the audio wire layout.
 		return nil, 0, fmt.Errorf("%w: %v", ErrBadType, c.Type)
 	}
 	if len(rest) < 4*4 {

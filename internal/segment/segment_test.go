@@ -232,6 +232,47 @@ func TestGenericDecode(t *testing.T) {
 	}
 }
 
+func TestGenericDecodeAllTypes(t *testing.T) {
+	// All three segment types of §3 must round-trip through the
+	// generic decoder. Test segments (figure 3.3 "test in") share the
+	// audio wire layout but carry TypeTest.
+	a := NewAudio(5, occam.Time(time.Millisecond), testBlocks(3))
+	tst := NewAudio(6, occam.Time(time.Millisecond), testBlocks(2))
+	tst.Type = TypeTest
+	v := NewVideo(7, 0, 0, 1, 0, 0, 0, 8, 0, 1, make([]byte, 8))
+
+	for _, tc := range []struct {
+		seg  Segment
+		typ  Type
+		seq  uint32
+		wire []byte
+	}{
+		{a, TypeAudio, 5, a.Encode(nil)},
+		{tst, TypeTest, 6, tst.Encode(nil)},
+		{v, TypeVideo, 7, v.Encode(nil)},
+	} {
+		got, n, err := Decode(tc.wire)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.typ, err)
+		}
+		if n != len(tc.wire) {
+			t.Fatalf("%v: consumed %d of %d", tc.typ, n, len(tc.wire))
+		}
+		if got.Head().Type != tc.typ || got.Head().Seq != tc.seq {
+			t.Fatalf("%v: decoded header %+v", tc.typ, got.Head())
+		}
+	}
+
+	// The test segment's payload must survive the trip too.
+	got, _, err := DecodeAudio(tst.Encode(nil))
+	if err != nil {
+		t.Fatalf("DecodeAudio rejected a test segment: %v", err)
+	}
+	if !bytes.Equal(got.Data, tst.Data) {
+		t.Fatal("test segment data mismatch")
+	}
+}
+
 func TestTypeString(t *testing.T) {
 	if TypeAudio.String() != "audio" || TypeVideo.String() != "video" ||
 		TypeTest.String() != "test" || Type(9).String() == "" {
