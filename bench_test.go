@@ -13,138 +13,161 @@ import (
 )
 
 func BenchmarkE1MixingCapacity(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiment.E1()
 	}
 }
 
 func BenchmarkE2LinkCapacity(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiment.E2()
 	}
 }
 
 func BenchmarkE3OneWayLatency(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiment.E3()
 	}
 }
 
 func BenchmarkE4VideoJitter(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiment.E4()
 	}
 }
 
 func BenchmarkE5ClawbackAdapt(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiment.E5()
 	}
 }
 
 func BenchmarkE6ClockDrift(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiment.E6()
 	}
 }
 
 func BenchmarkE7MultiRate(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiment.E7()
 	}
 }
 
 func BenchmarkE8Muting(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiment.E8()
 	}
 }
 
 func BenchmarkE9Concealment(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiment.E9()
 	}
 }
 
 func BenchmarkE10OverloadOrder(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiment.E10()
 	}
 }
 
 func BenchmarkE11SplitIndependence(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiment.E11()
 	}
 }
 
 func BenchmarkE12Reconfig(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiment.E12()
 	}
 }
 
 func BenchmarkE13CommandLatency(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiment.E13()
 	}
 }
 
 func BenchmarkE14Baselines(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiment.E14()
 	}
 }
 
 func BenchmarkE15Repository(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiment.E15()
 	}
 }
 
 func BenchmarkE16SuperJanet(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiment.E16()
 	}
 }
 
 func BenchmarkE17ContextSwitch(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiment.E17()
 	}
 }
 
 func BenchmarkE18SegmentSize(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiment.E18()
 	}
 }
 
 func BenchmarkE19PoolLimit(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiment.E19()
 	}
 }
 
 func BenchmarkE20ReadyChannel(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiment.E20()
 	}
 }
 
 func BenchmarkA1BufferPlacement(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiment.A1()
 	}
 }
 
 func BenchmarkA2SplitNetBuffers(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiment.A2()
 	}
 }
 
 func BenchmarkA3ClawResetPolicy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiment.A3()
 	}

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/occam"
+	"repro/internal/segment"
 )
 
 // Buffer is one shared segment buffer.
@@ -32,13 +33,32 @@ type Buffer struct {
 	// Index is the buffer's identity within the pool — what actually
 	// travels between processes on the transputer.
 	Index int
-	// Payload holds the segment occupying the buffer (a
-	// *segment.Audio or *segment.Video in normal use).
-	Payload any
+	// Payload is an in-place wire view over the buffer's own storage;
+	// set it with SetPayload. Processes holding the buffer read header
+	// fields and sample data directly from this view — the buffer IS
+	// the segment's memory while it is in the server, and the pool's
+	// reference counts govern when that memory is reused.
+	Payload segment.Wire
 	// Stream is the Pandora stream number the segment belongs to
 	// ("streams within pandora pass the stream number in an extra
 	// field preceding the segment header").
 	Stream uint32
+
+	// storage is the buffer's backing memory, reused across grants.
+	storage []byte
+}
+
+// SetPayload copies the wire bytes of src into the buffer's storage —
+// the single copy "into memory" an input handler performs (§3.4) —
+// and points Payload at the in-place view. The source wire may be
+// released afterwards.
+func (b *Buffer) SetPayload(src []byte) {
+	if cap(b.storage) < len(src) {
+		b.storage = make([]byte, len(src))
+	}
+	b.storage = b.storage[:len(src)]
+	copy(b.storage, src)
+	b.Payload = segment.WireOver(b.storage)
 }
 
 // Report is an allocator fault or status report.
@@ -72,6 +92,12 @@ type Pool struct {
 	rel     *occam.Chan[refChange]
 	cmd     *occam.Chan[struct{}] // report request
 	reports *occam.Chan[Report]
+
+	// replyFree recycles Get reply channels. A channel leaves the list
+	// for the whole request/grant exchange and returns once the grant
+	// is received, so no two concurrent Gets share one. User code is
+	// serialised by the runtime, so the list needs no locking.
+	replyFree []*occam.Chan[*Buffer]
 
 	starvations uint64
 	grants      uint64
@@ -119,17 +145,23 @@ func (pl *Pool) Observe(reg *obs.Registry, owner string) {
 // served; requests only when buffers are free.
 func (pl *Pool) run(p *occam.Proc) {
 	wasStarved := false
+	var (
+		ch     refChange
+		reply  *occam.Chan[*Buffer]
+		report struct{}
+	)
+	// "If there are no buffers available, then the allocator will not
+	// listen for any requests": the request guard's condition tracks
+	// the free list. Guards are hoisted out of the loop and reused.
+	haveFree := occam.NewCond(occam.Recv(pl.req, &reply))
+	guards := []occam.Guard{
+		occam.Recv(pl.rel, &ch),
+		occam.Recv(pl.cmd, &report),
+		haveFree,
+	}
 	for {
-		var (
-			ch     refChange
-			reply  *occam.Chan[*Buffer]
-			report struct{}
-		)
-		switch p.Alt(
-			occam.Recv(pl.rel, &ch),
-			occam.Recv(pl.cmd, &report),
-			occam.When(len(pl.free) > 0, occam.Recv(pl.req, &reply)),
-		) {
+		haveFree.Set(len(pl.free) > 0)
+		switch p.Alt(guards...) {
 		case 0:
 			pl.applyRefChange(ch)
 			if wasStarved && len(pl.free) > 0 {
@@ -146,7 +178,7 @@ func (pl *Pool) run(p *occam.Proc) {
 			pl.refs[idx] = 1
 			pl.grants++
 			buf := pl.bufs[idx]
-			buf.Payload = nil
+			buf.Payload = segment.Wire{}
 			buf.Stream = 0
 			reply.Send(p, buf)
 			if len(pl.free) == 0 && !wasStarved {
@@ -175,11 +207,20 @@ func (pl *Pool) applyRefChange(ch refChange) {
 	}
 }
 
-// Get obtains an empty buffer, blocking while none are free.
+// Get obtains an empty buffer, blocking while none are free. Reply
+// channels are recycled on a free list rather than allocated per call.
 func (pl *Pool) Get(p *occam.Proc) *Buffer {
-	reply := occam.NewChan[*Buffer](pl.rt, "alloc.reply")
+	var reply *occam.Chan[*Buffer]
+	if n := len(pl.replyFree); n > 0 {
+		reply = pl.replyFree[n-1]
+		pl.replyFree = pl.replyFree[:n-1]
+	} else {
+		reply = occam.NewChan[*Buffer](pl.rt, "alloc.reply")
+	}
 	pl.req.Send(p, reply)
-	return reply.Recv(p)
+	buf := reply.Recv(p)
+	pl.replyFree = append(pl.replyFree, reply)
+	return buf
 }
 
 // Retain adds extra references before a buffer descriptor is sent to

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/occam"
+	"repro/internal/segment"
 	"repro/internal/workload"
 )
 
@@ -29,8 +30,17 @@ type Message struct {
 	// Size is the wire size in bytes, which determines transmission
 	// time on each link.
 	Size int
-	// Payload is the segment being carried.
-	Payload any
+	// W is the segment's wire buffer. Hops move this descriptor by
+	// value and never touch the bytes; each message carries one wire
+	// reference, released by the network on any drop and transferred
+	// to the receiving host on delivery.
+	W segment.Wire
+	// ChunkIndex/ChunkTotal describe network interleaving (§3.7.1
+	// A4): when ChunkTotal > 1 the message is one of ChunkTotal chunks
+	// of the same segment — Size is the chunk's share of the bytes,
+	// while W references the whole segment's wire.
+	ChunkIndex int
+	ChunkTotal int
 	// Sent is when the message entered the network (for latency
 	// measurement).
 	Sent occam.Time
@@ -171,29 +181,32 @@ func (l *Link) accept(p *occam.Proc, m Message) { l.in.Send(p, m) }
 // runQueue owns the bounded queue: it always accepts (dropping on
 // overflow) and feeds the transmitter.
 func (l *Link) runQueue(p *occam.Proc) {
+	var (
+		m   Message
+		req struct{}
+	)
+	txReady := occam.NewCond(occam.Recv(l.txReq, &req))
+	guards := []occam.Guard{txReady, occam.Recv(l.in, &m)}
 	for {
-		var (
-			m   Message
-			req struct{}
-		)
-		switch p.Alt(
-			occam.When(len(l.queue) > 0, occam.Recv(l.txReq, &req)),
-			occam.Recv(l.in, &m),
-		) {
+		txReady.Set(len(l.queue) > 0)
+		switch p.Alt(guards...) {
 		case 0:
 			head := l.queue[0]
 			copy(l.queue, l.queue[1:])
+			l.queue[len(l.queue)-1] = Message{}
 			l.queue = l.queue[:len(l.queue)-1]
 			l.txItem.Send(p, head)
 		case 1:
 			if l.cfg.LossRate > 0 && l.rng.Bool(l.cfg.LossRate) {
 				l.lossDrops.Inc()
 				l.trace.Emit(obs.EvDrop, "atm."+l.nm, m.VCI, "loss")
+				m.W.Release()
 				continue
 			}
 			if len(l.queue) >= l.cfg.QueueLimit {
 				l.queueDrops.Inc()
 				l.trace.Emit(obs.EvDrop, "atm."+l.nm, m.VCI, "queue-overflow")
+				m.W.Release()
 				continue
 			}
 			l.queue = append(l.queue, m)
@@ -215,6 +228,7 @@ func (l *Link) runTx(p *occam.Proc) {
 			// Unrouted VCI: the circuit was torn down mid-flight.
 			l.lossDrops.Inc()
 			l.trace.Emit(obs.EvDrop, "atm."+l.nm, m.VCI, "unrouted")
+			m.W.Release()
 			continue
 		}
 		l.forwarded.Inc()

@@ -6,7 +6,14 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/occam"
+	"repro/internal/segment"
 )
+
+// audioWire encodes a one-block audio segment with the given sequence
+// number into pl.
+func audioWire(pl *segment.WirePool, seq uint32) segment.Wire {
+	return pl.Encode(segment.NewAudio(seq, 0, [][]byte{make([]byte, segment.BlockSamples)}))
+}
 
 // drain starts a process that records arrival latencies on a host.
 func drain(rt *occam.Runtime, h *Host, lat *metrics.Tracker, count *int) {
@@ -31,6 +38,7 @@ func TestDirectCircuitDelivers(t *testing.T) {
 	l := net.AddLink("ab", LinkConfig{Bandwidth: 100_000_000})
 	net.OpenCircuit(7, a, b, l)
 
+	pool := segment.NewWirePool()
 	var got []Message
 	rt.Go("rx", nil, occam.High, func(p *occam.Proc) {
 		for {
@@ -40,7 +48,9 @@ func TestDirectCircuitDelivers(t *testing.T) {
 	rt.Go("tx", nil, occam.Low, func(p *occam.Proc) {
 		for i := 0; i < 5; i++ {
 			p.Sleep(time.Millisecond)
-			if err := a.Send(p, Message{VCI: 7, Size: 100, Payload: i}); err != nil {
+			w := audioWire(pool, uint32(i))
+			if err := a.Send(p, Message{VCI: 7, Size: 100, W: w}); err != nil {
+				w.Release()
 				t.Error(err)
 			}
 		}
@@ -53,15 +63,19 @@ func TestDirectCircuitDelivers(t *testing.T) {
 		t.Fatalf("delivered %d of 5", len(got))
 	}
 	for i, m := range got {
-		if m.Payload.(int) != i {
+		if m.W.Seq() != uint32(i) {
 			t.Fatalf("reordered: %v", got)
 		}
 		if m.VCI != 7 {
 			t.Fatalf("VCI %d", m.VCI)
 		}
+		m.W.Release()
 	}
 	if l.Stats().Forwarded != 5 || l.Stats().Bytes != 500 {
 		t.Fatalf("link stats %+v", l.Stats())
+	}
+	if pool.FreeLen() != 5 {
+		t.Fatalf("%d of 5 wires returned to the pool", pool.FreeLen())
 	}
 }
 
@@ -190,6 +204,42 @@ func TestQueueOverflowDrops(t *testing.T) {
 	}
 	if received+int(st.QueueDrops) != 50 {
 		t.Fatalf("received %d + dropped %d != 50", received, st.QueueDrops)
+	}
+}
+
+func TestDropPathsReleaseWires(t *testing.T) {
+	// Every message carries one wire reference; whether a message is
+	// delivered (receiver releases) or dropped at the queue (link
+	// releases), all storage must come back to the pool.
+	rt := occam.NewRuntime()
+	net := New(rt)
+	a := net.AddHost("a")
+	b := net.AddHost("b")
+	l := net.AddLink("slow", LinkConfig{Bandwidth: 1_000_000, QueueLimit: 4})
+	net.OpenCircuit(1, a, b, l)
+	pool := segment.NewWirePool()
+	rt.Go("rx", nil, occam.High, func(p *occam.Proc) {
+		for {
+			m := b.Rx.Recv(p)
+			m.W.Release()
+		}
+	})
+	rt.Go("burst", nil, occam.Low, func(p *occam.Proc) {
+		for i := 0; i < 50; i++ {
+			a.Send(p, Message{VCI: 1, Size: 1000, W: audioWire(pool, uint32(i))})
+		}
+	})
+	if err := rt.RunUntil(occam.Time(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	rt.Shutdown()
+	if l.Stats().QueueDrops == 0 {
+		t.Fatal("no queue drops under burst overload")
+	}
+	// Every distinct storage record the pool ever allocated must be
+	// back on the free list: a leak on either path would strand one.
+	if pool.FreeLen() != int(pool.News) {
+		t.Fatalf("%d of %d wire records returned to the pool", pool.FreeLen(), pool.News)
 	}
 }
 

@@ -24,7 +24,7 @@ import (
 
 func (b *Box) startAudio() {
 	rt, name := b.rt, b.cfg.Name
-	b.micOutBuf = decouple.New[audioMsg](rt, b.audioNode, name+".micbuf", 8, nil,
+	b.micOutBuf = decouple.New[wireMsg](rt, b.audioNode, name+".micbuf", 8, nil,
 		decouple.WithReady(), decouple.WithObs(b.cfg.Obs))
 
 	outPri, inPri := occam.High, occam.Low
@@ -105,12 +105,15 @@ func (b *Box) runMicReader(p *occam.Proc) {
 		blocks = append(blocks, blk)
 		b.audioStat.MicBlocks++
 		if len(blocks) >= perSeg {
-			seg := segment.NewAudio(seq, stampAt, blocks)
+			// The single encode at the capture source (§3.4): from here
+			// to the output device only the wire descriptor moves.
+			w := b.wires.Encode(segment.NewAudio(seq, stampAt, blocks))
 			seq++
-			blocks = nil
-			if !sender.Deliver(p, audioMsg{Stream: stream, Seg: seg}) {
+			blocks = blocks[:0]
+			if !sender.Deliver(p, wireMsg{Stream: stream, W: w}) {
 				// Back pressure reached the source: throw away data
 				// here, closest to the codec (§3.7.1).
+				w.Release()
 				b.audioStat.MicDrops++
 				b.trace.Emit(obs.EvDrop, b.cfg.Name+".mic", stream, "mic-backpressure")
 			} else {
@@ -125,7 +128,7 @@ func (b *Box) runMicReader(p *occam.Proc) {
 func (b *Box) runServerWriter(p *occam.Proc) {
 	for {
 		msg := b.micOutBuf.Out.Recv(p)
-		b.audioToServer.Send(p, msg, msg.Seg.WireSize()+segment.StreamNumberSize)
+		b.audioToServer.Send(p, msg, msg.W.Len()+segment.StreamNumberSize)
 	}
 }
 
@@ -136,7 +139,7 @@ func (b *Box) runServerWriter(p *occam.Proc) {
 func (b *Box) runAudioRx(p *occam.Proc) {
 	for {
 		msg := b.serverToAudio.Recv(p)
-		b.mix.Deliver(msg.Stream, msg.Seg)
+		b.mix.Deliver(msg.Stream, msg.W)
 	}
 }
 

@@ -153,16 +153,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// audioMsg carries an audio segment plus stream number over links.
-type audioMsg struct {
+// wireMsg carries one encoded segment plus its stream number over
+// inter-board links ("streams within pandora pass the stream number in
+// an extra field preceding the segment header"). The wire is passed by
+// reference: links move the descriptor, never the sample bytes.
+type wireMsg struct {
 	Stream uint32
-	Seg    *segment.Audio
-}
-
-// videoMsg carries a video segment plus stream number over links.
-type videoMsg struct {
-	Stream uint32
-	Seg    *segment.Video
+	W      segment.Wire
 }
 
 // audioCmd controls the audio board's outgoing side.
@@ -211,17 +208,23 @@ type Box struct {
 	swStats   SwitchStats
 	netVCI    map[uint32][]uint32 // stream → outgoing VCIs
 
+	// wires recycles the box's wire storage: sources encode into it,
+	// output handlers copy out of server buffers into it, and sinks
+	// release back to it. One pool per box — the runtime serialises all
+	// process code, so the boards can share it without locking.
+	wires *segment.WirePool
+
 	// Links between boards (figure 1.3).
-	audioToServer   *occam.Link[audioMsg]
-	serverToAudio   *occam.Link[audioMsg]
-	captureToServer *occam.Link[videoMsg]
-	serverToMixer   *occam.Link[videoMsg]
+	audioToServer   *occam.Link[wireMsg]
+	serverToAudio   *occam.Link[wireMsg]
+	captureToServer *occam.Link[wireMsg]
+	serverToMixer   *occam.Link[wireMsg]
 
 	// Audio board.
 	audioCmds *occam.Chan[audioCmd]
 	mix       *mixer.Mixer
 	muter     *muting.Muter
-	micOutBuf *decouple.Process[audioMsg]
+	micOutBuf *decouple.Process[wireMsg]
 	audioStat AudioStats
 
 	// Capture board.
@@ -287,6 +290,7 @@ func New(rt *occam.Runtime, net *atm.Network, cfg Config) *Box {
 		framestore:  video.NewFramestore(cfg.CameraW, cfg.CameraH),
 		interp:      video.NewInterpolator(),
 		playout:     make(map[uint32]*metrics.Tracker),
+		wires:       segment.NewWirePool(),
 	}
 	b.swStats.PerStreamDrops = make(map[uint32]uint64)
 	b.displayStat.FrameLat = metrics.NewTracker(cfg.Name + ".frameLat")
@@ -297,10 +301,10 @@ func New(rt *occam.Runtime, net *atm.Network, cfg Config) *Box {
 	b.observe()
 
 	// Inter-board links (figure 1.2/1.3 bandwidths).
-	b.audioToServer = occam.NewLink[audioMsg](rt, cfg.Name+".a2s", audioLinkBandwidth)
-	b.serverToAudio = occam.NewLink[audioMsg](rt, cfg.Name+".s2a", audioLinkBandwidth)
-	b.captureToServer = occam.NewLink[videoMsg](rt, cfg.Name+".c2s", fifoBandwidth)
-	b.serverToMixer = occam.NewLink[videoMsg](rt, cfg.Name+".s2m", fifoBandwidth)
+	b.audioToServer = occam.NewLink[wireMsg](rt, cfg.Name+".a2s", audioLinkBandwidth)
+	b.serverToAudio = occam.NewLink[wireMsg](rt, cfg.Name+".s2a", audioLinkBandwidth)
+	b.captureToServer = occam.NewLink[wireMsg](rt, cfg.Name+".c2s", fifoBandwidth)
+	b.serverToMixer = occam.NewLink[wireMsg](rt, cfg.Name+".s2m", fifoBandwidth)
 
 	// Clawback configuration for the destination mixer.
 	mcfg := mixer.Config{Obs: cfg.Obs, Name: cfg.Name}

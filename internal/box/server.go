@@ -69,25 +69,23 @@ func (b *Box) startServer() {
 	rt.Go(name+".displayOut", b.serverNode, occam.High, b.runDisplayOut)
 }
 
-// bufSlotsFor returns which decoupling buffers serve a route output.
-// With the A2 ablation everything network-bound shares the video
-// buffer, losing audio its separate queue.
-func (b *Box) bufSlotsFor(o Output, payload any) []int {
+// appendBufSlots appends the decoupling buffer slots serving a route
+// output, picked by the wire's in-place type field. With the A2
+// ablation everything network-bound shares the video buffer, losing
+// audio its separate queue.
+func (b *Box) appendBufSlots(slots []int, o Output, w segment.Wire) []int {
 	switch o {
 	case OutSpeaker:
-		return []int{bufSpeaker}
+		return append(slots, bufSpeaker)
 	case OutDisplay:
-		return []int{bufDisplay}
+		return append(slots, bufDisplay)
 	case OutNetwork:
-		if b.cfg.SharedNetBuffer {
-			return []int{bufNetVideo}
+		if b.cfg.SharedNetBuffer || w.Type() == segment.TypeVideo {
+			return append(slots, bufNetVideo)
 		}
-		if _, isAudio := payload.(*segment.Audio); isAudio {
-			return []int{bufNetAudio}
-		}
-		return []int{bufNetVideo}
+		return append(slots, bufNetAudio)
 	}
-	return nil
+	return slots
 }
 
 // runSwitch is the server data switch: PRI ALT with commands first
@@ -105,18 +103,22 @@ func (b *Box) runSwitch(p *occam.Proc) {
 	degrade := make([]int, numOutBufs)
 	lastForced := make([]occam.Time, numOutBufs)
 
-	for {
-		var (
-			cmd   SwitchCommand
-			buf   *allocator.Buffer
-			ready [numOutBufs]bool
-		)
-		guards := []occam.Guard{occam.Recv(b.switchCmd, &cmd)}
-		for i, s := range senders {
-			guards = append(guards, s.ReadyGuard(&ready[i]))
-		}
-		guards = append(guards, occam.Recv(b.toSwitch, &buf))
+	// The guard slice is built once and reused: the sender ready
+	// guards track their own conditions across iterations.
+	var (
+		cmd   SwitchCommand
+		buf   *allocator.Buffer
+		ready [numOutBufs]bool
+	)
+	guards := make([]occam.Guard, 0, numOutBufs+2)
+	guards = append(guards, occam.Recv(b.switchCmd, &cmd))
+	for i, s := range senders {
+		guards = append(guards, s.ReadyGuard(&ready[i]))
+	}
+	guards = append(guards, occam.Recv(b.toSwitch, &buf))
+	slots := make([]int, 0, numOutBufs)
 
+	for {
 		switch idx := p.Alt(guards...); {
 		case idx == 0:
 			b.handleSwitchCommand(p, rep, routes, cmd)
@@ -129,13 +131,13 @@ func (b *Box) runSwitch(p *occam.Proc) {
 				b.pool.Release(p, buf)
 				continue
 			}
-			size := payloadSize(buf.Payload)
+			size := buf.Payload.Len()
 			p.Consume(serverSwitchCost + time.Duration(size)*serverCopyPerKB/1024)
 
 			// Expand outputs to buffer slots.
-			var slots []int
+			slots = slots[:0]
 			for _, o := range r.Outputs {
-				slots = append(slots, b.bufSlotsFor(o, buf.Payload)...)
+				slots = b.appendBufSlots(slots, o, buf.Payload)
 			}
 			if len(slots) == 0 {
 				b.pool.Release(p, buf)
@@ -255,26 +257,18 @@ func slotMatches(o Output, slot int) bool {
 	return false
 }
 
-func payloadSize(payload any) int {
-	switch s := payload.(type) {
-	case *segment.Audio:
-		return s.WireSize()
-	case *segment.Video:
-		return s.WireSize()
-	}
-	return 0
-}
-
 // runAudioIn receives mic segments from the audio board link, fills
 // buffers obtained in advance from the allocator, and launches their
-// indices into the switch.
+// indices into the switch. Copying the wire into the buffer is the
+// data path's first copy (§3.4: "once into memory").
 func (b *Box) runAudioIn(p *occam.Proc) {
 	for {
 		buf := b.pool.Get(p) // "obtain empty buffers ... in advance"
 		msg := b.audioToServer.Recv(p)
-		size := msg.Seg.WireSize()
+		size := msg.W.Len()
 		p.Consume(time.Duration(size) * serverCopyPerKB / 1024)
-		buf.Payload = msg.Seg
+		buf.SetPayload(msg.W.Bytes())
+		msg.W.Release()
 		buf.Stream = msg.Stream
 		b.toSwitch.Send(p, buf)
 	}
@@ -286,16 +280,20 @@ func (b *Box) runNetIn(p *occam.Proc) {
 	reasm := make(map[uint32]*chunkedVideo)
 	for {
 		buf := b.pool.Get(p)
-		var m atm.Message
+		var (
+			m atm.Message
+			w segment.Wire
+		)
 		for {
 			m = b.host.Rx.Recv(p)
-			if payload, done := reassemble(reasm, m); done {
-				m.Payload = payload
+			var done bool
+			if w, done = reassemble(reasm, m); done {
 				break
 			}
 		}
 		p.Consume(time.Duration(m.Size) * serverCopyPerKB / 1024)
-		buf.Payload = m.Payload
+		buf.SetPayload(w.Bytes())
+		w.Release()
 		buf.Stream = m.VCI
 		b.toSwitch.Send(p, buf)
 	}
@@ -307,37 +305,40 @@ func (b *Box) runCaptureIn(p *occam.Proc) {
 	for {
 		buf := b.pool.Get(p)
 		msg := b.captureToServer.Recv(p)
-		p.Consume(time.Duration(msg.Seg.WireSize()) * serverCopyPerKB / 1024)
-		buf.Payload = msg.Seg
+		p.Consume(time.Duration(msg.W.Len()) * serverCopyPerKB / 1024)
+		buf.SetPayload(msg.W.Bytes())
+		msg.W.Release()
 		buf.Stream = msg.Stream
 		b.toSwitch.Send(p, buf)
 	}
 }
 
-// runAudioOut moves speaker-bound segments over the link to the
-// audio board.
+// runAudioOut moves speaker-bound segments over the link to the audio
+// board: the copy out of the server buffer into a pooled wire is this
+// output device's single copy (§3.4: "once out for each output
+// device"), after which the buffer index is free to recycle.
 func (b *Box) runAudioOut(p *occam.Proc) {
 	out := b.outBufs[bufSpeaker].Out
 	for {
 		buf := out.Recv(p)
-		seg := buf.Payload.(*segment.Audio)
-		size := seg.WireSize() + segment.StreamNumberSize
+		size := buf.Payload.Len() + segment.StreamNumberSize
 		p.Consume(time.Duration(size) * serverCopyPerKB / 1024)
-		b.serverToAudio.Send(p, audioMsg{Stream: buf.Stream, Seg: seg}, size)
+		w := b.wires.Copy(buf.Payload.Bytes())
+		b.serverToAudio.Send(p, wireMsg{Stream: buf.Stream, W: w}, size)
 		b.pool.Release(p, buf)
 	}
 }
 
 // runDisplayOut moves display-bound video over the fifo to the mixer
-// board.
+// board (copy out at the display device, as in runAudioOut).
 func (b *Box) runDisplayOut(p *occam.Proc) {
 	out := b.outBufs[bufDisplay].Out
 	for {
 		buf := out.Recv(p)
-		seg := buf.Payload.(*segment.Video)
-		size := seg.WireSize()
+		size := buf.Payload.Len()
 		p.Consume(time.Duration(size) * serverCopyPerKB / 1024)
-		b.serverToMixer.Send(p, videoMsg{Stream: buf.Stream, Seg: seg}, size)
+		w := b.wires.Copy(buf.Payload.Bytes())
+		b.serverToMixer.Send(p, wireMsg{Stream: buf.Stream, W: w}, size)
 		b.pool.Release(p, buf)
 	}
 }
@@ -351,35 +352,40 @@ func (b *Box) netTransmit(p *occam.Proc, size int) {
 // netChunkSize is the A4 interleaving granularity.
 const netChunkSize = 1024
 
-// videoChunk is one piece of a chunked video segment (A4 ablation).
-type videoChunk struct {
-	Seg   *segment.Video
-	Index int
-	Total int
-}
-
+// chunkedVideo is the per-VCI reassembly state for interleaved video
+// (A4 ablation). Every chunk of a segment carries a reference to the
+// same wire, so reassembly keeps the first chunk's reference and
+// releases the rest.
 type chunkedVideo struct {
 	got, total int
-	seg        *segment.Video
+	seq        uint32
+	w          segment.Wire
 }
 
-// reassemble merges chunked video; whole messages pass through.
-func reassemble(m map[uint32]*chunkedVideo, msg atm.Message) (any, bool) {
-	ch, isChunk := msg.Payload.(videoChunk)
-	if !isChunk {
-		return msg.Payload, true
+// reassemble merges chunked video; whole messages pass through. It
+// consumes every message's wire reference: the returned wire carries
+// exactly one, duplicates and superseded partials are released.
+func reassemble(m map[uint32]*chunkedVideo, msg atm.Message) (segment.Wire, bool) {
+	if msg.ChunkTotal <= 1 {
+		return msg.W, true
 	}
+	seq := msg.W.Seq()
 	st, ok := m[msg.VCI]
-	if !ok || st.seg != ch.Seg {
-		st = &chunkedVideo{total: ch.Total, seg: ch.Seg}
+	if !ok || st.seq != seq || st.total != msg.ChunkTotal {
+		if ok {
+			st.w.Release() // abandon the stale partial segment
+		}
+		st = &chunkedVideo{total: msg.ChunkTotal, seq: seq, w: msg.W}
 		m[msg.VCI] = st
+	} else {
+		msg.W.Release() // the partial already holds this segment's wire
 	}
 	st.got++
 	if st.got >= st.total {
 		delete(m, msg.VCI)
-		return st.seg, true
+		return st.w, true
 	}
-	return nil, false
+	return segment.Wire{}, false
 }
 
 // runNetOut is the network output process. Audio takes priority over
@@ -391,38 +397,42 @@ func (b *Box) runNetOut(p *occam.Proc) {
 	rep := newReporter(b.cfg.Name+".netOut", b.Reports)
 	audioOut := b.outBufs[bufNetAudio].Out
 	videoOut := b.outBufs[bufNetVideo].Out
+	var buf *allocator.Buffer
+	guards := []occam.Guard{
+		occam.Recv(audioOut, &buf), // principle 2: audio first
+		occam.Recv(videoOut, &buf),
+	}
 	for {
-		var buf *allocator.Buffer
-		p.Alt(
-			occam.Recv(audioOut, &buf), // principle 2: audio first
-			occam.Recv(videoOut, &buf),
-		)
+		p.Alt(guards...)
 		vcis, ok := b.netVCI[buf.Stream]
 		if !ok {
 			vcis = []uint32{buf.Stream}
 		}
-		// Splitting to several network destinations sends one copy per
-		// VCI; a slow destination only affects its own circuit
+		// Splitting to several network destinations sends one descriptor
+		// per VCI; a slow destination only affects its own circuit
 		// (principle 5 — drops happen inside the network, never here).
-		for _, vci := range vcis {
-			switch seg := buf.Payload.(type) {
-			case *segment.Audio:
-				b.netTransmit(p, seg.WireSize())
-				err := b.host.Send(p, atm.Message{VCI: vci, Size: seg.WireSize(), Payload: seg})
+		isVideo := buf.Payload.Type() == segment.TypeVideo
+		if isVideo && b.cfg.InterleaveNetwork {
+			for _, vci := range vcis {
+				b.sendChunked(p, rep, vci, b.wires.Copy(buf.Payload.Bytes()))
+			}
+		} else {
+			// Copy out of the server buffer once (the network
+			// interface's single copy, §3.4); every VCI then shares the
+			// wire under its own reference. Non-interleaved video
+			// occupies the interface for the whole segment, holding up
+			// any audio waiting in its buffer (§4.2).
+			w := b.wires.Copy(buf.Payload.Bytes())
+			w.Retain(len(vcis) - 1)
+			for _, vci := range vcis {
+				b.netTransmit(p, w.Len())
+				err := b.host.Send(p, atm.Message{VCI: vci, Size: w.Len(), W: w})
 				if err != nil {
-					rep.Report(p, "nocircuit", "audio stream %d: %v", buf.Stream, err)
-				}
-			case *segment.Video:
-				if b.cfg.InterleaveNetwork {
-					b.sendChunked(p, rep, vci, seg)
-				} else {
-					// Non-interleaved: the interface is occupied for
-					// the whole video segment, holding up any audio
-					// waiting in its buffer (§4.2).
-					b.netTransmit(p, seg.WireSize())
-					err := b.host.Send(p, atm.Message{VCI: vci, Size: seg.WireSize(), Payload: seg})
-					if err != nil {
+					w.Release() // the circuit never took the reference
+					if isVideo {
 						rep.Report(p, "nocircuit", "video stream %d: %v", buf.Stream, err)
+					} else {
+						rep.Report(p, "nocircuit", "audio stream %d: %v", buf.Stream, err)
 					}
 				}
 			}
@@ -433,8 +443,11 @@ func (b *Box) runNetOut(p *occam.Proc) {
 
 // sendChunked splits a video segment into cell-train chunks and lets
 // waiting audio through between chunks (A4: interleaved transmission).
-func (b *Box) sendChunked(p *occam.Proc, rep *Reporter, vci uint32, seg *segment.Video) {
-	total := (seg.WireSize() + netChunkSize - 1) / netChunkSize
+// It consumes the wire reference it is given: each chunk message
+// carries its own reference to the same wire.
+func (b *Box) sendChunked(p *occam.Proc, rep *Reporter, vci uint32, w segment.Wire) {
+	total := (w.Len() + netChunkSize - 1) / netChunkSize
+	w.Retain(total - 1)
 	audioOut := b.outBufs[bufNetAudio].Out
 	for i := 0; i < total; i++ {
 		// Drain any waiting audio first (principle 2 at chunk
@@ -444,14 +457,16 @@ func (b *Box) sendChunked(p *occam.Proc, rep *Reporter, vci uint32, seg *segment
 			if p.Alt(occam.Recv(audioOut, &abuf), occam.Skip()) == 1 {
 				break
 			}
-			aseg := abuf.Payload.(*segment.Audio)
 			avcis, ok := b.netVCI[abuf.Stream]
 			if !ok {
 				avcis = []uint32{abuf.Stream}
 			}
+			aw := b.wires.Copy(abuf.Payload.Bytes())
+			aw.Retain(len(avcis) - 1)
 			for _, avci := range avcis {
-				b.netTransmit(p, aseg.WireSize())
-				if err := b.host.Send(p, atm.Message{VCI: avci, Size: aseg.WireSize(), Payload: aseg}); err != nil {
+				b.netTransmit(p, aw.Len())
+				if err := b.host.Send(p, atm.Message{VCI: avci, Size: aw.Len(), W: aw}); err != nil {
+					aw.Release()
 					rep.Report(p, "nocircuit", "audio stream %d: %v", abuf.Stream, err)
 				}
 			}
@@ -459,15 +474,18 @@ func (b *Box) sendChunked(p *occam.Proc, rep *Reporter, vci uint32, seg *segment
 		}
 		size := netChunkSize
 		if i == total-1 {
-			size = seg.WireSize() - (total-1)*netChunkSize
+			size = w.Len() - (total-1)*netChunkSize
 		}
 		b.netTransmit(p, size)
 		err := b.host.Send(p, atm.Message{
-			VCI: vci, Size: size,
-			Payload: videoChunk{Seg: seg, Index: i, Total: total},
+			VCI: vci, Size: size, W: w,
+			ChunkIndex: i, ChunkTotal: total,
 		})
 		if err != nil {
 			rep.Report(p, "nocircuit", "video chunk: %v", err)
+			for j := i; j < total; j++ {
+				w.Release() // the unsent chunks' references
+			}
 			return
 		}
 	}

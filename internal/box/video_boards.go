@@ -134,7 +134,10 @@ func (b *Box) runCapture(p *occam.Proc) {
 				seg.Args = []uint32{uint32(lp.Shift)}
 				seg.Length = uint32(seg.WireSize())
 				segSeq[id]++
-				b.captureToServer.Send(p, videoMsg{Stream: id, Seg: seg}, seg.WireSize())
+				// Encode once at the source (§3.4); the wire moves by
+				// reference from here to the display's copy-out.
+				w := b.wires.Encode(seg)
+				b.captureToServer.Send(p, wireMsg{Stream: id, W: w}, w.Len())
 			}
 			frameSeq[id]++
 		}
@@ -162,16 +165,20 @@ func (b *Box) runDisplay(p *occam.Proc) {
 	rep := newReporter(b.cfg.Name+".display", b.Reports)
 	scan := video.Scan{Lines: b.cfg.CameraH, Period: video.FramePeriod}
 	assemblers := make(map[uint32]*video.Assembler)
+	var seg segment.Video // reused header view into each wire
 	for {
 		msg := b.serverToMixer.Recv(p)
-		seg := msg.Seg
 		b.displayStat.Segments++
 		p.Consume(displaySegmentCost)
 
+		// Decode the header in place; seg.Data aliases the wire until
+		// the Release at the end of this iteration.
+		err := msg.W.DecodeVideoInto(&seg)
 		lines, ok := unpackLines(seg.Data)
-		if !ok || len(lines) != int(seg.NumLines) {
+		if err != nil || !ok || len(lines) != int(seg.NumLines) {
 			b.displayStat.DecodeErrs++
 			rep.Report(p, "corrupt", "stream %d: corrupt segment discarded", msg.Stream)
+			msg.W.Release()
 			continue // "the current segment is thrown away" (§3.8)
 		}
 		// Decompress with the per-stream last-line continuity (§3.6).
@@ -189,6 +196,7 @@ func (b *Box) runDisplay(p *occam.Proc) {
 		}
 		if bad {
 			b.displayStat.DecodeErrs++
+			msg.W.Release()
 			continue
 		}
 
@@ -197,7 +205,8 @@ func (b *Box) runDisplay(p *occam.Proc) {
 			a = video.NewAssembler(b.cfg.CameraW, b.cfg.CameraH)
 			assemblers[msg.Stream] = a
 		}
-		frame := a.Add(seg, img)
+		frame := a.Add(&seg, img)
+		msg.W.Release() // img and the assembler hold their own copies
 		if frame == nil {
 			continue
 		}

@@ -183,6 +183,12 @@ type Stats struct {
 type Item struct {
 	Data  []byte
 	Stamp int64
+	// W, if non-zero, is the wire whose storage Data aliases: the
+	// queue holds one reference per item instead of copying the
+	// samples. PushItem releases it when a block is dropped; consumers
+	// release it after using a popped item; Drain releases the queue's
+	// remaining references.
+	W segment.Wire
 }
 
 // Buffer is one stream's clawback buffer. It is a plain data
@@ -269,24 +275,28 @@ func (b *Buffer) PushItem(it Item) DropReason {
 		// when they arrive."
 		b.limit.Inc()
 		b.trace.Emit(obs.EvDrop, b.source, 0, DropLimit.String())
+		it.W.Release()
 		return DropLimit
 	}
 	if b.cfg.MultiRate {
 		if b.pushMultiRate() {
 			b.claw.Inc()
 			b.trace.Emit(obs.EvDrop, b.source, 0, DropClaw.String())
+			it.W.Release()
 			return DropClaw
 		}
 	} else {
 		if b.pushSingleRate() {
 			b.claw.Inc()
 			b.trace.Emit(obs.EvDrop, b.source, 0, DropClaw.String())
+			it.W.Release()
 			return DropClaw
 		}
 	}
 	if b.cfg.Pool != nil && !b.cfg.Pool.take() {
 		b.pool.Inc()
 		b.trace.Emit(obs.EvDrop, b.source, 0, DropPool.String())
+		it.W.Release()
 		return DropPool
 	}
 	b.queue = append(b.queue, it)
@@ -373,8 +383,9 @@ func (b *Buffer) PopItem() (it Item, ok bool) {
 // empty is used to deactivate the stream, removing the clawback
 // buffer altogether").
 func (b *Buffer) Drain() {
-	if b.cfg.Pool != nil {
-		for range b.queue {
+	for i := range b.queue {
+		b.queue[i].W.Release()
+		if b.cfg.Pool != nil {
 			b.cfg.Pool.give()
 		}
 	}

@@ -108,17 +108,18 @@ func New[T any](rt *occam.Runtime, node *occam.Node, name string, capacity int, 
 // then the output side, then input (only when not full, so a plain
 // buffer blocks its producer exactly as the paper describes).
 func (d *Process[T]) runQueue(p *occam.Proc) {
+	var (
+		cmd Command
+		req struct{}
+		v   T
+	)
+	notEmpty := occam.NewCond(occam.Recv(d.outReq, &req))
+	notFull := occam.NewCond(occam.Recv(d.In, &v))
+	guards := []occam.Guard{occam.Recv(d.Cmd, &cmd), notEmpty, notFull}
 	for {
-		var (
-			cmd Command
-			req struct{}
-			v   T
-		)
-		switch p.Alt(
-			occam.Recv(d.Cmd, &cmd),
-			occam.When(!d.ring.Empty(), occam.Recv(d.outReq, &req)),
-			occam.When(!d.ring.Full(), occam.Recv(d.In, &v)),
-		) {
+		notEmpty.Set(!d.ring.Empty())
+		notFull.Set(!d.ring.Full())
+		switch p.Alt(guards...) {
 		case 0:
 			d.handleCommand(p, cmd)
 		case 1:
@@ -188,6 +189,21 @@ type Sender[T any] struct {
 	canSend bool
 	refused *obs.Counter
 	trace   *obs.Tracer
+
+	// ready is the cached ReadyGuard condition: hot loops hoist the
+	// guard out of their alternation loop, so the condition must track
+	// canSend from Deliver/Update rather than being rebuilt per call.
+	ready    *occam.Cond
+	readyDst *bool
+}
+
+// setCanSend records the buffer's latest reply and keeps the hoisted
+// ReadyGuard condition in sync.
+func (s *Sender[T]) setCanSend(v bool) {
+	s.canSend = v
+	if s.ready != nil {
+		s.ready.Set(!v)
+	}
 }
 
 // NewSender returns a ready-protocol client for buf, which must have
@@ -222,16 +238,23 @@ func (s *Sender[T]) Deliver(p *occam.Proc, v T) bool {
 		return false
 	}
 	s.buf.In.Send(p, v)
-	s.canSend = s.buf.Ready.Recv(p)
+	s.setCanSend(s.buf.Ready.Recv(p))
 	return true
 }
 
 // ReadyGuard returns a guard on the ready channel for inclusion in
 // the upstream process's alternation while blocked by a FALSE reply.
-// After the guard fires, call Update with the received value.
+// After the guard fires, call Update with the received value. The
+// guard is reusable: it may be built once, kept in a hoisted guard
+// slice, and its condition follows the sender's state.
 func (s *Sender[T]) ReadyGuard(dst *bool) occam.Guard {
-	return occam.When(!s.canSend, occam.Recv(s.buf.Ready, dst))
+	if s.ready == nil || s.readyDst != dst {
+		s.ready = occam.NewCond(occam.Recv(s.buf.Ready, dst))
+		s.readyDst = dst
+	}
+	s.ready.Set(!s.canSend)
+	return s.ready
 }
 
 // Update records a ready value received via ReadyGuard.
-func (s *Sender[T]) Update(ready bool) { s.canSend = ready }
+func (s *Sender[T]) Update(ready bool) { s.setCanSend(ready) }

@@ -27,13 +27,16 @@ func feedStreams(s *core.System, dstName string, n int, base uint32) {
 			dst.SetRoute(p, box.Route{Stream: base + uint32(i), Outputs: []box.Output{box.OutSpeaker}})
 		}
 		tone := workload.NewTone(400, 8000)
+		pool := segment.NewWirePool()
 		seqs := make([]uint32, n)
 		for tick := 0; ; tick++ {
 			p.SleepUntil(occam.Time(int64(tick) * int64(2*segment.BlockDuration)))
 			for i := 0; i < n; i++ {
-				seg := segment.NewAudio(seqs[i], p.Now(), [][]byte{tone.NextBlock(), tone.NextBlock()})
+				w := pool.Encode(segment.NewAudio(seqs[i], p.Now(), [][]byte{tone.NextBlock(), tone.NextBlock()}))
 				seqs[i]++
-				gen.Send(p, atm.Message{VCI: base + uint32(i), Size: seg.WireSize(), Payload: seg})
+				if gen.Send(p, atm.Message{VCI: base + uint32(i), Size: w.Len(), W: w}) != nil {
+					w.Release()
+				}
 			}
 		}
 	})
@@ -139,18 +142,20 @@ func e2LinkRun(n int) (offered, delivered int, utilisation float64) {
 	const rounds = 250 // 1 s of 4 ms segments
 	rt.Go("tx", nil, occam.Low, func(p *occam.Proc) {
 		tone := workload.NewTone(400, 8000)
+		pool := segment.NewWirePool()
 		for tick := 0; tick < rounds; tick++ {
 			p.SleepUntil(occam.Time(int64(tick) * int64(4*time.Millisecond)))
 			for i := 0; i < n; i++ {
-				seg := segment.NewAudio(uint32(tick), p.Now(), [][]byte{tone.NextBlock(), tone.NextBlock()})
-				link.Send(p, audioSegMsg{uint32(i), seg}, seg.WireSize()+segment.StreamNumberSize)
+				w := pool.Encode(segment.NewAudio(uint32(tick), p.Now(), [][]byte{tone.NextBlock(), tone.NextBlock()}))
+				link.Send(p, audioSegMsg{uint32(i), w}, w.Len()+segment.StreamNumberSize)
 			}
 		}
 	})
 	got := 0
 	rt.Go("rx", nil, occam.High, func(p *occam.Proc) {
 		for {
-			link.Recv(p)
+			msg := link.Recv(p)
+			msg.W.Release()
 			got++
 		}
 	})
@@ -164,7 +169,7 @@ func e2LinkRun(n int) (offered, delivered int, utilisation float64) {
 
 type audioSegMsg struct {
 	Stream uint32
-	Seg    *segment.Audio
+	W      segment.Wire
 }
 
 // E3 reproduces the best one-way latency: "the best one-way trip time

@@ -34,6 +34,7 @@ type MicUnit struct {
 	source workload.AudioSource
 	vcis   []uint32
 	ctl    *occam.Chan[micCtl]
+	pool   *segment.WirePool
 	segs   uint64
 }
 
@@ -48,6 +49,7 @@ func NewMicUnit(rt *occam.Runtime, net *atm.Network, name string, source workloa
 		host:   net.AddHost(name),
 		source: source,
 		ctl:    occam.NewChan[micCtl](rt, name+".ctl"),
+		pool:   segment.NewWirePool(),
 	}
 	rt.Go(name+".mic", nil, occam.High, m.run)
 	return m
@@ -95,11 +97,16 @@ func (m *MicUnit) run(p *occam.Proc) {
 		}
 		blocks = append(blocks, m.source.NextBlock())
 		if len(blocks) >= perSeg {
-			seg := segment.NewAudio(seq, stamp, blocks)
+			// Encode once; every destination circuit shares the wire
+			// under its own reference.
+			w := m.pool.Encode(segment.NewAudio(seq, stamp, blocks))
 			seq++
-			blocks = nil
+			blocks = blocks[:0]
+			w.Retain(len(m.vcis) - 1)
 			for _, vci := range m.vcis {
-				m.host.Send(p, atm.Message{VCI: vci, Size: seg.WireSize(), Payload: seg})
+				if m.host.Send(p, atm.Message{VCI: vci, Size: w.Len(), W: w}) != nil {
+					w.Release() // no circuit took the reference
+				}
 			}
 			m.segs++
 		}
@@ -158,8 +165,10 @@ func (s *SpeakerUnit) Latency(vci uint32) *metrics.Tracker {
 func (s *SpeakerUnit) runRx(p *occam.Proc) {
 	for {
 		msg := s.host.Rx.Recv(p)
-		if seg, ok := msg.Payload.(*segment.Audio); ok {
-			s.mix.Deliver(msg.VCI, seg)
+		if !msg.W.IsZero() && (msg.W.Type() == segment.TypeAudio || msg.W.Type() == segment.TypeTest) {
+			s.mix.Deliver(msg.VCI, msg.W) // Deliver consumes the reference
+		} else {
+			msg.W.Release()
 		}
 	}
 }
@@ -180,6 +189,7 @@ type CameraUnit struct {
 	rate   video.Rate
 	vcis   []uint32
 	ctl    *occam.Chan[[]uint32]
+	pool   *segment.WirePool
 	frames uint64
 }
 
@@ -192,6 +202,7 @@ func NewCameraUnit(rt *occam.Runtime, net *atm.Network, name string, w, h int, r
 		h:      h,
 		rate:   rate,
 		ctl:    occam.NewChan[[]uint32](rt, name+".ctl"),
+		pool:   segment.NewWirePool(),
 	}
 	rt.Go(name+".camera", nil, occam.High, c.run)
 	return c
@@ -237,8 +248,12 @@ func (c *CameraUnit) run(p *occam.Proc) {
 			seg := segment.NewVideo(seq, p.Now(), frameNo, 2, uint32(s),
 				0, uint32(s*half), uint32(c.w), uint32(s*half), uint32(half), data)
 			seq++
+			w := c.pool.Encode(seg)
+			w.Retain(len(c.vcis) - 1)
 			for _, vci := range c.vcis {
-				c.host.Send(p, atm.Message{VCI: vci, Size: seg.WireSize(), Payload: seg})
+				if c.host.Send(p, atm.Message{VCI: vci, Size: w.Len(), W: w}) != nil {
+					w.Release() // no circuit took the reference
+				}
 			}
 		}
 		frameNo++
@@ -279,15 +294,22 @@ func NewDisplayUnit(rt *occam.Runtime, net *atm.Network, name string, w, h int) 
 func (d *DisplayUnit) Host() *atm.Host { return d.host }
 
 func (d *DisplayUnit) run(p *occam.Proc) {
+	var seg segment.Video // reused header view into each wire
 	for {
 		msg := d.host.Rx.Recv(p)
-		seg, ok := msg.Payload.(*segment.Video)
-		if !ok {
+		if msg.W.IsZero() || msg.W.Type() != segment.TypeVideo {
+			msg.W.Release()
 			continue
 		}
-		img, ok := d.decode(msg.VCI, seg)
+		if err := msg.W.DecodeVideoInto(&seg); err != nil {
+			d.DecodeErrs++
+			msg.W.Release()
+			continue
+		}
+		img, ok := d.decode(msg.VCI, &seg)
 		if !ok {
 			d.DecodeErrs++
+			msg.W.Release()
 			continue
 		}
 		a, ok := d.assemblers[msg.VCI]
@@ -295,7 +317,9 @@ func (d *DisplayUnit) run(p *occam.Proc) {
 			a = video.NewAssembler(d.w, d.h)
 			d.assemblers[msg.VCI] = a
 		}
-		if frame := a.Add(seg, img); frame != nil {
+		frame := a.Add(&seg, img)
+		msg.W.Release() // img and the assembler hold their own copies
+		if frame != nil {
 			d.Frames++
 			d.FrameLat.Add(p.Now().Sub(segment.TimestampTime(seg.Timestamp)))
 		}

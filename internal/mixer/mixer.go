@@ -73,12 +73,15 @@ type streamCounters struct {
 	reactivations *obs.Counter
 }
 
-// stream is one incoming audio stream's destination state.
+// stream is one incoming audio stream's destination state. lastBlock
+// is an owned copy of the most recent block — concealment must not
+// alias wire storage that may be recycled before the replay plays.
 type stream struct {
 	buf       *clawback.Buffer
 	nextSeq   uint32
 	seenAny   bool
-	lastBlock []byte
+	lastBlock [segment.BlockSamples]byte
+	haveLast  bool
 	active    bool
 	c         streamCounters
 }
@@ -91,6 +94,11 @@ type Mixer struct {
 	pool    *clawback.Pool
 	streams map[uint32]*stream
 	ticks   uint64
+
+	// Per-tick scratch, reused: the returned block is valid until the
+	// next Tick.
+	out []byte
+	ids []uint32
 
 	// OnPlayout, if set, is called for every block played with the
 	// stream id, the block's source timestamp and the playout time
@@ -111,6 +119,7 @@ func New(cfg Config) *Mixer {
 		cfg:     cfg,
 		pool:    clawback.NewPool(cfg.PoolBlocks),
 		streams: make(map[uint32]*stream),
+		out:     make([]byte, segment.BlockSamples),
 	}
 	lb := obs.L("box", cfg.Name)
 	cfg.Obs.GaugeFunc("clawback_pool_used", func() float64 { return float64(m.pool.Used()) }, lb)
@@ -180,8 +189,11 @@ func (m *Mixer) source() string { return m.cfg.Name + ".mixer" }
 
 // Deliver feeds one arriving audio segment for stream id into its
 // clawback buffer, creating or reactivating the stream as needed and
-// concealing any sequence gap.
-func (m *Mixer) Deliver(id uint32, seg *segment.Audio) {
+// concealing any sequence gap. It reads headers and sample blocks in
+// place from the wire and consumes one wire reference: queued blocks
+// alias the wire under their own references (one Retain per item);
+// whatever is not queued costs nothing and the wire is released.
+func (m *Mixer) Deliver(id uint32, w segment.Wire) {
 	tr := m.cfg.Obs.Tracer()
 	s, ok := m.streams[id]
 	if !ok {
@@ -198,24 +210,32 @@ func (m *Mixer) Deliver(id uint32, seg *segment.Audio) {
 	}
 	s.c.segments.Inc()
 
+	seq := w.Seq()
+	blocks := w.AudioBlocks()
+	base := int64(segment.TimestampTime(w.Timestamp()))
+
 	// Sequence-gap detection and bounded concealment (§3.8).
-	if s.seenAny && seg.Seq != s.nextSeq {
+	if s.seenAny && seq != s.nextSeq {
 		// Signed 32-bit difference so sequence wraparound and late
 		// duplicates both classify correctly.
-		gap := int(int32(seg.Seq - s.nextSeq)) // whole missing segments
+		gap := int(int32(seq - s.nextSeq)) // whole missing segments
 		if gap > 0 {
 			s.c.lost.Add(uint64(gap))
-			conceal := gap * seg.Blocks()
+			conceal := gap * blocks
 			if conceal > m.cfg.MaxConcealBlocks {
 				conceal = m.cfg.MaxConcealBlocks
 			}
-			base := int64(segment.TimestampTime(seg.Timestamp))
-			for i := 0; i < conceal && s.lastBlock != nil; i++ {
-				stamp := base - int64(conceal-i)*int64(segment.BlockDuration)
-				if s.buf.PushItem(clawback.Item{Data: s.lastBlock, Stamp: stamp}) != clawback.DropNone {
-					break
+			if conceal > 0 && s.haveLast {
+				// One owned copy per gap episode, shared by every
+				// replayed block queued for it.
+				replay := append([]byte(nil), s.lastBlock[:]...)
+				for i := 0; i < conceal; i++ {
+					stamp := base - int64(conceal-i)*int64(segment.BlockDuration)
+					if s.buf.PushItem(clawback.Item{Data: replay, Stamp: stamp}) != clawback.DropNone {
+						break
+					}
+					s.c.concealed.Inc()
 				}
-				s.c.concealed.Inc()
 			}
 		} else {
 			// A negative gap is a late duplicate or reordering: the
@@ -225,23 +245,29 @@ func (m *Mixer) Deliver(id uint32, seg *segment.Audio) {
 			// resynchronises to the duplicate's sequence number.
 			s.c.lateDups.Inc()
 			tr.Emit(obs.EvDrop, m.source(), id, "late-duplicate")
-			s.nextSeq = seg.Seq + 1
+			s.nextSeq = seq + 1
+			w.Release()
 			return
 		}
 	}
-	s.nextSeq = seg.Seq + 1
+	s.nextSeq = seq + 1
 	s.seenAny = true
 
-	base := int64(segment.TimestampTime(seg.Timestamp))
-	for i := 0; i < seg.Blocks(); i++ {
-		blk := seg.Block(i)
+	for i := 0; i < blocks; i++ {
+		blk := w.AudioBlock(i)
+		w.Retain(1) // the queued item's reference; dropped items release it
 		s.buf.PushItem(clawback.Item{
 			Data:  blk,
 			Stamp: base + int64(i)*int64(segment.BlockDuration),
+			W:     w,
 		})
-		s.lastBlock = blk
 	}
-	s.c.blocks.Add(uint64(seg.Blocks()))
+	if blocks > 0 {
+		copy(s.lastBlock[:], w.AudioBlock(blocks-1))
+		s.haveLast = true
+	}
+	s.c.blocks.Add(uint64(blocks))
+	w.Release()
 }
 
 // Tick produces the next mixed 2 ms block of µ-law samples at stream
@@ -251,6 +277,9 @@ func (m *Mixer) Deliver(id uint32, seg *segment.Audio) {
 //
 // mixed reports how many streams contributed audio — the mixing work
 // done this tick, which the audio board accounts CPU time for.
+//
+// The returned block is scratch storage reused by the next Tick;
+// callers must finish with it (play it, copy it) before then.
 func (m *Mixer) Tick(now int64) (block []byte, mixed int) {
 	m.ticks++
 	var sum [segment.BlockSamples]int32
@@ -275,9 +304,10 @@ func (m *Mixer) Tick(now int64) (block []byte, mixed int) {
 		if m.OnPlayout != nil {
 			m.OnPlayout(id, it.Stamp, now)
 		}
+		it.W.Release() // the sample data has been mixed out
 		mixed++
 	}
-	out := make([]byte, segment.BlockSamples)
+	out := m.out
 	for i := range out {
 		v := sum[i]
 		switch {
@@ -295,12 +325,13 @@ func (m *Mixer) Tick(now int64) (block []byte, mixed int) {
 func (m *Mixer) Ticks() uint64 { return m.ticks }
 
 // orderedIDs returns the stream ids in ascending order for
-// deterministic mixing.
+// deterministic mixing, reusing the mixer's scratch slice.
 func (m *Mixer) orderedIDs() []uint32 {
-	ids := make([]uint32, 0, len(m.streams))
+	ids := m.ids[:0]
 	for id := range m.streams {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	m.ids = ids
 	return ids
 }

@@ -8,8 +8,14 @@ import (
 	"repro/internal/segment"
 )
 
-// seg builds an audio segment of nblocks constant-amplitude blocks.
-func seg(seq uint32, amp int16, nblocks int) *segment.Audio {
+// testPool backs the wires tests feed to Deliver; pooled storage means
+// the tests also exercise the retain-per-queued-block discipline (a
+// refcount bug would recycle storage under a queued block and corrupt
+// the mixed audio).
+var testPool = segment.NewWirePool()
+
+// seg builds an audio wire of nblocks constant-amplitude blocks.
+func seg(seq uint32, amp int16, nblocks int) segment.Wire {
 	blocks := make([][]byte, nblocks)
 	for i := range blocks {
 		b := make([]byte, segment.BlockSamples)
@@ -18,7 +24,7 @@ func seg(seq uint32, amp int16, nblocks int) *segment.Audio {
 		}
 		blocks[i] = b
 	}
-	return segment.NewAudio(seq, 0, blocks)
+	return testPool.Encode(segment.NewAudio(seq, 0, blocks))
 }
 
 func TestSilenceWithNoStreams(t *testing.T) {
@@ -221,6 +227,29 @@ func TestReorderedSequenceCounts(t *testing.T) {
 	}
 	if _, mixed := m.Tick(0); mixed != 0 {
 		t.Fatal("late duplicates queued extra audio")
+	}
+}
+
+func TestDeliverReleasesWiresWhenPlayedOut(t *testing.T) {
+	// Wires delivered with gaps, late duplicates and drops: once every
+	// queued block has been mixed out, all pooled storage must be back
+	// on the free list — no path may leak or double-release.
+	pl := segment.NewWirePool()
+	mk := func(seq uint32) segment.Wire {
+		return pl.Encode(segment.NewAudio(seq, 0, [][]byte{
+			{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16},
+		}))
+	}
+	m := New(Config{MaxConcealBlocks: 2})
+	m.Deliver(1, mk(0))
+	m.Deliver(1, mk(5)) // gap: concealment queues owned copies, not wires
+	m.Deliver(1, mk(2)) // late duplicate: released without queueing
+	m.Deliver(1, mk(3))
+	for i := 0; i < 16; i++ {
+		m.Tick(0)
+	}
+	if pl.FreeLen() != int(pl.News) {
+		t.Fatalf("%d of %d wire records returned after playout", pl.FreeLen(), pl.News)
 	}
 }
 

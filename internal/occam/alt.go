@@ -1,9 +1,9 @@
 package occam
 
-import "fmt"
-
 // altState is the shared state of one alternation: the first guard to
-// fire claims it and wakes the process.
+// fire claims it and wakes the process. Each Proc owns one altState,
+// reused across Alt calls — a process runs at most one alternation at
+// a time and every registration is removed before Alt returns.
 type altState struct {
 	p      *Proc
 	fired  bool
@@ -11,7 +11,7 @@ type altState struct {
 }
 
 // Guard is one alternative of a PRI ALT. Construct guards with Recv,
-// After, Timeout, Skip and When.
+// After, Timeout, Skip, When and NewCond.
 type Guard interface {
 	// poll attempts to fire the guard immediately (mu held).
 	poll(p *Proc) bool
@@ -28,6 +28,11 @@ type Guard interface {
 // property Pandora relies on to keep command channels ahead of data
 // channels (principle 4). With no ready guard the process blocks until
 // one fires.
+//
+// Guards are reusable: a hot loop may build its guard slice once and
+// pass the same slice (and guard values) to every Alt. Conditional
+// guards that change per iteration should use NewCond and Set rather
+// than reconstructing When wrappers.
 func (p *Proc) Alt(guards ...Guard) int {
 	if len(guards) == 0 {
 		panic("occam: Alt with no guards")
@@ -40,11 +45,13 @@ func (p *Proc) Alt(guards ...Guard) int {
 			return i
 		}
 	}
-	a := &altState{p: p, chosen: -1}
+	a := &p.alt
+	a.p, a.fired, a.chosen = p, false, -1
 	for i, g := range guards {
 		g.enable(a, i)
 	}
-	rt.park(p, fmt.Sprintf("alt over %d guards", len(guards)))
+	p.stN = len(guards)
+	rt.park(p, stAlt, "")
 	for _, g := range guards {
 		g.disable()
 	}
@@ -72,17 +79,16 @@ func (g *recvGuard[T]) poll(p *Proc) bool {
 	if len(c.sendq) == 0 {
 		return false
 	}
-	w := c.sendq[0]
-	copy(c.sendq, c.sendq[1:])
-	c.sendq = c.sendq[:len(c.sendq)-1]
+	w := c.popSend()
 	*g.dst = w.v
 	c.rt.ready(w.p)
+	c.putSend(w)
 	return true
 }
 
 func (g *recvGuard[T]) enable(a *altState, idx int) {
 	g.a = a
-	g.ch.alts = append(g.ch.alts, &altReg[T]{a: a, idx: idx, dst: g.dst})
+	g.ch.alts = append(g.ch.alts, g.ch.getReg(a, idx, g.dst))
 }
 
 func (g *recvGuard[T]) disable() {
@@ -112,6 +118,9 @@ func (g *timeGuard) enable(a *altState, idx int) {
 			rt.ready(a.p)
 		}
 	})
+	// The guard keeps the event pointer past the fire, so the
+	// runtime must not recycle it.
+	g.ev.pinned = true
 }
 
 func (g *timeGuard) disable() {
@@ -142,6 +151,7 @@ func (g *timeoutGuard) enable(a *altState, idx int) {
 			rt.ready(a.p)
 		}
 	})
+	g.ev.pinned = true
 }
 
 func (g *timeoutGuard) disable() {
@@ -175,7 +185,9 @@ type whenGuard struct {
 }
 
 // When returns g if cond is true, otherwise an inert guard that never
-// fires (the Occam "cond & guard" form).
+// fires (the Occam "cond & guard" form). The condition is fixed at
+// construction; loops whose condition changes per iteration should
+// hoist a NewCond guard instead.
 func When(cond bool, g Guard) Guard { return &whenGuard{cond: cond, g: g} }
 
 func (w *whenGuard) poll(p *Proc) bool {
@@ -191,5 +203,35 @@ func (w *whenGuard) enable(a *altState, idx int) {
 func (w *whenGuard) disable() {
 	if w.cond {
 		w.g.disable()
+	}
+}
+
+// Cond is a conditional guard whose condition can be updated between
+// Alt calls — the reusable form of When for hot loops that hoist their
+// guard slice out of the loop and flip conditions each iteration.
+type Cond struct {
+	cond bool
+	g    Guard
+}
+
+// NewCond returns a conditional wrapper around g, initially false.
+func NewCond(g Guard) *Cond { return &Cond{g: g} }
+
+// Set updates the condition checked by the next Alt.
+func (c *Cond) Set(cond bool) { c.cond = cond }
+
+func (c *Cond) poll(p *Proc) bool {
+	return c.cond && c.g.poll(p)
+}
+
+func (c *Cond) enable(a *altState, idx int) {
+	if c.cond {
+		c.g.enable(a, idx)
+	}
+}
+
+func (c *Cond) disable() {
+	if c.cond {
+		c.g.disable()
 	}
 }

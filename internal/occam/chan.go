@@ -1,7 +1,5 @@
 package occam
 
-import "fmt"
-
 // Chan is an Occam rendezvous channel carrying values of type T.
 // Send blocks until a receiver takes the value; Recv blocks until a
 // sender offers one. Channels are unbuffered: communication is the
@@ -10,12 +8,21 @@ import "fmt"
 // Unlike Occam, any number of processes may wait to send or receive on
 // the same channel; waiters are served in FIFO order. This is used by
 // Pandora-style fan-in (many producers into a switch input).
+//
+// Waiter and alternation-registration records are recycled on
+// per-channel free lists: the runtime serialises all user code under
+// one lock, so the lists need no further synchronisation, and a data
+// channel at steady state allocates nothing per transfer.
 type Chan[T any] struct {
 	rt    *Runtime
 	name  string
 	sendq []*sendWaiter[T]
 	recvq []*recvWaiter[T]
 	alts  []*altReg[T]
+
+	sendFree []*sendWaiter[T]
+	recvFree []*recvWaiter[T]
+	regFree  []*altReg[T]
 }
 
 type sendWaiter[T any] struct {
@@ -43,6 +50,73 @@ func NewChan[T any](rt *Runtime, name string) *Chan[T] {
 // Name returns the channel's diagnostic name.
 func (c *Chan[T]) Name() string { return c.name }
 
+// getSend / putSend recycle send waiters. Callers hold mu. A waiter is
+// freed by whoever pops it from sendq (the popper reads v before the
+// sender resumes, and the sender never touches the record again).
+func (c *Chan[T]) getSend(p *Proc, v T) *sendWaiter[T] {
+	if n := len(c.sendFree); n > 0 {
+		w := c.sendFree[n-1]
+		c.sendFree = c.sendFree[:n-1]
+		w.p, w.v = p, v
+		return w
+	}
+	return &sendWaiter[T]{p: p, v: v}
+}
+
+func (c *Chan[T]) putSend(w *sendWaiter[T]) {
+	var zero T
+	w.p, w.v = nil, zero
+	c.sendFree = append(c.sendFree, w)
+}
+
+// getRecv / putRecv recycle receive waiters. A receive waiter is freed
+// by the receiver itself after it wakes and reads v (the sender wrote
+// v before making the receiver ready).
+func (c *Chan[T]) getRecv(p *Proc) *recvWaiter[T] {
+	if n := len(c.recvFree); n > 0 {
+		w := c.recvFree[n-1]
+		c.recvFree = c.recvFree[:n-1]
+		w.p = p
+		return w
+	}
+	return &recvWaiter[T]{p: p}
+}
+
+func (c *Chan[T]) putRecv(w *recvWaiter[T]) {
+	var zero T
+	w.p, w.v = nil, zero
+	c.recvFree = append(c.recvFree, w)
+}
+
+// getReg / putReg recycle alternation registrations. A registration is
+// freed either when a sender pops it (takeAlt) or when the owning Alt
+// disables its guards (removeAlt); the two are mutually exclusive for
+// any one record because takeAlt removes it from alts.
+func (c *Chan[T]) getReg(a *altState, idx int, dst *T) *altReg[T] {
+	if n := len(c.regFree); n > 0 {
+		r := c.regFree[n-1]
+		c.regFree = c.regFree[:n-1]
+		r.a, r.idx, r.dst = a, idx, dst
+		return r
+	}
+	return &altReg[T]{a: a, idx: idx, dst: dst}
+}
+
+func (c *Chan[T]) putReg(r *altReg[T]) {
+	r.a, r.dst = nil, nil
+	c.regFree = append(c.regFree, r)
+}
+
+// popSend removes and returns the first queued sender. Caller holds mu
+// and owns the returned waiter (must putSend it after reading v).
+func (c *Chan[T]) popSend() *sendWaiter[T] {
+	w := c.sendq[0]
+	copy(c.sendq, c.sendq[1:])
+	c.sendq[len(c.sendq)-1] = nil
+	c.sendq = c.sendq[:len(c.sendq)-1]
+	return w
+}
+
 // Send offers v on the channel, blocking until a receiver (direct or
 // via Alt) takes it.
 func (c *Chan[T]) Send(p *Proc, v T) {
@@ -53,36 +127,42 @@ func (c *Chan[T]) Send(p *Proc, v T) {
 	if len(c.recvq) > 0 {
 		w := c.recvq[0]
 		copy(c.recvq, c.recvq[1:])
+		c.recvq[len(c.recvq)-1] = nil
 		c.recvq = c.recvq[:len(c.recvq)-1]
 		w.v = v
 		rt.ready(w.p)
 		return
 	}
 	// An alternation waiting on this channel?
-	if reg := c.takeAlt(); reg != nil {
-		*reg.dst = v
-		reg.a.chosen = reg.idx
-		rt.ready(reg.a.p)
+	if a, idx, dst := c.takeAlt(); a != nil {
+		*dst = v
+		a.chosen = idx
+		rt.ready(a.p)
 		return
 	}
-	w := &sendWaiter[T]{p: p, v: v}
-	c.sendq = append(c.sendq, w)
-	rt.park(p, fmt.Sprintf("send %s", c.name))
+	c.sendq = append(c.sendq, c.getSend(p, v))
+	rt.park(p, stSend, c.name)
 }
 
-// takeAlt removes and returns the first live (unfired) alternation
-// registration, marking it fired. Caller holds mu.
-func (c *Chan[T]) takeAlt() *altReg[T] {
+// takeAlt removes the first live (unfired) alternation registration,
+// marking it fired, and returns its state, guard index and destination.
+// Dead registrations encountered on the way are recycled. Caller holds
+// mu.
+func (c *Chan[T]) takeAlt() (a *altState, idx int, dst *T) {
 	for len(c.alts) > 0 {
 		reg := c.alts[0]
 		copy(c.alts, c.alts[1:])
+		c.alts[len(c.alts)-1] = nil
 		c.alts = c.alts[:len(c.alts)-1]
-		if !reg.a.fired {
-			reg.a.fired = true
-			return reg
+		a, idx, dst = reg.a, reg.idx, reg.dst
+		fired := a.fired
+		c.putReg(reg)
+		if !fired {
+			a.fired = true
+			return a, idx, dst
 		}
 	}
-	return nil
+	return nil, 0, nil
 }
 
 // Recv receives a value from the channel, blocking until a sender
@@ -92,16 +172,18 @@ func (c *Chan[T]) Recv(p *Proc) T {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if len(c.sendq) > 0 {
-		w := c.sendq[0]
-		copy(c.sendq, c.sendq[1:])
-		c.sendq = c.sendq[:len(c.sendq)-1]
+		w := c.popSend()
 		rt.ready(w.p)
-		return w.v
+		v := w.v
+		c.putSend(w)
+		return v
 	}
-	w := &recvWaiter[T]{p: p}
+	w := c.getRecv(p)
 	c.recvq = append(c.recvq, w)
-	rt.park(p, fmt.Sprintf("recv %s", c.name))
-	return w.v
+	rt.park(p, stRecv, c.name)
+	v := w.v
+	c.putRecv(w)
+	return v
 }
 
 // TrySend offers v without blocking; it reports whether a waiting
@@ -116,15 +198,16 @@ func (c *Chan[T]) TrySend(p *Proc, v T) bool {
 	if len(c.recvq) > 0 {
 		w := c.recvq[0]
 		copy(c.recvq, c.recvq[1:])
+		c.recvq[len(c.recvq)-1] = nil
 		c.recvq = c.recvq[:len(c.recvq)-1]
 		w.v = v
 		rt.ready(w.p)
 		return true
 	}
-	if reg := c.takeAlt(); reg != nil {
-		*reg.dst = v
-		reg.a.chosen = reg.idx
-		rt.ready(reg.a.p)
+	if a, idx, dst := c.takeAlt(); a != nil {
+		*dst = v
+		a.chosen = idx
+		rt.ready(a.p)
 		return true
 	}
 	return false
@@ -133,12 +216,15 @@ func (c *Chan[T]) TrySend(p *Proc, v T) bool {
 // pending reports whether a sender is waiting. Caller holds mu.
 func (c *Chan[T]) pending() bool { return len(c.sendq) > 0 }
 
-// removeAlt deletes every registration belonging to a. Caller holds mu.
+// removeAlt deletes every registration belonging to a, recycling the
+// records. Caller holds mu.
 func (c *Chan[T]) removeAlt(a *altState) {
 	out := c.alts[:0]
 	for _, reg := range c.alts {
 		if reg.a != a {
 			out = append(out, reg)
+		} else {
+			c.putReg(reg)
 		}
 	}
 	for i := len(out); i < len(c.alts); i++ {

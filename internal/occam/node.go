@@ -1,7 +1,6 @@
 package occam
 
 import (
-	"fmt"
 	"time"
 )
 
@@ -15,7 +14,7 @@ type Node struct {
 	rt      *Runtime
 	name    string
 	busy    bool
-	waiting []*cpuReq
+	waiting []cpuReq
 	busyFor time.Duration // accumulated busy time (utilisation metric)
 	grants  uint64
 }
@@ -69,24 +68,24 @@ func (p *Proc) Consume(d time.Duration) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.seq++
-	req := &cpuReq{p: p, d: d, pri: p.pri, seq: rt.seq}
-	n.insert(req)
+	n.insert(cpuReq{p: p, d: d, pri: p.pri, seq: rt.seq})
 	if !n.busy {
 		n.grantNext()
 	}
-	rt.park(p, fmt.Sprintf("cpu %s for %v", n.name, d))
+	p.stDur = d
+	rt.park(p, stCPU, n.name)
 }
 
 // insert queues req, high priority ahead of low, FIFO within a
 // priority. Caller holds mu.
-func (n *Node) insert(req *cpuReq) {
+func (n *Node) insert(req cpuReq) {
 	if req.pri == High {
 		// Insert after the last queued High request.
 		i := 0
 		for i < len(n.waiting) && n.waiting[i].pri == High {
 			i++
 		}
-		n.waiting = append(n.waiting, nil)
+		n.waiting = append(n.waiting, cpuReq{})
 		copy(n.waiting[i+1:], n.waiting[i:])
 		n.waiting[i] = req
 		return
@@ -94,7 +93,8 @@ func (n *Node) insert(req *cpuReq) {
 	n.waiting = append(n.waiting, req)
 }
 
-// grantNext starts the next queued request, scheduling its completion.
+// grantNext starts the next queued request, scheduling its completion
+// as a grant event the scheduler completes inline (no closure).
 // Caller holds mu; node must be idle.
 func (n *Node) grantNext() {
 	if len(n.waiting) == 0 {
@@ -102,14 +102,12 @@ func (n *Node) grantNext() {
 	}
 	req := n.waiting[0]
 	copy(n.waiting, n.waiting[1:])
+	n.waiting[len(n.waiting)-1] = cpuReq{}
 	n.waiting = n.waiting[:len(n.waiting)-1]
 	n.busy = true
 	n.busyFor += req.d
 	n.grants++
 	rt := n.rt
-	rt.addTimer(rt.now.Add(req.d), nil, func() {
-		n.busy = false
-		rt.ready(req.p)
-		n.grantNext()
-	})
+	ev := rt.addTimer(rt.now.Add(req.d), req.p, nil)
+	ev.grant = n
 }

@@ -50,18 +50,70 @@ func (e *DeadlockError) Error() string {
 
 func (e *DeadlockError) Unwrap() error { return ErrDeadlock }
 
+// statusKind classifies what a process is blocked on. The textual
+// status shown in deadlock dumps is composed lazily from these fields
+// (statusText); building the string eagerly on every park was a top
+// allocation source on the data path.
+type statusKind uint8
+
+const (
+	stRunning statusKind = iota
+	stRunnable
+	stYield
+	stSend
+	stRecv
+	stSleep
+	stAlt
+	stCPU
+)
+
 // Proc is an Occam process: a goroutine scheduled by the virtual-time
 // Runtime. All blocking primitives take the Proc as receiver and may
 // only be called from the process's own goroutine while it is the
 // currently scheduled process.
 type Proc struct {
-	rt     *Runtime
-	node   *Node
-	name   string
-	pri    Priority
-	wake   chan struct{}
-	status string // diagnostic: what the process is blocked on
-	seq    uint64
+	rt   *Runtime
+	node *Node
+	name string
+	pri  Priority
+	wake chan struct{}
+	seq  uint64
+
+	// Blocked-state diagnostics (see statusText).
+	stKind statusKind
+	stName string        // channel or node name (send/recv/cpu)
+	stTime Time          // sleep deadline
+	stDur  time.Duration // cpu grant duration
+	stN    int           // alt guard count
+
+	// alt is the per-process alternation state, reused across Alt
+	// calls: a process runs at most one alternation at a time and
+	// every registration is removed before Alt returns.
+	alt altState
+}
+
+// statusText composes the diagnostic description of what the process
+// is blocked on, for deadlock dumps and scheduler traces.
+func (p *Proc) statusText() string {
+	switch p.stKind {
+	case stRunning:
+		return "running"
+	case stRunnable:
+		return "runnable"
+	case stYield:
+		return "yield"
+	case stSend:
+		return "send " + p.stName
+	case stRecv:
+		return "recv " + p.stName
+	case stSleep:
+		return fmt.Sprintf("sleep until %v", p.stTime)
+	case stAlt:
+		return fmt.Sprintf("alt over %d guards", p.stN)
+	case stCPU:
+		return fmt.Sprintf("cpu %s for %v", p.stName, p.stDur)
+	}
+	return "?"
 }
 
 // Name returns the process name given to Go.
@@ -79,13 +131,17 @@ func (p *Proc) Runtime() *Runtime { return p.rt }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.rt.Now() }
 
-// timerEv is a pending timer: either wakes a process or runs fn in
-// scheduler context (fn must only touch runtime-internal state).
+// timerEv is a pending timer: it wakes a process, completes a CPU
+// grant, or runs fn in scheduler context (fn must only touch
+// runtime-internal state). Events not referenced from outside the heap
+// (pinned == false) are recycled on a free list after firing.
 type timerEv struct {
 	at        Time
 	seq       uint64
 	p         *Proc
 	fn        func()
+	grant     *Node // non-nil: a CPU grant for p completes on this node
+	pinned    bool  // an Alt guard holds a pointer; never recycle
 	cancelled bool
 	index     int
 }
@@ -130,6 +186,7 @@ type Runtime struct {
 	runqHigh []*Proc
 	runqLow  []*Proc
 	timers   timerHeap
+	evFree   []*timerEv // recycled timer events
 	limit    Time
 	procs    map[*Proc]struct{}
 	killed   bool
@@ -229,14 +286,16 @@ func (rt *Runtime) Go(name string, node *Node, pri Priority, fn func(p *Proc)) *
 func (rt *Runtime) exit(p *Proc) {
 	rt.mu.Lock()
 	delete(rt.procs, p)
-	rt.trace("exit %s", p.name)
+	if rt.Trace != nil {
+		rt.trace("exit %s", p.name)
+	}
 	rt.schedule()
 	rt.mu.Unlock()
 }
 
 // ready appends p to the run queue for its priority. Caller holds mu.
 func (rt *Runtime) ready(p *Proc) {
-	p.status = "runnable"
+	p.stKind = stRunnable
 	if p.pri == High {
 		rt.runqHigh = append(rt.runqHigh, p)
 	} else {
@@ -270,14 +329,16 @@ func (rt *Runtime) schedule() {
 	for {
 		if p := rt.popRunnable(); p != nil {
 			rt.switches++
-			p.status = "running"
-			rt.trace("run %s", p.name)
+			p.stKind = stRunning
+			if rt.Trace != nil {
+				rt.trace("run %s", p.name)
+			}
 			p.wake <- struct{}{}
 			return
 		}
 		// Nothing runnable: advance the clock.
 		for rt.timers.Len() > 0 && rt.timers[0].cancelled {
-			heap.Pop(&rt.timers)
+			rt.freeTimerEv(heap.Pop(&rt.timers).(*timerEv))
 		}
 		if rt.timers.Len() == 0 {
 			// Quiescent with no future event: completion, or the end
@@ -301,14 +362,24 @@ func (rt *Runtime) schedule() {
 		for rt.timers.Len() > 0 && rt.timers[0].at <= rt.now {
 			ev := heap.Pop(&rt.timers).(*timerEv)
 			if ev.cancelled {
+				rt.freeTimerEv(ev)
 				continue
 			}
-			if ev.fn != nil {
+			switch {
+			case ev.grant != nil:
+				n := ev.grant
+				n.busy = false
+				rt.ready(ev.p)
+				n.grantNext()
+			case ev.fn != nil:
 				ev.fn()
-			} else if ev.p != nil {
-				rt.trace("timer wakes %s", ev.p.name)
+			case ev.p != nil:
+				if rt.Trace != nil {
+					rt.trace("timer wakes %s", ev.p.name)
+				}
 				rt.ready(ev.p)
 			}
+			rt.freeTimerEv(ev)
 		}
 	}
 }
@@ -332,19 +403,40 @@ func (rt *Runtime) addTimer(at Time, p *Proc, fn func()) *timerEv {
 		at = rt.now
 	}
 	rt.seq++
-	ev := &timerEv{at: at, seq: rt.seq, p: p, fn: fn}
+	var ev *timerEv
+	if n := len(rt.evFree); n > 0 {
+		ev = rt.evFree[n-1]
+		rt.evFree = rt.evFree[:n-1]
+		*ev = timerEv{at: at, seq: rt.seq, p: p, fn: fn}
+	} else {
+		ev = &timerEv{at: at, seq: rt.seq, p: p, fn: fn}
+	}
 	heap.Push(&rt.timers, ev)
 	return ev
+}
+
+// freeTimerEv recycles a popped event unless an Alt guard may still
+// hold a pointer to it (pinned). Caller holds mu.
+func (rt *Runtime) freeTimerEv(ev *timerEv) {
+	if ev.pinned {
+		return
+	}
+	ev.p, ev.fn, ev.grant = nil, nil, nil
+	rt.evFree = append(rt.evFree, ev)
 }
 
 // park blocks the calling process until another process or a timer
 // makes it ready again. Caller holds mu; park returns with mu held.
 // On Shutdown, park panics with errKilled while still holding mu, so
 // every caller must release mu with defer.
-// status describes what the process is waiting for (diagnostics).
-func (rt *Runtime) park(p *Proc, status string) {
-	p.status = status
-	rt.trace("park %s: %s", p.name, status)
+// kind and name describe what the process is waiting for
+// (diagnostics); callers set the auxiliary stTime/stDur/stN fields
+// for the kinds that use them before calling.
+func (rt *Runtime) park(p *Proc, kind statusKind, name string) {
+	p.stKind, p.stName = kind, name
+	if rt.Trace != nil {
+		rt.trace("park %s: %s", p.name, p.statusText())
+	}
 	rt.schedule()
 	rt.mu.Unlock()
 	<-p.wake
@@ -352,7 +444,7 @@ func (rt *Runtime) park(p *Proc, status string) {
 	if rt.killed {
 		panic(errKilled)
 	}
-	p.status = "running"
+	p.stKind = stRunning
 }
 
 // Run drives the simulation until every process has exited or the
@@ -404,7 +496,7 @@ func (rt *Runtime) RunUntil(t Time) error {
 func (rt *Runtime) procDump() []string {
 	lines := make([]string, 0, len(rt.procs))
 	for p := range rt.procs {
-		lines = append(lines, fmt.Sprintf("%s [%v] %s", p.name, p.pri, p.status))
+		lines = append(lines, fmt.Sprintf("%s [%v] %s", p.name, p.pri, p.statusText()))
 	}
 	sort.Strings(lines)
 	return lines
@@ -452,7 +544,8 @@ func (p *Proc) SleepUntil(t Time) {
 		return
 	}
 	rt.addTimer(t, p, nil)
-	rt.park(p, fmt.Sprintf("sleep until %v", t))
+	p.stTime = t
+	rt.park(p, stSleep, "")
 }
 
 // Yield gives up the CPU, letting every other runnable process of the
@@ -462,7 +555,7 @@ func (p *Proc) Yield() {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.ready(p)
-	rt.park(p, "yield")
+	rt.park(p, stYield, "")
 }
 
 // clock returns rt.now without external locking races (helper for

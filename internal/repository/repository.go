@@ -111,6 +111,7 @@ func (r *Recording) Resegment() *Recording {
 type Repository struct {
 	rt   *occam.Runtime
 	host *atm.Host
+	pool *segment.WirePool // playback wires
 	recs map[uint32]*Recording
 	next map[uint32]uint32 // per-stream expected sequence number
 	seen map[uint32]bool
@@ -123,6 +124,7 @@ func New(rt *occam.Runtime, net *atm.Network, name string) *Repository {
 	r := &Repository{
 		rt:   rt,
 		host: net.AddHost(name),
+		pool: segment.NewWirePool(),
 		recs: make(map[uint32]*Recording),
 		next: make(map[uint32]uint32),
 		seen: make(map[uint32]bool),
@@ -140,8 +142,15 @@ func (r *Repository) Recording(vci uint32) *Recording { return r.recs[vci] }
 func (r *Repository) runRecorder(p *occam.Proc) {
 	for {
 		m := r.host.Rx.Recv(p)
-		seg, ok := m.Payload.(*segment.Audio)
-		if !ok {
+		if m.W.IsZero() {
+			continue
+		}
+		// Decoding copies the sample data out of the wire — the
+		// repository's single copy as a sink (§3.4) — so the recording
+		// owns its bytes after the wire is released.
+		seg, err := m.W.DecodeAudio()
+		m.W.Release()
+		if err != nil {
 			continue // video recording stores segments opaquely; audio only here
 		}
 		rec, ok := r.recs[m.VCI]
@@ -171,11 +180,13 @@ func (r *Repository) Playback(rec *Recording, vci uint32) {
 		elapsed := time.Duration(0)
 		for _, s := range rec.Segments {
 			p.SleepUntil(start.Add(elapsed))
-			// Re-stamp so destination clawback measures real network
-			// delay, not archive age.
-			out := *s
-			out.Timestamp = segment.Timestamp(p.Now())
-			if err := r.host.Send(p, atm.Message{VCI: vci, Size: out.WireSize(), Payload: &out}); err != nil {
+			// Encode into a pooled wire and re-stamp in place so the
+			// destination clawback measures real network delay, not
+			// archive age.
+			w := r.pool.Encode(s)
+			w.SetTimestamp(segment.Timestamp(p.Now()))
+			if err := r.host.Send(p, atm.Message{VCI: vci, Size: w.Len(), W: w}); err != nil {
+				w.Release()
 				return
 			}
 			elapsed += s.Duration()

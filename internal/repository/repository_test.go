@@ -36,10 +36,14 @@ func TestRecordOverNetwork(t *testing.T) {
 	net.OpenCircuit(7, src, repo.Host(), l)
 
 	segs := toneSegments(50, 2)
+	pool := segment.NewWirePool()
 	rt.Go("send", nil, occam.Low, func(p *occam.Proc) {
 		for _, s := range segs {
 			p.Sleep(4 * time.Millisecond)
-			src.Send(p, atm.Message{VCI: 7, Size: s.WireSize(), Payload: s})
+			w := pool.Encode(s)
+			if src.Send(p, atm.Message{VCI: 7, Size: w.Len(), W: w}) != nil {
+				w.Release()
+			}
 		}
 	})
 	if err := rt.RunUntil(occam.Time(time.Second)); err != nil {
@@ -65,13 +69,17 @@ func TestRecorderDetectsLoss(t *testing.T) {
 	repo := New(rt, net, "repo")
 	net.OpenCircuit(7, src, repo.Host())
 	segs := toneSegments(10, 2)
+	pool := segment.NewWirePool()
 	rt.Go("send", nil, occam.Low, func(p *occam.Proc) {
 		for i, s := range segs {
 			if i == 4 || i == 5 {
 				continue // lose two segments
 			}
 			p.Sleep(4 * time.Millisecond)
-			src.Send(p, atm.Message{VCI: 7, Size: s.WireSize(), Payload: s})
+			w := pool.Encode(s)
+			if src.Send(p, atm.Message{VCI: 7, Size: w.Len(), W: w}) != nil {
+				w.Release()
+			}
 		}
 	})
 	if err := rt.RunUntil(occam.Time(time.Second)); err != nil {
@@ -167,7 +175,8 @@ func TestPlaybackAtOriginalCadence(t *testing.T) {
 	var arrivals []occam.Time
 	rt.Go("rx", nil, occam.High, func(p *occam.Proc) {
 		for {
-			sink.Rx.Recv(p)
+			m := sink.Rx.Recv(p)
+			m.W.Release()
 			arrivals = append(arrivals, p.Now())
 		}
 	})
@@ -194,6 +203,7 @@ func TestTimestampOffsetPreserved(t *testing.T) {
 	repo := New(rt, net, "repo")
 	net.OpenCircuit(1, src, repo.Host())
 	net.OpenCircuit(2, src, repo.Host())
+	pool := segment.NewWirePool()
 	rt.Go("send", nil, occam.Low, func(p *occam.Proc) {
 		a := toneSegments(3, 2)
 		// Stream 2 started 102.4 ms (1600 timestamp ticks) later.
@@ -201,9 +211,15 @@ func TestTimestampOffsetPreserved(t *testing.T) {
 		for _, s := range b {
 			s.Timestamp += 1600
 		}
+		send := func(vci uint32, s *segment.Audio) {
+			w := pool.Encode(s)
+			if src.Send(p, atm.Message{VCI: vci, Size: w.Len(), W: w}) != nil {
+				w.Release()
+			}
+		}
 		for i := range a {
-			src.Send(p, atm.Message{VCI: 1, Size: a[i].WireSize(), Payload: a[i]})
-			src.Send(p, atm.Message{VCI: 2, Size: b[i].WireSize(), Payload: b[i]})
+			send(1, a[i])
+			send(2, b[i])
 			p.Sleep(4 * time.Millisecond)
 		}
 	})

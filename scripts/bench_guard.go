@@ -1,0 +1,94 @@
+//go:build ignore
+
+// bench_guard runs the E2/E3 benchmarks once and fails if allocs/op
+// regresses more than 20% against the committed BENCH_e2e.json
+// baseline (the single-copy data path's headline numbers). Run from
+// the repository root:
+//
+//	go run scripts/bench_guard.go
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+)
+
+// guarded maps benchmark names to the BENCH_e2e.json experiment IDs
+// holding their baseline allocs/op.
+var guarded = map[string]string{
+	"BenchmarkE2LinkCapacity":  "E2",
+	"BenchmarkE3OneWayLatency": "E3",
+}
+
+const regressionLimit = 1.20
+
+type benchFile struct {
+	Experiments []struct {
+		ID          string `json:"id"`
+		AllocsPerOp uint64 `json:"allocs_per_op"`
+	} `json:"experiments"`
+}
+
+func main() {
+	raw, err := os.ReadFile("BENCH_e2e.json")
+	if err != nil {
+		fatal("reading baseline: %v", err)
+	}
+	var base benchFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal("parsing baseline: %v", err)
+	}
+	baseline := map[string]uint64{}
+	for _, e := range base.Experiments {
+		baseline[e.ID] = e.AllocsPerOp
+	}
+
+	cmd := exec.Command("go", "test",
+		"-bench", "BenchmarkE2LinkCapacity|BenchmarkE3OneWayLatency",
+		"-benchtime", "1x", "-benchmem", "-run", "^$", ".")
+	out, err := cmd.CombinedOutput()
+	fmt.Print(string(out))
+	if err != nil {
+		fatal("benchmarks failed: %v", err)
+	}
+
+	// e.g. "BenchmarkE2LinkCapacity  1  94400697 ns/op  10143960 B/op  316848 allocs/op"
+	line := regexp.MustCompile(`(?m)^(Benchmark\w+)\S*\s+\d+\s+\d+ ns/op\s+\d+ B/op\s+(\d+) allocs/op`)
+	checked := 0
+	failed := false
+	for _, m := range line.FindAllStringSubmatch(string(out), -1) {
+		id, ok := guarded[m[1]]
+		if !ok {
+			continue
+		}
+		now, _ := strconv.ParseUint(m[2], 10, 64)
+		want, ok := baseline[id]
+		if !ok || want == 0 {
+			fatal("no %s baseline in BENCH_e2e.json", id)
+		}
+		ratio := float64(now) / float64(want)
+		status := "ok"
+		if ratio > regressionLimit {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%s: %d allocs/op vs baseline %d (%.2fx, limit %.2fx) %s\n",
+			m[1], now, want, ratio, regressionLimit, status)
+		checked++
+	}
+	if checked != len(guarded) {
+		fatal("only %d of %d guarded benchmarks found in output", checked, len(guarded))
+	}
+	if failed {
+		fatal("allocs/op regressed beyond %.0f%%", (regressionLimit-1)*100)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bench_guard: "+format+"\n", args...)
+	os.Exit(1)
+}
