@@ -152,6 +152,13 @@ func BenchmarkE20ReadyChannel(b *testing.B) {
 	}
 }
 
+func BenchmarkE21OverloadDegradation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiment.E21()
+	}
+}
+
 func BenchmarkA1BufferPlacement(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

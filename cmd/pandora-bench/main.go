@@ -67,6 +67,7 @@ func main() {
 		{"E18", experiment.E18},
 		{"E19", experiment.E19},
 		{"E20", experiment.E20},
+		{"E21", func() *experiment.Table { t, _ := experiment.E21(); return t }},
 		{"A1", experiment.A1},
 		{"A2", experiment.A2},
 		{"A3", experiment.A3},

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	pandora-sim -boxes 4 -seconds 10 -bandwidth 100000000 -video
+//	pandora-sim -faults loss,crash -degrade -trace 40
 package main
 
 import (
@@ -18,6 +19,8 @@ import (
 	"repro/internal/atm"
 	"repro/internal/box"
 	"repro/internal/core"
+	"repro/internal/degrade"
+	"repro/internal/faultinject"
 	"repro/internal/occam"
 	"repro/internal/video"
 	"repro/internal/workload"
@@ -33,9 +36,17 @@ func main() {
 	stats := flag.Bool("stats", false, "print the full observability counter table")
 	prom := flag.Bool("prom", false, "print counters in Prometheus text format")
 	traceN := flag.Int("trace", 0, "print the last N trace events")
+	faults := flag.String("faults", "", "inject faults: comma list of loss, corrupt, dup, jitter, stall, sink, crash, all")
+	faultSeed := flag.Uint64("fault-seed", 1, "master seed for the injected fault schedules")
+	degradeOn := flag.Bool("degrade", false, "run the overload degradation controller on every box")
 	flag.Parse()
 	if *boxes < 2 {
 		fmt.Fprintln(os.Stderr, "need at least 2 boxes")
+		os.Exit(1)
+	}
+	spec, err := faultinject.ParseSpec(*faults, *faultSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
@@ -45,14 +56,26 @@ func main() {
 	for i := 0; i < *boxes; i++ {
 		name := fmt.Sprintf("box%d", i)
 		names = append(names, name)
-		s.AddBox(box.Config{
+		cfg := box.Config{
 			Name: name,
 			Mic:  workload.NewSpeech(uint64(i+1), 12000),
 			Features: box.Features{
 				JitterCorrection: true,
 				Muting:           *muting,
 			},
-		})
+		}
+		if i == 0 {
+			// Crash and sink-stall faults target the first box; link
+			// faults (below) hit every link.
+			cfg.BoardFaults = spec.Boards()
+			if len(spec.SinkStalls) > 0 {
+				cfg.SinkStalls = map[string][]faultinject.Window{
+					"net-video": spec.SinkStalls,
+					"net-audio": spec.SinkStalls,
+				}
+			}
+		}
+		s.AddBox(cfg)
 	}
 	for i := 0; i < *boxes; i++ {
 		for j := i + 1; j < *boxes; j++ {
@@ -62,6 +85,14 @@ func main() {
 				Seed:      uint64(i*100 + j),
 			})
 		}
+	}
+
+	if spec.Active() {
+		s.InjectLinkFaults(spec)
+	}
+	var ctrls map[string]*degrade.Controller
+	if *degradeOn {
+		ctrls = s.EnableDegradation(degrade.Config{})
 	}
 
 	var streams []*core.Stream
@@ -103,6 +134,40 @@ func main() {
 		a := s.Box(n).AudioStats()
 		if a.LateTicks > 0 || a.MicDrops > 0 {
 			fmt.Printf("%s overloaded: %d late ticks, %d mic drops\n", n, a.LateTicks, a.MicDrops)
+		}
+	}
+
+	if spec.Active() {
+		fmt.Println()
+		var total atm.FaultStats
+		for _, l := range s.Net.Links() {
+			fs := l.FaultStats()
+			total.Drops += fs.Drops
+			total.Corruptions += fs.Corruptions
+			total.Duplicates += fs.Duplicates
+			total.Delays += fs.Delays
+			total.Stalls += fs.Stalls
+		}
+		fmt.Printf("injected link faults: drop %d, corrupt %d, dup %d, delay %d, stall %d\n",
+			total.Drops, total.Corruptions, total.Duplicates, total.Delays, total.Stalls)
+		for _, n := range names {
+			sw := s.Box(n).SwitchStats()
+			if sw.CorruptDrops > 0 {
+				fmt.Printf("%s discarded %d corrupt segments at reassembly\n", n, sw.CorruptDrops)
+			}
+		}
+	}
+	if *degradeOn {
+		for _, n := range names {
+			acts := ctrls[n].Actions()
+			if len(acts) == 0 {
+				continue
+			}
+			sw := s.Box(n).SwitchStats()
+			fmt.Printf("\n%s degradation (%d segments stopped at the switch):\n", n, sw.ShedDrops)
+			for _, act := range acts {
+				fmt.Printf("  %s\n", act)
+			}
 		}
 	}
 

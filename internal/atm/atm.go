@@ -14,6 +14,7 @@ package atm
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/obs"
@@ -44,6 +45,45 @@ type Message struct {
 	// Sent is when the message entered the network (for latency
 	// measurement).
 	Sent occam.Time
+	// Corrupt marks an injected payload corruption (faultinject). The
+	// message still consumes queue space and transmission time, but the
+	// receiving host must discard the segment — the AAL checksum
+	// failure of §3.8 ("the current segment is thrown away"). The wire
+	// bytes themselves are never touched: the storage may be shared by
+	// fan-out circuits whose copies arrived intact.
+	Corrupt bool
+	// FaultDelay is extra per-message delay injected by a link fault
+	// (jitter), added to the transmission and propagation times.
+	FaultDelay time.Duration
+}
+
+// FaultAction is a fault hook's verdict on one message arriving at a
+// link queue. The zero value passes the message through untouched.
+type FaultAction struct {
+	// Drop discards the message (burst cell loss); Reason labels the
+	// trace event.
+	Drop   bool
+	Reason string
+	// Corrupt flags the message so the receiver discards it on
+	// delivery (it still consumes network resources on the way).
+	Corrupt bool
+	// Duplicate enqueues a second copy of the message (misbehaving
+	// switch fabric), subject to the normal queue bound.
+	Duplicate bool
+	// Delay is extra transmission delay for this message (jitter).
+	Delay time.Duration
+}
+
+// FaultHook is a deterministic fault process attached to a link with
+// SetFault. OnMessage is consulted once per arriving message;
+// StallUntil is consulted before each transmission and returns the
+// virtual time until which the transmitter is stuck (zero or a past
+// time means no stall). Implementations live in internal/faultinject;
+// they make decisions only, so the same seed always yields the same
+// schedule — the link owns the counters and trace events.
+type FaultHook interface {
+	OnMessage(now occam.Time, vci uint32, size int) FaultAction
+	StallUntil(now occam.Time) occam.Time
 }
 
 // port is anything that can accept a Message: the next link on the
@@ -108,6 +148,14 @@ type Link struct {
 	lossDrops  *obs.Counter
 	bytes      *obs.Counter
 	trace      *obs.Tracer
+	reg        *obs.Registry
+
+	fault       FaultHook
+	faultDrops  *obs.Counter
+	faultCorr   *obs.Counter
+	faultDups   *obs.Counter
+	faultDelays *obs.Counter
+	faultStalls *obs.Counter
 
 	queue  []Message
 	txReq  *occam.Chan[struct{}]
@@ -117,18 +165,23 @@ type Link struct {
 // NewLink creates a link and starts its queue and transmit processes.
 func NewLink(rt *occam.Runtime, name string, cfg LinkConfig) *Link {
 	l := &Link{
-		rt:         rt,
-		nm:         name,
-		cfg:        cfg.withDefaults(),
-		in:         occam.NewChan[Message](rt, name+".in"),
-		rng:        workload.NewRNG(cfg.Seed),
-		next:       make(map[uint32]port),
-		forwarded:  obs.NewCounter(),
-		queueDrops: obs.NewCounter(),
-		lossDrops:  obs.NewCounter(),
-		bytes:      obs.NewCounter(),
-		txReq:      occam.NewChan[struct{}](rt, name+".txreq"),
-		txItem:     occam.NewChan[Message](rt, name+".txitem"),
+		rt:          rt,
+		nm:          name,
+		cfg:         cfg.withDefaults(),
+		in:          occam.NewChan[Message](rt, name+".in"),
+		rng:         workload.NewRNG(cfg.Seed),
+		next:        make(map[uint32]port),
+		forwarded:   obs.NewCounter(),
+		queueDrops:  obs.NewCounter(),
+		lossDrops:   obs.NewCounter(),
+		bytes:       obs.NewCounter(),
+		faultDrops:  obs.NewCounter(),
+		faultCorr:   obs.NewCounter(),
+		faultDups:   obs.NewCounter(),
+		faultDelays: obs.NewCounter(),
+		faultStalls: obs.NewCounter(),
+		txReq:       occam.NewChan[struct{}](rt, name+".txreq"),
+		txItem:      occam.NewChan[Message](rt, name+".txitem"),
 	}
 	rt.Go(name+".queue", nil, occam.High, l.runQueue)
 	rt.Go(name+".tx", nil, occam.High, l.runTx)
@@ -158,7 +211,55 @@ func (l *Link) observe(reg *obs.Registry) {
 	reg.RegisterCounter("atm_link_loss_drops_total", l.lossDrops, lb)
 	reg.RegisterCounter("atm_link_bytes_total", l.bytes, lb)
 	reg.GaugeFunc("atm_link_queue_depth", func() float64 { return float64(len(l.queue)) }, lb)
+	reg.GaugeFunc("atm_link_queue_limit", func() float64 { return float64(l.cfg.QueueLimit) }, lb)
 	l.trace = reg.Tracer()
+	l.reg = reg
+	if l.fault != nil {
+		l.observeFault()
+	}
+}
+
+// observeFault registers the fault counters. They appear in snapshots
+// only once a hook is attached, so fault-free runs keep clean output.
+func (l *Link) observeFault() {
+	lb := obs.L("link", l.nm)
+	l.reg.RegisterCounter("atm_link_fault_drops_total", l.faultDrops, lb)
+	l.reg.RegisterCounter("atm_link_fault_corruptions_total", l.faultCorr, lb)
+	l.reg.RegisterCounter("atm_link_fault_duplicates_total", l.faultDups, lb)
+	l.reg.RegisterCounter("atm_link_fault_delays_total", l.faultDelays, lb)
+	l.reg.RegisterCounter("atm_link_fault_stalls_total", l.faultStalls, lb)
+}
+
+// SetFault attaches a fault process to the link (nil detaches). Every
+// subsequent message consults the hook on arrival, and the transmitter
+// consults StallUntil before each send. Each injected fault increments
+// an atm_link_fault_* counter and — except per-message jitter, which
+// would flood the ring — emits an EvFault trace event.
+func (l *Link) SetFault(h FaultHook) {
+	l.fault = h
+	if l.reg != nil && h != nil {
+		l.observeFault()
+	}
+}
+
+// FaultStats reports the injected-fault counters.
+type FaultStats struct {
+	Drops       uint64
+	Corruptions uint64
+	Duplicates  uint64
+	Delays      uint64
+	Stalls      uint64
+}
+
+// FaultStats returns a copy of the injected-fault counters.
+func (l *Link) FaultStats() FaultStats {
+	return FaultStats{
+		Drops:       l.faultDrops.Value(),
+		Corruptions: l.faultCorr.Value(),
+		Duplicates:  l.faultDups.Value(),
+		Delays:      l.faultDelays.Value(),
+		Stalls:      l.faultStalls.Value(),
+	}
 }
 
 // route sets the next hop for a VCI. Re-routing the same VCI to a
@@ -197,6 +298,30 @@ func (l *Link) runQueue(p *occam.Proc) {
 			l.queue = l.queue[:len(l.queue)-1]
 			l.txItem.Send(p, head)
 		case 1:
+			dup := false
+			if l.fault != nil {
+				act := l.fault.OnMessage(p.Now(), m.VCI, m.Size)
+				if act.Drop {
+					reason := act.Reason
+					if reason == "" {
+						reason = "injected-loss"
+					}
+					l.faultDrops.Inc()
+					l.trace.Emit(obs.EvFault, "atm."+l.nm, m.VCI, reason)
+					m.W.Release()
+					continue
+				}
+				if act.Corrupt {
+					m.Corrupt = true
+					l.faultCorr.Inc()
+					l.trace.Emit(obs.EvFault, "atm."+l.nm, m.VCI, "injected-corruption")
+				}
+				if act.Delay > 0 {
+					m.FaultDelay += act.Delay
+					l.faultDelays.Inc()
+				}
+				dup = act.Duplicate
+			}
 			if l.cfg.LossRate > 0 && l.rng.Bool(l.cfg.LossRate) {
 				l.lossDrops.Inc()
 				l.trace.Emit(obs.EvDrop, "atm."+l.nm, m.VCI, "loss")
@@ -210,6 +335,14 @@ func (l *Link) runQueue(p *occam.Proc) {
 				continue
 			}
 			l.queue = append(l.queue, m)
+			if dup && len(l.queue) < l.cfg.QueueLimit {
+				// The duplicate is a second full message: it carries its
+				// own wire reference and respects the queue bound.
+				m.W.Retain(1)
+				l.queue = append(l.queue, m)
+				l.faultDups.Inc()
+				l.trace.Emit(obs.EvFault, "atm."+l.nm, m.VCI, "injected-duplicate")
+			}
 		}
 	}
 }
@@ -221,8 +354,17 @@ func (l *Link) runTx(p *occam.Proc) {
 	for {
 		l.txReq.Send(p, token)
 		m := l.txItem.Recv(p)
+		if l.fault != nil {
+			if until := l.fault.StallUntil(p.Now()); until > p.Now() {
+				// The link is stalled (a wedged switch port): messages
+				// already queued wait out the outage.
+				l.faultStalls.Inc()
+				l.trace.Emit(obs.EvFault, "atm."+l.nm, m.VCI, "link-stall")
+				p.SleepUntil(until)
+			}
+		}
 		tx := time.Duration(int64(m.Size) * 8 * int64(time.Second) / l.cfg.Bandwidth)
-		p.Sleep(tx + l.cfg.Propagation)
+		p.Sleep(tx + l.cfg.Propagation + m.FaultDelay)
 		nxt, ok := l.next[m.VCI]
 		if !ok {
 			// Unrouted VCI: the circuit was torn down mid-flight.
@@ -302,6 +444,22 @@ func (n *Network) Observe(reg *obs.Registry) {
 	for _, l := range n.links {
 		l.observe(reg)
 	}
+}
+
+// Links returns every link sorted by name — the deterministic
+// iteration order fault injection and reporting need (the internal map
+// would leak Go's map ordering into fault schedules).
+func (n *Network) Links() []*Link {
+	names := make([]string, 0, len(n.links))
+	for nm := range n.links {
+		names = append(names, nm)
+	}
+	sort.Strings(names)
+	out := make([]*Link, len(names))
+	for i, nm := range names {
+		out[i] = n.links[nm]
+	}
+	return out
 }
 
 // AddHost registers an endpoint.

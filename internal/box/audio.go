@@ -139,6 +139,10 @@ func (b *Box) runServerWriter(p *occam.Proc) {
 func (b *Box) runAudioRx(p *occam.Proc) {
 	for {
 		msg := b.serverToAudio.Recv(p)
+		if b.boardDown(p, "audio") {
+			msg.W.Release()
+			continue
+		}
 		b.mix.Deliver(msg.Stream, msg.W)
 	}
 }

@@ -14,11 +14,14 @@ package box
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/allocator"
 	"repro/internal/atm"
 	"repro/internal/decouple"
+	"repro/internal/degrade"
+	"repro/internal/faultinject"
 	"repro/internal/metrics"
 	"repro/internal/mixer"
 	"repro/internal/muting"
@@ -66,14 +69,25 @@ type Route struct {
 	// (the tannoy configuration, §4.1).
 	NetVCIs []uint32
 	Opened  occam.Time // for principle 3: oldest degrade first
+	// Video marks the stream for the overload controller's
+	// video-before-audio ordering. Routes with an OutDisplay output
+	// are video regardless; outgoing camera routes (OutNetwork only)
+	// must set it.
+	Video bool
 }
 
 // SwitchCommand updates the switch tables or requests a report.
+// Shed/Restore suspend and resume a stream without touching its route
+// (the overload controller's lever: data stops, state stays).
 type SwitchCommand struct {
-	Set       *Route
-	Close     uint32
-	HasClose  bool
-	ReportReq bool
+	Set        *Route
+	Close      uint32
+	HasClose   bool
+	Shed       uint32
+	HasShed    bool
+	Restore    uint32
+	HasRestore bool
+	ReportReq  bool
 }
 
 // Features toggles the optional audio-board work of §4.2, which costs
@@ -126,6 +140,18 @@ type Config struct {
 	// (labelled with the box name) and traces lifecycle, drop and
 	// overload events. core.System sets it automatically.
 	Obs *obs.Registry
+	// BoardFaults, if non-nil, injects board crash windows: while a
+	// board ("server", "audio", "display") is down, its input handlers
+	// discard arriving data — counted on fault_crash_drops_total — and
+	// recover cleanly when the window ends (§3.8: failures must not
+	// propagate).
+	BoardFaults *faultinject.Boards
+	// SinkStalls injects output-device stalls, keyed by decoupling
+	// buffer slot name ("speaker", "net-audio", "net-video",
+	// "display"): while a window is open the slot's consumer freezes
+	// and the buffer absorbs (then sheds) the backlog — the decoupling
+	// failure mode of §3.7.1.
+	SinkStalls map[string][]faultinject.Window
 }
 
 func (c Config) withDefaults() Config {
@@ -208,6 +234,15 @@ type Box struct {
 	swStats   SwitchStats
 	netVCI    map[uint32][]uint32 // stream → outgoing VCIs
 
+	// streamDir mirrors the routes the host has installed, as the
+	// overload controller's view: media class, direction and age of
+	// every stream (the switch's own table is private to its process).
+	streamDir map[uint32]routeInfo
+
+	// Injected board-crash accounting (nil maps when no BoardFaults).
+	crashDrops  map[string]*obs.Counter
+	crashTraced map[string]bool // trace once per outage, not per segment
+
 	// wires recycles the box's wire storage: sources encode into it,
 	// output handlers copy out of server buffers into it, and sinks
 	// release back to it. One pool per box — the runtime serialises all
@@ -248,7 +283,16 @@ type SwitchStats struct {
 	NoRoute        uint64
 	FullDrops      [numOutputs + 1]uint64 // per output, buffer-full drops
 	AgeDrops       [numOutputs + 1]uint64 // principle-3 proactive drops
+	ShedDrops      uint64                 // overload-controller sheds
+	CorruptDrops   uint64                 // injected-corruption discards at net input
 	PerStreamDrops map[uint32]uint64
+}
+
+// routeInfo is the overload controller's per-stream summary.
+type routeInfo struct {
+	video    bool
+	incoming bool // delivered locally, no network output
+	opened   occam.Time
 }
 
 // AudioStats counts the audio board's work.
@@ -284,6 +328,8 @@ func New(rt *occam.Runtime, net *atm.Network, cfg Config) *Box {
 		toSwitch:    occam.NewChan[*allocator.Buffer](rt, cfg.Name+".toswitch"),
 		switchCmd:   occam.NewChan[SwitchCommand](rt, cfg.Name+".switchcmd"),
 		netVCI:      make(map[uint32][]uint32),
+		streamDir:   make(map[uint32]routeInfo),
+		crashTraced: make(map[string]bool),
 		audioCmds:   occam.NewChan[audioCmd](rt, cfg.Name+".audiocmd"),
 		captureCmds: occam.NewChan[captureCmd](rt, cfg.Name+".capturecmd"),
 		camera:      workload.NewCamera(cfg.CameraW, cfg.CameraH),
@@ -347,10 +393,40 @@ func (b *Box) observe() {
 	reg.CounterFunc("audio_mic_drops_total", func() uint64 { return b.audioStat.MicDrops }, lb)
 	b.playoutHist = reg.Histogram("audio_playout_latency_ms", nil, lb)
 
+	reg.CounterFunc("switch_shed_drops_total", func() uint64 { return b.swStats.ShedDrops }, lb)
+	reg.CounterFunc("server_corrupt_drops_total", func() uint64 { return b.swStats.CorruptDrops }, lb)
+
 	// Mixer (display) board.
 	reg.CounterFunc("display_segments_total", func() uint64 { return b.displayStat.Segments }, lb)
 	reg.CounterFunc("display_frames_total", func() uint64 { return b.displayStat.Frames }, lb)
 	reg.CounterFunc("display_decode_errors_total", func() uint64 { return b.displayStat.DecodeErrs }, lb)
+
+	// Board-crash fault accounting, only when faults are configured so
+	// clean runs keep a clean namespace.
+	if b.cfg.BoardFaults != nil {
+		b.crashDrops = make(map[string]*obs.Counter)
+		for _, board := range []string{"server", "audio", "display"} {
+			b.crashDrops[board] = reg.Counter("fault_crash_drops_total", lb, obs.L("board", board))
+		}
+	}
+}
+
+// boardDown reports whether an injected crash window covers board now,
+// counting each discarded arrival and tracing once per outage.
+func (b *Box) boardDown(p *occam.Proc, board string) bool {
+	if b.cfg.BoardFaults == nil {
+		return false
+	}
+	if !b.cfg.BoardFaults.Down(board, p.Now()) {
+		b.crashTraced[board] = false
+		return false
+	}
+	b.crashDrops[board].Inc()
+	if !b.crashTraced[board] {
+		b.crashTraced[board] = true
+		b.trace.Emit(obs.EvFault, b.cfg.Name+"."+board, 0, "board crashed: discarding input")
+	}
+	return true
 }
 
 // Host returns the box's network endpoint.
@@ -404,12 +480,23 @@ func (b *Box) SetRoute(p *occam.Proc, r Route) {
 	if len(r.NetVCIs) > 0 {
 		b.netVCI[r.Stream] = append([]uint32(nil), r.NetVCIs...)
 	}
+	info := routeInfo{video: r.Video, incoming: true, opened: r.Opened}
+	for _, o := range r.Outputs {
+		if o == OutNetwork {
+			info.incoming = false
+		}
+		if o == OutDisplay {
+			info.video = true
+		}
+	}
+	b.streamDir[r.Stream] = info
 	b.switchCmd.Send(p, SwitchCommand{Set: &r})
 }
 
 // CloseRoute removes a stream's route. Other streams are undisturbed
 // (principle 6).
 func (b *Box) CloseRoute(p *occam.Proc, stream uint32) {
+	delete(b.streamDir, stream)
 	b.switchCmd.Send(p, SwitchCommand{Close: stream, HasClose: true})
 }
 
@@ -446,3 +533,63 @@ func (b *Box) StopCamera(p *occam.Proc, stream uint32) {
 func (b *Box) RequestSwitchReport(p *occam.Proc) {
 	b.switchCmd.Send(p, SwitchCommand{ReportReq: true})
 }
+
+// WirePoolStats exposes the box's wire pool accounting for leak
+// assertions: after sinks drain, free == int(news) means every wire
+// the box ever allocated is back in the pool.
+func (b *Box) WirePoolStats() (gets, news uint64, free int) {
+	return b.wires.Gets, b.wires.News, b.wires.FreeLen()
+}
+
+// --- degrade.Target: the overload controller's levers ---
+
+// DegradeName implements degrade.Target.
+func (b *Box) DegradeName() string { return b.cfg.Name }
+
+// DegradeStreams implements degrade.Target from the stream directory,
+// in stream-id order for deterministic controller decisions.
+func (b *Box) DegradeStreams() []degrade.StreamInfo {
+	ids := make([]uint32, 0, len(b.streamDir))
+	for id := range b.streamDir {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]degrade.StreamInfo, 0, len(ids))
+	for _, id := range ids {
+		ri := b.streamDir[id]
+		out = append(out, degrade.StreamInfo{
+			ID: id, Video: ri.video, Incoming: ri.incoming, Opened: ri.opened,
+		})
+	}
+	return out
+}
+
+// DegradeVideoBuffers and DegradeAudioBuffers name this box's
+// decoupling buffers by media class (the obs "buffer" label values).
+func (b *Box) DegradeVideoBuffers() []string {
+	return []string{b.cfg.Name + ".netVbuf", b.cfg.Name + ".dispbuf"}
+}
+
+// DegradeAudioBuffers implements degrade.Target.
+func (b *Box) DegradeAudioBuffers() []string {
+	return []string{b.cfg.Name + ".netAbuf", b.cfg.Name + ".spkbuf"}
+}
+
+// DegradeShed suspends a stream at the switch; incoming audio is also
+// barred at the mixer so its clawback buffer drains instead of
+// starving into concealment noise.
+func (b *Box) DegradeShed(p *occam.Proc, id uint32) {
+	b.switchCmd.Send(p, SwitchCommand{Shed: id, HasShed: true})
+	if ri, ok := b.streamDir[id]; ok && ri.incoming && !ri.video {
+		b.mix.SetShed(id, true)
+	}
+}
+
+// DegradeRestore resumes a shed stream.
+func (b *Box) DegradeRestore(p *occam.Proc, id uint32) {
+	b.switchCmd.Send(p, SwitchCommand{Restore: id, HasRestore: true})
+	b.mix.SetShed(id, false)
+}
+
+// DegradeRepositoryOrder implements degrade.Target.
+func (b *Box) DegradeRepositoryOrder() bool { return b.cfg.RepositoryPriority }

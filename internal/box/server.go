@@ -8,6 +8,7 @@ import (
 	"repro/internal/allocator"
 	"repro/internal/atm"
 	"repro/internal/decouple"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/occam"
 	"repro/internal/segment"
@@ -51,9 +52,12 @@ func slotName(slot int) string {
 func (b *Box) startServer() {
 	rt, name := b.rt, b.cfg.Name
 	mk := func(slot int, nm string, capacity int) {
+		opts := []decouple.Option{decouple.WithReady(), decouple.WithObs(b.cfg.Obs)}
+		if ws := b.cfg.SinkStalls[slotName(slot)]; len(ws) > 0 {
+			opts = append(opts, decouple.WithStall(faultinject.Stalls(ws)))
+		}
 		b.outBufs[slot] = decouple.New[*allocator.Buffer](
-			rt, b.serverNode, name+"."+nm, capacity, nil,
-			decouple.WithReady(), decouple.WithObs(b.cfg.Obs))
+			rt, b.serverNode, name+"."+nm, capacity, nil, opts...)
 	}
 	mk(bufSpeaker, "spkbuf", switchBufferSegments)
 	mk(bufNetAudio, "netAbuf", netAudioBufferSegments)
@@ -93,6 +97,7 @@ func (b *Box) appendBufSlots(slots []int, o Output, w segment.Wire) []int {
 func (b *Box) runSwitch(p *occam.Proc) {
 	rep := newReporter(b.cfg.Name+".switch", b.Reports)
 	routes := make(map[uint32]*Route)
+	shed := make(map[uint32]bool) // overload-controller suspensions
 	senders := make([]*decouple.Sender[*allocator.Buffer], numOutBufs)
 	for i := range senders {
 		senders[i] = decouple.NewSender(b.outBufs[i])
@@ -121,7 +126,7 @@ func (b *Box) runSwitch(p *occam.Proc) {
 	for {
 		switch idx := p.Alt(guards...); {
 		case idx == 0:
-			b.handleSwitchCommand(p, rep, routes, cmd)
+			b.handleSwitchCommand(p, rep, routes, shed, cmd)
 		case idx <= numOutBufs:
 			senders[idx-1].Update(ready[idx-1])
 		default:
@@ -129,6 +134,16 @@ func (b *Box) runSwitch(p *occam.Proc) {
 			if r == nil {
 				b.swStats.NoRoute++
 				b.pool.Release(p, buf)
+				continue
+			}
+			if shed[buf.Stream] {
+				// The overload controller suspended this stream: stop
+				// its data at the earliest shared point, before any
+				// copying or buffering.
+				b.swStats.ShedDrops++
+				b.swStats.PerStreamDrops[buf.Stream]++
+				b.pool.Release(p, buf)
+				b.trace.Emit(obs.EvDrop, b.cfg.Name+".switch", buf.Stream, "degrade-shed")
 				continue
 			}
 			size := buf.Payload.Len()
@@ -193,7 +208,7 @@ func (b *Box) runSwitch(p *occam.Proc) {
 	}
 }
 
-func (b *Box) handleSwitchCommand(p *occam.Proc, rep *Reporter, routes map[uint32]*Route, cmd SwitchCommand) {
+func (b *Box) handleSwitchCommand(p *occam.Proc, rep *Reporter, routes map[uint32]*Route, shed map[uint32]bool, cmd SwitchCommand) {
 	switch {
 	case cmd.Set != nil:
 		r := *cmd.Set
@@ -202,7 +217,14 @@ func (b *Box) handleSwitchCommand(p *occam.Proc, rep *Reporter, routes map[uint3
 			fmt.Sprintf("route set: %v", r.Outputs))
 	case cmd.HasClose:
 		delete(routes, cmd.Close)
+		delete(shed, cmd.Close)
 		b.trace.Emit(obs.EvReconfig, b.cfg.Name+".switch", cmd.Close, "route closed")
+	case cmd.HasShed:
+		shed[cmd.Shed] = true
+		b.trace.Emit(obs.EvReconfig, b.cfg.Name+".switch", cmd.Shed, "stream shed")
+	case cmd.HasRestore:
+		delete(shed, cmd.Restore)
+		b.trace.Emit(obs.EvReconfig, b.cfg.Name+".switch", cmd.Restore, "stream restored")
 	case cmd.ReportReq:
 		rep.Report(p, "status", "routes=%d switched=%d noroute=%d",
 			len(routes), b.swStats.Switched, b.swStats.NoRoute)
@@ -262,15 +284,23 @@ func slotMatches(o Output, slot int) bool {
 // indices into the switch. Copying the wire into the buffer is the
 // data path's first copy (§3.4: "once into memory").
 func (b *Box) runAudioIn(p *occam.Proc) {
+	var buf *allocator.Buffer
 	for {
-		buf := b.pool.Get(p) // "obtain empty buffers ... in advance"
+		if buf == nil {
+			buf = b.pool.Get(p) // "obtain empty buffers ... in advance"
+		}
 		msg := b.audioToServer.Recv(p)
+		if b.boardDown(p, "server") {
+			msg.W.Release() // the pre-fetched buffer waits for recovery
+			continue
+		}
 		size := msg.W.Len()
 		p.Consume(time.Duration(size) * serverCopyPerKB / 1024)
 		buf.SetPayload(msg.W.Bytes())
 		msg.W.Release()
 		buf.Stream = msg.Stream
 		b.toSwitch.Send(p, buf)
+		buf = nil
 	}
 }
 
@@ -278,38 +308,69 @@ func (b *Box) runAudioIn(p *occam.Proc) {
 // number (§3.4).
 func (b *Box) runNetIn(p *occam.Proc) {
 	reasm := make(map[uint32]*chunkedVideo)
+	// corruptSeg marks a VCI whose pending segment took a corrupted
+	// chunk; the whole reassembled segment is then discarded ("the
+	// current segment is thrown away", §3.8).
+	corruptSeg := make(map[uint32]bool)
+	var buf *allocator.Buffer
 	for {
-		buf := b.pool.Get(p)
+		if buf == nil {
+			buf = b.pool.Get(p)
+		}
 		var (
 			m atm.Message
 			w segment.Wire
 		)
 		for {
 			m = b.host.Rx.Recv(p)
+			if b.boardDown(p, "server") {
+				m.W.Release()
+				continue
+			}
+			if m.Corrupt {
+				corruptSeg[m.VCI] = true
+			}
 			var done bool
 			if w, done = reassemble(reasm, m); done {
 				break
 			}
+		}
+		if corruptSeg[m.VCI] {
+			delete(corruptSeg, m.VCI)
+			b.swStats.CorruptDrops++
+			b.swStats.PerStreamDrops[m.VCI]++
+			b.trace.Emit(obs.EvDrop, b.cfg.Name+".netIn", m.VCI, "corrupt-discard")
+			w.Release()
+			continue
 		}
 		p.Consume(time.Duration(m.Size) * serverCopyPerKB / 1024)
 		buf.SetPayload(w.Bytes())
 		w.Release()
 		buf.Stream = m.VCI
 		b.toSwitch.Send(p, buf)
+		buf = nil
 	}
 }
 
 // runCaptureIn receives compressed video segments from the capture
 // board fifo.
 func (b *Box) runCaptureIn(p *occam.Proc) {
+	var buf *allocator.Buffer
 	for {
-		buf := b.pool.Get(p)
+		if buf == nil {
+			buf = b.pool.Get(p)
+		}
 		msg := b.captureToServer.Recv(p)
+		if b.boardDown(p, "server") {
+			msg.W.Release()
+			continue
+		}
 		p.Consume(time.Duration(msg.W.Len()) * serverCopyPerKB / 1024)
 		buf.SetPayload(msg.W.Bytes())
 		msg.W.Release()
 		buf.Stream = msg.Stream
 		b.toSwitch.Send(p, buf)
+		buf = nil
 	}
 }
 

@@ -168,6 +168,10 @@ func (b *Box) runDisplay(p *occam.Proc) {
 	var seg segment.Video // reused header view into each wire
 	for {
 		msg := b.serverToMixer.Recv(p)
+		if b.boardDown(p, "display") {
+			msg.W.Release()
+			continue
+		}
 		b.displayStat.Segments++
 		p.Consume(displaySegmentCost)
 

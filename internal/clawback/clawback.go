@@ -64,6 +64,9 @@ const (
 	DropLimit
 	// DropPool: the shared pool was exhausted.
 	DropPool
+	// DropFault: an injected fault (faultinject block corruption)
+	// discarded the block at the destination.
+	DropFault
 )
 
 func (r DropReason) String() string {
@@ -76,6 +79,8 @@ func (r DropReason) String() string {
 		return "limit"
 	case DropPool:
 		return "pool"
+	case DropFault:
+		return "fault"
 	}
 	return "unknown"
 }
@@ -139,6 +144,11 @@ type Config struct {
 	// correction the paper warns about fires during occasional short
 	// intervals of low jitter and degrades the stream unnecessarily.
 	NoReset bool
+	// Fault, if non-nil, is a fault-injection hook consulted on every
+	// arriving block; returning true discards the block as injected
+	// corruption at the destination codec (DropFault).
+	// faultinject.BlockCorruption's Hit method is a suitable value.
+	Fault func() bool
 	// Obs, if non-nil, registers the buffer's counters (labelled with
 	// Owner) and traces drops. A nil registry costs nothing.
 	Obs *obs.Registry
@@ -175,6 +185,7 @@ type Stats struct {
 	ClawDrops       uint64 // blocks removed by the clawback mechanism
 	LimitDrops      uint64 // blocks over the per-stream limit
 	PoolDrops       uint64 // blocks refused by the shared pool
+	FaultDrops      uint64 // blocks discarded by an injected fault
 }
 
 // Item is one queued 2 ms block plus the source timestamp it was
@@ -211,6 +222,7 @@ type Buffer struct {
 	claw     *obs.Counter
 	limit    *obs.Counter
 	pool     *obs.Counter
+	fault    *obs.Counter
 	trace    *obs.Tracer
 	source   string
 }
@@ -233,6 +245,7 @@ func New(cfg Config) *Buffer {
 		claw:     reg.Counter("clawback_claw_drops_total", lb),
 		limit:    reg.Counter("clawback_limit_drops_total", lb),
 		pool:     reg.Counter("clawback_pool_drops_total", lb),
+		fault:    reg.Counter("clawback_fault_drops_total", lb),
 		trace:    reg.Tracer(),
 		source:   "clawback." + owner,
 	}
@@ -251,6 +264,7 @@ func (b *Buffer) Stats() Stats {
 		ClawDrops:       b.claw.Value(),
 		LimitDrops:      b.limit.Value(),
 		PoolDrops:       b.pool.Value(),
+		FaultDrops:      b.fault.Value(),
 	}
 }
 
@@ -270,6 +284,14 @@ func (b *Buffer) Push(blk []byte) DropReason { return b.PushItem(Item{Data: blk}
 // PushItem offers an arriving block with its source timestamp.
 func (b *Buffer) PushItem(it Item) DropReason {
 	b.pushed.Inc()
+	if b.cfg.Fault != nil && b.cfg.Fault() {
+		// Injected corruption at the destination: the block is thrown
+		// away before it can influence the clawback state (§3.8).
+		b.fault.Inc()
+		b.trace.Emit(obs.EvFault, b.source, 0, DropFault.String())
+		it.W.Release()
+		return DropFault
+	}
 	if len(b.queue) >= b.cfg.LimitBlocks {
 		// "we throw away samples if the buffer is above its limit
 		// when they arrive."

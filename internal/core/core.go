@@ -17,10 +17,14 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/atm"
 	"repro/internal/box"
+	"repro/internal/degrade"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/occam"
 	"repro/internal/repository"
@@ -188,7 +192,7 @@ func (s *System) SendVideo(p *occam.Proc, from string, cs box.CameraStream, to .
 		}
 	}
 	cs.Stream = st.Local
-	src.SetRoute(p, box.Route{Stream: st.Local, Outputs: []box.Output{box.OutNetwork}, NetVCIs: vcis})
+	src.SetRoute(p, box.Route{Stream: st.Local, Outputs: []box.Output{box.OutNetwork}, NetVCIs: vcis, Video: true})
 	src.StartCamera(p, cs)
 	return st
 }
@@ -259,6 +263,7 @@ func (s *System) reRoute(p *occam.Proc, st *Stream) {
 		Outputs: []box.Output{out},
 		NetVCIs: vcis,
 		Opened:  occam.Time(1), // keep the original age (principle 3)
+		Video:   st.Video,
 	})
 }
 
@@ -300,6 +305,46 @@ func (s *System) PlayTo(p *occam.Proc, repoName string, rec *repository.Recordin
 	s.boxes[to].SetRoute(p, box.Route{Stream: vci, Outputs: []box.Output{box.OutSpeaker}})
 	s.repos[repoName].Playback(rec, vci)
 	return vci
+}
+
+// InjectLinkFaults attaches spec's link-fault schedule to every
+// network link, each with a seed derived from the link's name so
+// schedules are independent but reproducible. Call before RunFor.
+func (s *System) InjectLinkFaults(spec faultinject.Spec) {
+	for _, l := range s.Net.Links() {
+		if f := spec.LinkFault(l.Name()); f != nil {
+			l.SetFault(f)
+		}
+	}
+}
+
+// EnableDegradation starts one overload controller per box (principle
+// 8: each box adapts to its own conditions; there is no global
+// coordinator). Each controller watches its box's decoupling buffers
+// plus the outgoing links of every path leaving the box, and applies
+// cfg with those links filled in. Returns the controllers by box name.
+func (s *System) EnableDegradation(cfg degrade.Config) map[string]*degrade.Controller {
+	names := make([]string, 0, len(s.boxes))
+	for name := range s.boxes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make(map[string]*degrade.Controller, len(names))
+	for _, name := range names {
+		bcfg := cfg
+		var links []string
+		for key, ls := range s.paths {
+			if strings.HasPrefix(key, name+"->") {
+				for _, l := range ls {
+					links = append(links, l.Name())
+				}
+			}
+		}
+		sort.Strings(links)
+		bcfg.Links = links
+		out[name] = degrade.New(s.RT, s.boxes[name], bcfg, s.Obs)
+	}
+	return out
 }
 
 func (s *System) openCircuit(vci uint32, from, to string) {

@@ -1,0 +1,24 @@
+// Package decouple implements the decoupling buffers of paper §3.7.1:
+// circular FIFO queues of segment references inserted between
+// processes or hardware units that do not run synchronously, so that
+// "the poor performance of one output device does not affect streams
+// to other output devices" (principle 5).
+//
+// A buffer is an Occam process network (Process): a queue process
+// owning the Ring plus an output pump that keeps one item offered to
+// the consumer. Buffers respond to commands (resize "without any loss
+// of data", report) and generate Reports carrying their length, limit
+// and pointer positions. An optional ready channel (WithReady, figure
+// 3.6) gives upstream an immediate TRUE/FALSE after every input so it
+// can throw data away instead of blocking; Sender is the client side
+// of that protocol, counting refusals on
+// decouple_refused_total{buffer=...}.
+//
+// Observability (WithObs) registers the live occupancy and limit as
+// decouple_queued/decouple_limit gauges and the lifetime activity as
+// decouple_pushed_total/decouple_popped_total counters — the depth
+// signals the overload controller in internal/degrade watches.
+// Fault injection (WithStall) simulates a stuck sink channel: the
+// output pump sleeps out configured outage windows while the queue
+// fills, counted on decouple_stalled_total.
+package decouple

@@ -55,6 +55,11 @@ type Process[T any] struct {
 	outReq   *occam.Chan[struct{}]
 	outItem  *occam.Chan[T]
 	owedTrue bool // a FALSE was sent; owe a TRUE when a slot frees
+
+	stall    func(now occam.Time) occam.Time
+	stalls   *obs.Counter
+	trace    *obs.Tracer
+	stalledT occam.Time // end of the stall already slept out
 }
 
 // Option configures a Process.
@@ -63,6 +68,7 @@ type Option func(*options)
 type options struct {
 	ready bool
 	reg   *obs.Registry
+	stall func(now occam.Time) occam.Time
 }
 
 // WithReady attaches the ready channel of figure 3.6.
@@ -72,6 +78,18 @@ func WithReady() Option { return func(o *options) { o.ready = true } }
 // (labelled with the buffer name) on reg, and lets senders register
 // their refusal counters.
 func WithObs(reg *obs.Registry) Option { return func(o *options) { o.reg = reg } }
+
+// WithStall attaches a fault-injection hook modelling a stuck consumer
+// (a wedged output device): before offering each item downstream, the
+// output pump asks fn for the end of any outage covering the current
+// time and sleeps until then. While stalled the queue keeps filling
+// normally, so upstream sees exactly the back-pressure a dead sink
+// would cause. Each outage counts once on
+// decouple_stalled_total{buffer=...} and emits an EvFault trace event.
+// faultinject.Stalls converts outage windows into a suitable fn.
+func WithStall(fn func(now occam.Time) occam.Time) Option {
+	return func(o *options) { o.stall = fn }
+}
 
 // New creates a decoupling buffer of the given capacity and starts
 // its processes on rt. reports may be nil if nobody collects them.
@@ -99,6 +117,11 @@ func New[T any](rt *occam.Runtime, node *occam.Node, name string, capacity int, 
 	d.reg.GaugeFunc("decouple_limit", func() float64 { return float64(d.ring.Cap()) }, lb)
 	d.reg.CounterFunc("decouple_pushed_total", d.ring.Pushed, lb)
 	d.reg.CounterFunc("decouple_popped_total", d.ring.Popped, lb)
+	d.trace = d.reg.Tracer()
+	if o.stall != nil {
+		d.stall = o.stall
+		d.stalls = d.reg.Counter("decouple_stalled_total", lb)
+	}
 	rt.Go(name+".queue", node, occam.High, d.runQueue)
 	rt.Go(name+".pump", node, occam.High, d.runPump)
 	return d
@@ -157,9 +180,28 @@ func (d *Process[T]) runPump(p *occam.Proc) {
 	for {
 		d.outReq.Send(p, token)
 		item := d.outItem.Recv(p)
+		if d.stall != nil {
+			if until := d.stall(p.Now()); until > p.Now() {
+				if until > d.stalledT {
+					// Count each outage once, not once per queued item.
+					d.stalledT = until
+					d.stalls.Inc()
+					d.trace.Emit(obs.EvFault, "decouple."+d.name, 0, "sink stalled")
+				}
+				p.SleepUntil(until)
+			}
+		}
 		d.Out.Send(p, item)
 	}
 }
+
+// Len returns the queue's current occupancy. The occam runtime runs
+// exactly one process at a time, so the live value is safe to read
+// from any process — the degrade controller's pressure probe.
+func (d *Process[T]) Len() int { return d.ring.Len() }
+
+// Limit returns the queue's current capacity limit.
+func (d *Process[T]) Limit() int { return d.ring.Cap() }
 
 func (d *Process[T]) handleCommand(p *occam.Proc, cmd Command) {
 	if cmd.Resize > 0 {

@@ -1,10 +1,3 @@
-// Package decouple implements the decoupling buffers of paper §3.7.1:
-// circular FIFO queues of segment references inserted between
-// processes or hardware units that do not run synchronously. They
-// respond to commands (resize, report) and generate reports, and an
-// optional *ready channel* gives upstream an immediate TRUE/FALSE
-// after every input so it can drop data instead of blocking
-// (principle 5, figure 3.6).
 package decouple
 
 // Ring is the circular buffer at the heart of a decoupling buffer:

@@ -1,0 +1,193 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/box"
+	"repro/internal/core"
+	"repro/internal/degrade"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/occam"
+	"repro/internal/video"
+	"repro/internal/workload"
+)
+
+// OverloadResult is E21's machine-readable outcome, used by the tests
+// and by scripts/fault_smoke.go.
+type OverloadResult struct {
+	AudioShed int      // controller sheds of audio streams (must be 0)
+	VideoShed int      // controller sheds of video streams
+	Restores  int      // controller restores after recovery
+	ShedOrder []uint32 // stream ids in shed order, before the first restore
+	// OldestFirst reports that the initial shed sequence took the
+	// longest-open video stream first (principle 3).
+	OldestFirst bool
+	AudioLost   uint64  // audio segments lost end to end
+	SilencePct  float64 // % of played audio blocks that were silence fills
+	// InjectedFaults totals every link-level fault that fired (loss,
+	// corruption, duplication, delay, stall).
+	InjectedFaults uint64
+	// WireNews is the total wire-buffer allocations across both boxes;
+	// recycling bounds it regardless of how many segments flow.
+	WireNews uint64
+	// Fingerprint renders every fault and degradation counter plus the
+	// controller action log: two runs with the same seed must produce
+	// byte-identical fingerprints.
+	Fingerprint string
+}
+
+// E21 runs the overload experiment at the default seed.
+func E21() (*Table, *OverloadResult) { return E21Overload(42) }
+
+// E21Overload overloads one box's network interface with three
+// staggered video streams plus audio, under injected link faults, with
+// the degradation controller enabled — the full §2.1 policy on
+// display: video is shed before audio, oldest stream first, and every
+// injected fault and shed is visible as an obs counter.
+func E21Overload(seed uint64) (*Table, *OverloadResult) {
+	t := &Table{
+		ID:     "E21",
+		Title:  "Overload degradation under injected faults",
+		Paper:  "video degrades before audio; the oldest streams degrade first; boxes adapt locally (§2.1)",
+		Header: []string{"measure", "value"},
+	}
+	s := core.NewSystem()
+	defer s.Shutdown()
+	s.AddBox(box.Config{
+		Name: "a", Mic: workload.NewTone(400, 10000),
+		CameraW: 256, CameraH: 192,
+		// The first limit exceeded in normal operation (§3.7.1): an
+		// interface too slow for three full-rate video bands.
+		NetInterfaceBits: 3_500_000,
+	})
+	s.AddBox(box.Config{Name: "b", CameraW: 256, CameraH: 192})
+	s.Connect("a", "b", atm.LinkConfig{Bandwidth: 100_000_000})
+
+	// Deterministic link faults: burst loss, light duplication, jitter.
+	spec := faultinject.Spec{Seed: seed, Link: faultinject.LinkConfig{
+		BurstEnter: 0.002, BurstLen: 3,
+		Duplicate:  0.002,
+		JitterMean: 300 * time.Microsecond, JitterStddev: 600 * time.Microsecond,
+	}}
+	s.InjectLinkFaults(spec)
+	ctrls := s.EnableDegradation(degrade.Config{
+		ShedEvery: 150 * time.Millisecond,
+		Hold:      800 * time.Millisecond,
+	})
+
+	// Audio first, then three video bands opened 400 ms apart, so ages
+	// differ and "oldest first" is observable.
+	var audio *core.Stream
+	var vids []*core.Stream
+	s.Control(func(p *occam.Proc) {
+		audio = s.SendAudio(p, "a", "b")
+		for i := 0; i < 3; i++ {
+			vids = append(vids, s.SendVideo(p, "a", box.CameraStream{
+				Rect: video.Rect{Y: i * 64, W: 256, H: 64},
+				Rate: video.Rate{Num: 1, Den: 1},
+			}, "b"))
+			if i < 2 {
+				p.Sleep(400 * time.Millisecond)
+			}
+		}
+	})
+	if err := s.RunFor(6 * time.Second); err != nil {
+		panic(err)
+	}
+
+	res := &OverloadResult{}
+
+	// Controller decisions (only box "a" is under pressure, but count
+	// every box — audio sheds anywhere would break principle 2).
+	var aActs []degrade.Action
+	for _, name := range []string{"a", "b"} {
+		for _, act := range ctrls[name].Actions() {
+			switch {
+			case act.Restore:
+				res.Restores++
+			case act.Video:
+				res.VideoShed++
+			default:
+				res.AudioShed++
+			}
+		}
+	}
+	aActs = ctrls["a"].Actions()
+	res.OldestFirst = true
+	for _, act := range aActs {
+		if act.Restore {
+			break
+		}
+		if n := len(res.ShedOrder); n > 0 && res.ShedOrder[n-1] >= act.Stream {
+			// Stream ids are allocated in open order, so oldest-first
+			// means strictly ascending ids in the initial sequence.
+			res.OldestFirst = false
+		}
+		res.ShedOrder = append(res.ShedOrder, act.Stream)
+	}
+	if len(res.ShedOrder) == 0 || (len(vids) > 0 && res.ShedOrder[0] != vids[0].Local) {
+		res.OldestFirst = false
+	}
+
+	// Audio quality at the destination.
+	m := s.Box("b").Mixer().Stats(audio.VCIs["b"])
+	res.AudioLost = m.LostSegments
+	if m.Blocks > 0 {
+		res.SilencePct = 100 * float64(m.Clawback.SilenceInserted) / float64(m.Blocks)
+	}
+
+	// Every injected fault, straight off the link counters.
+	var fs atm.FaultStats
+	for _, l := range s.Net.Links() {
+		st := l.FaultStats()
+		fs.Drops += st.Drops
+		fs.Corruptions += st.Corruptions
+		fs.Duplicates += st.Duplicates
+		fs.Delays += st.Delays
+		fs.Stalls += st.Stalls
+	}
+	res.InjectedFaults = fs.Drops + fs.Corruptions + fs.Duplicates + fs.Delays + fs.Stalls
+
+	aGets, aNews, _ := s.Box("a").WirePoolStats()
+	bGets, bNews, _ := s.Box("b").WirePoolStats()
+	res.WireNews = aNews + bNews
+	res.Fingerprint = overloadFingerprint(s, ctrls)
+
+	swA := s.Box("a").SwitchStats()
+	t.Add("audio segments played", fmt.Sprintf("%d (lost %d, silence %.2f%%)",
+		m.Segments, res.AudioLost, res.SilencePct))
+	t.Add("audio streams shed", fmt.Sprintf("%d", res.AudioShed))
+	t.Add("video streams shed", fmt.Sprintf("%d (order %v)", res.VideoShed, res.ShedOrder))
+	t.Add("restores after recovery", fmt.Sprintf("%d", res.Restores))
+	t.Add("segments stopped at the switch", fmt.Sprintf("%d", swA.ShedDrops))
+	t.Add("injected link faults", fmt.Sprintf("%d (loss %d, dup %d, delay %d)",
+		res.InjectedFaults, fs.Drops, fs.Duplicates, fs.Delays))
+	t.Add("wire allocations", fmt.Sprintf("%d (of %d uses)", res.WireNews, aGets+bGets))
+	t.Remark("audio survives untouched while the overload controller sheds video, oldest stream first")
+	return t, res
+}
+
+// overloadFingerprint renders the fault and degradation state of a
+// finished run as one deterministic string.
+func overloadFingerprint(s *core.System, ctrls map[string]*degrade.Controller) string {
+	var sb strings.Builder
+	for _, l := range s.Net.Links() { // already sorted by name
+		st := l.FaultStats()
+		fmt.Fprintf(&sb, "link %s: drop=%d corrupt=%d dup=%d delay=%d stall=%d\n",
+			l.Name(), st.Drops, st.Corruptions, st.Duplicates, st.Delays, st.Stalls)
+	}
+	for _, name := range []string{"a", "b"} {
+		lb := obs.L("box", name)
+		shed, _ := s.Obs.Value("switch_shed_drops_total", lb)
+		corrupt, _ := s.Obs.Value("server_corrupt_drops_total", lb)
+		fmt.Fprintf(&sb, "box %s: shed_drops=%.0f corrupt_drops=%.0f\n", name, shed, corrupt)
+		for _, act := range ctrls[name].Actions() {
+			fmt.Fprintf(&sb, "  %s\n", act.String())
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,52 @@
+package experiment
+
+import "testing"
+
+// TestE21OverloadPolicy asserts the documented acceptance criteria:
+// zero audio shed, video shed oldest-first, faults visible in
+// counters, wire allocations bounded by recycling.
+func TestE21OverloadPolicy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	_, r := E21()
+	if r.AudioShed != 0 {
+		t.Fatalf("audio shed %d times — principle 2 violated", r.AudioShed)
+	}
+	if r.VideoShed < 2 {
+		t.Fatalf("only %d video sheds — overload never engaged", r.VideoShed)
+	}
+	if !r.OldestFirst {
+		t.Fatalf("shed order %v did not take the oldest stream first", r.ShedOrder)
+	}
+	if r.Restores == 0 {
+		t.Fatal("controller never restored after recovery")
+	}
+	if r.InjectedFaults == 0 {
+		t.Fatal("no injected faults fired")
+	}
+	if r.SilencePct > 10 {
+		t.Fatalf("%.1f%% of audio was silence — call quality destroyed", r.SilencePct)
+	}
+	if r.WireNews > 512 {
+		t.Fatalf("%d wire allocations — recycling (or a leak fix) regressed", r.WireNews)
+	}
+}
+
+// TestE21DeterministicReplay: the fault schedule and every reaction to
+// it derive from the seed, so a replay is byte-identical and a
+// different seed is not.
+func TestE21DeterministicReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	_, r1 := E21Overload(777)
+	_, r2 := E21Overload(777)
+	if r1.Fingerprint != r2.Fingerprint {
+		t.Fatalf("same seed, different runs:\n--- run 1\n%s--- run 2\n%s", r1.Fingerprint, r2.Fingerprint)
+	}
+	_, r3 := E21Overload(778)
+	if r3.Fingerprint == r1.Fingerprint {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+}

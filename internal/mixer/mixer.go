@@ -95,6 +95,11 @@ type Mixer struct {
 	streams map[uint32]*stream
 	ticks   uint64
 
+	// shed holds streams suspended by the overload controller
+	// (internal/degrade): their deliveries are discarded until restored.
+	shed      map[uint32]bool
+	shedDrops *obs.Counter
+
 	// Per-tick scratch, reused: the returned block is valid until the
 	// next Tick.
 	out []byte
@@ -119,9 +124,11 @@ func New(cfg Config) *Mixer {
 		cfg:     cfg,
 		pool:    clawback.NewPool(cfg.PoolBlocks),
 		streams: make(map[uint32]*stream),
+		shed:    make(map[uint32]bool),
 		out:     make([]byte, segment.BlockSamples),
 	}
 	lb := obs.L("box", cfg.Name)
+	m.shedDrops = cfg.Obs.Counter("mixer_shed_drops_total", lb)
 	cfg.Obs.GaugeFunc("clawback_pool_used", func() float64 { return float64(m.pool.Used()) }, lb)
 	cfg.Obs.GaugeFunc("clawback_pool_capacity", func() float64 { return float64(m.pool.Capacity()) }, lb)
 	cfg.Obs.CounterFunc("clawback_pool_exhausted_total", func() uint64 { return m.pool.Exhausted }, lb)
@@ -195,6 +202,14 @@ func (m *Mixer) source() string { return m.cfg.Name + ".mixer" }
 // whatever is not queued costs nothing and the wire is released.
 func (m *Mixer) Deliver(id uint32, w segment.Wire) {
 	tr := m.cfg.Obs.Tracer()
+	if m.shed[id] {
+		// The overload controller shed this stream: discard the
+		// segment (releasing its wire) until DegradeRestore.
+		m.shedDrops.Inc()
+		tr.Emit(obs.EvDrop, m.source(), id, "degrade-shed")
+		w.Release()
+		return
+	}
 	s, ok := m.streams[id]
 	if !ok {
 		s = m.newStream(id)
@@ -319,6 +334,29 @@ func (m *Mixer) Tick(now int64) (block []byte, mixed int) {
 		out[i] = mulaw.Encode(int16(v))
 	}
 	return out, mixed
+}
+
+// SetShed suspends (or, with shed=false, resumes) mixing of stream id
+// on the overload controller's orders. Shedding drains the stream's
+// clawback buffer — releasing its queued wire references back to the
+// pool — and deactivates it; subsequent deliveries are discarded and
+// counted on mixer_shed_drops_total. Restoring simply lifts the bar:
+// the next delivery reactivates the stream through the normal adaptive
+// path (principle 8).
+func (m *Mixer) SetShed(id uint32, shed bool) {
+	if !shed {
+		delete(m.shed, id)
+		return
+	}
+	if m.shed[id] {
+		return
+	}
+	m.shed[id] = true
+	if s, ok := m.streams[id]; ok && s.active {
+		s.active = false
+		s.buf.Drain()
+		m.cfg.Obs.Tracer().Emit(obs.EvStreamClose, m.source(), id, "stream shed")
+	}
 }
 
 // Ticks returns how many mixing ticks have run.

@@ -253,6 +253,81 @@ func TestDeliverReleasesWiresWhenPlayedOut(t *testing.T) {
 	}
 }
 
+func TestShedDiscardsUntilRestored(t *testing.T) {
+	m := New(Config{})
+	m.Deliver(1, seg(0, 8000, 2))
+	if m.ActiveStreams() != 1 {
+		t.Fatal("stream not active before shed")
+	}
+	m.SetShed(1, true)
+	if m.ActiveStreams() != 0 {
+		t.Fatal("shed did not deactivate the stream")
+	}
+	m.Deliver(1, seg(1, 8000, 2)) // discarded
+	if _, mixed := m.Tick(0); mixed != 0 {
+		t.Fatal("shed stream still mixing")
+	}
+	st := m.Stats(1)
+	if st.Blocks != 2 {
+		t.Fatalf("shed delivery queued blocks: %d", st.Blocks)
+	}
+	m.SetShed(1, false)
+	m.Deliver(1, seg(2, 8000, 2)) // reactivates adaptively
+	if _, mixed := m.Tick(0); mixed != 1 {
+		t.Fatal("restored stream not mixing")
+	}
+}
+
+func TestFaultPathsReleaseWires(t *testing.T) {
+	// The injected-fault drop paths — duplicate delivery of the same
+	// wire (what an atm duplicate fault produces: two references, two
+	// Deliver calls), shedding with a loaded buffer, deliveries while
+	// shed, and destination block-corruption drops — must all release
+	// the wire references they discard. Pool accounting is the leak
+	// detector: after playout every wire record is back on the free
+	// list.
+	pl := segment.NewWirePool()
+	mk := func(seq uint32) segment.Wire {
+		return pl.Encode(segment.NewAudio(seq, 0, [][]byte{
+			{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16},
+		}))
+	}
+	fault := 0
+	m := New(Config{Clawback: clawback.Config{
+		// Every third block is injected corruption at the destination.
+		Fault: func() bool { fault++; return fault%3 == 0 },
+	}})
+
+	// Duplicate delivery: one wire, two references, second copy is a
+	// late duplicate the mixer must release.
+	w := mk(0)
+	w.Retain(1)
+	m.Deliver(1, w)
+	m.Deliver(1, w)
+	m.Deliver(1, mk(1))
+	m.Deliver(1, mk(2))
+
+	// Shed with queued blocks (drained), then deliveries while shed.
+	m.SetShed(1, true)
+	m.Deliver(1, mk(3))
+	m.Deliver(1, mk(4))
+	m.SetShed(1, false)
+	m.Deliver(1, mk(5))
+	for i := 0; i < 16; i++ {
+		m.Tick(0)
+	}
+	st := m.Stats(1)
+	if st.LateDuplicates == 0 {
+		t.Fatal("duplicate delivery not detected")
+	}
+	if st.Clawback.FaultDrops == 0 {
+		t.Fatal("block-corruption fault never fired")
+	}
+	if pl.FreeLen() != int(pl.News) {
+		t.Fatalf("%d of %d wire records returned after fault-path playout", pl.FreeLen(), pl.News)
+	}
+}
+
 func TestStatsUnknownStream(t *testing.T) {
 	m := New(Config{})
 	if st := m.Stats(42); st.Segments != 0 {

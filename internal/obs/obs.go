@@ -318,6 +318,35 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Hi
 	return e.hist
 }
 
+// Value reads one registered counter's or gauge's current value
+// without building a full Snapshot — cheap enough for control loops
+// that poll a handful of instruments every few milliseconds (the
+// degrade controller's pressure probes). Func-backed instruments
+// invoke their callback. It returns false for an unknown instrument,
+// a histogram, or a nil registry.
+func (r *Registry) Value(name string, labels ...Label) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	e, ok := r.byKey[key(name, labels)]
+	if !ok {
+		return 0, false
+	}
+	switch e.kind {
+	case KindCounter:
+		if e.counterFn != nil {
+			return float64(e.counterFn()), true
+		}
+		return float64(e.counter.Value()), true
+	case KindGauge:
+		if e.gaugeFn != nil {
+			return e.gaugeFn(), true
+		}
+		return e.gauge.Value(), true
+	}
+	return 0, false
+}
+
 // Sample is one instrument's state at snapshot time.
 type Sample struct {
 	Name   string

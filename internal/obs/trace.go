@@ -33,6 +33,11 @@ const (
 	// EvReconfig: a control-plane change (route table update,
 	// blocks-per-segment change, resize).
 	EvReconfig
+	// EvFault: an injected fault fired (faultinject burst loss,
+	// corruption, duplication, link stall, board crash). Distinct from
+	// EvDrop so replayed fault schedules can be audited apart from the
+	// system's own reactions to them.
+	EvFault
 )
 
 func (k EventKind) String() string {
@@ -49,6 +54,8 @@ func (k EventKind) String() string {
 		return "recover"
 	case EvReconfig:
 		return "reconfig"
+	case EvFault:
+		return "fault"
 	}
 	return "?"
 }

@@ -1,0 +1,47 @@
+//go:build ignore
+
+// fault_smoke runs the E21 overload experiment (injected link faults +
+// degradation controller) and fails unless the documented policy held:
+// zero audio sheds, video shed oldest-first with later restores, faults
+// actually fired, audio quality survived and wire recycling stayed
+// bounded. Run from the repository root:
+//
+//	go run scripts/fault_smoke.go
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	tab, r := experiment.E21()
+	fmt.Print(tab)
+
+	fail := false
+	check := func(ok bool, format string, args ...any) {
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fault_smoke: "+format+"\n", args...)
+			fail = true
+		}
+	}
+	check(r.AudioShed == 0, "audio shed %d times — video must degrade first", r.AudioShed)
+	check(r.VideoShed >= 2, "only %d video sheds — overload never engaged", r.VideoShed)
+	check(r.OldestFirst, "shed order %v is not oldest-first", r.ShedOrder)
+	check(r.Restores > 0, "controller never restored after recovery")
+	check(r.InjectedFaults > 0, "no injected link faults fired")
+	check(r.SilencePct <= 10, "%.1f%% of audio was silence", r.SilencePct)
+	check(r.WireNews <= 512, "%d wire allocations — recycling regressed", r.WireNews)
+
+	// Determinism: a replay at a fixed seed must be byte-identical.
+	_, r1 := experiment.E21Overload(9001)
+	_, r2 := experiment.E21Overload(9001)
+	check(r1.Fingerprint == r2.Fingerprint, "same seed produced different runs")
+
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Println("fault_smoke: overload policy held (no audio shed, oldest video first, deterministic replay)")
+}
