@@ -159,6 +159,13 @@ func BenchmarkE21OverloadDegradation(b *testing.B) {
 	}
 }
 
+func BenchmarkE22FabricIsolation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiment.E22()
+	}
+}
+
 func BenchmarkA1BufferPlacement(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

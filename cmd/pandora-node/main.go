@@ -1,0 +1,193 @@
+// Command pandora-node runs ONE Pandora box as its own OS process,
+// exchanging audio with peer nodes over UDP datagrams instead of the
+// in-process simulated network — the atm.Transport seam exercised for
+// real (outgoing segments leave through internal/atm/udptrans, and a
+// feeder process injects received datagrams back into the box's
+// virtual-time runtime between quanta).
+//
+// A conference of N nodes is N copies of this command, each given the
+// same ordered peer list and its own index:
+//
+//	pandora-node -index 0 -peers 127.0.0.1:7000,127.0.0.1:7001 &
+//	pandora-node -index 1 -peers 127.0.0.1:7000,127.0.0.1:7001
+//
+// Node i speaks on VCI 2000+i to every peer and plays every incoming
+// VCI 2000+j (j ≠ i) to its speaker, so the mesh is a conference (§4.1)
+// with the fabric's role played by the host network. Each process runs
+// its own deterministic virtual-time runtime, paced against the wall
+// clock in -quantum steps; only the arrival batches from the socket
+// are nondeterministic, exactly the boundary the Receiver documents.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/atm/udptrans"
+	"repro/internal/box"
+	"repro/internal/occam"
+	"repro/internal/workload"
+)
+
+// vciBase numbers node i's outgoing audio stream vciBase+i on every
+// peer, so the mesh needs no signalling: the peer list order IS the
+// VCI assignment.
+const vciBase = 2000
+
+// vciMux fans one box's outgoing messages out to its peers: the VCI
+// identifies the stream, the routing table lists the sockets that want
+// it. It implements atm.Transport; the datagram is encoded once and
+// written to every peer, then the wire reference is released (the
+// single release the transport contract allows — on error the
+// reference stays with the caller).
+type vciMux struct {
+	routes   map[uint32][]*udptrans.Transport
+	buf      []byte
+	sent     uint64
+	unrouted uint64
+}
+
+func (m *vciMux) TransportName() string { return "udpmux" }
+
+func (m *vciMux) Send(p *occam.Proc, msg atm.Message) error {
+	peers := m.routes[msg.VCI]
+	if len(peers) == 0 {
+		m.unrouted++
+		msg.W.Release()
+		return nil
+	}
+	out, err := udptrans.Encode(m.buf[:0], msg)
+	if err != nil {
+		return err
+	}
+	m.buf = out[:0] // keep grown storage for the next message
+	for _, t := range peers {
+		if err := t.Write(out); err != nil {
+			return err
+		}
+	}
+	msg.W.Release()
+	m.sent++
+	return nil
+}
+
+func main() {
+	index := flag.Int("index", 0, "this node's position in -peers (also its VCI: speaks on 2000+index)")
+	peers := flag.String("peers", "127.0.0.1:7000,127.0.0.1:7001", "ordered comma-separated host:port list, one entry per node")
+	listen := flag.String("listen", "", "UDP listen address (default: the -peers entry at -index)")
+	seconds := flag.Int("seconds", 10, "conference length in seconds")
+	quantum := flag.Duration("quantum", 10*time.Millisecond, "virtual-time step per socket drain (wall-clock paced)")
+	seed := flag.Int64("seed", 1, "speech workload seed (offset by -index so nodes differ)")
+	flag.Parse()
+
+	peerList := strings.Split(*peers, ",")
+	if *index < 0 || *index >= len(peerList) {
+		fmt.Fprintf(os.Stderr, "pandora-node: -index %d out of range for %d peers\n", *index, len(peerList))
+		os.Exit(2)
+	}
+	addr := *listen
+	if addr == "" {
+		addr = peerList[*index]
+	}
+
+	rx, err := udptrans.Listen(addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pandora-node: listen %s: %v\n", addr, err)
+		os.Exit(1)
+	}
+	defer rx.Close()
+
+	out := vciBase + uint32(*index)
+	mux := &vciMux{routes: make(map[uint32][]*udptrans.Transport)}
+	for j, peer := range peerList {
+		if j == *index {
+			continue
+		}
+		t, err := udptrans.Dial(peer)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pandora-node: dial %s: %v\n", peer, err)
+			os.Exit(1)
+		}
+		defer t.Close()
+		mux.routes[out] = append(mux.routes[out], t)
+	}
+
+	rt := occam.NewRuntime()
+	netw := atm.New(rt)
+	name := fmt.Sprintf("n%02d", *index)
+	b := box.New(rt, netw, box.Config{
+		Name:     name,
+		Mic:      workload.NewSpeech(uint64(*seed)+uint64(*index)+1, 12000),
+		Features: box.Features{JitterCorrection: true},
+	})
+	b.Host().SetTransport(mux)
+
+	// Routes: our mic to the network on our VCI, every peer VCI to the
+	// speaker. Installed from inside virtual time, like any command.
+	rt.Go(name+".control", nil, occam.High, func(p *occam.Proc) {
+		b.SetRoute(p, box.Route{Stream: out, Outputs: []box.Output{box.OutNetwork}, NetVCIs: []uint32{out}})
+		for j := range peerList {
+			if j == *index {
+				continue
+			}
+			b.SetRoute(p, box.Route{Stream: vciBase + uint32(j), Outputs: []box.Output{box.OutSpeaker}})
+		}
+		b.StartMic(p, out)
+	})
+
+	// Feeder: delivers drained datagrams into the runtime. pending is
+	// filled by the wall-clock loop between RunFor quanta and consumed
+	// here inside them — the two never run concurrently, so no lock.
+	var pending []atm.Message
+	host := b.Host()
+	rt.Go(name+".netrx", nil, occam.High, func(p *occam.Proc) {
+		for {
+			p.Sleep(time.Millisecond)
+			for _, m := range pending {
+				m.Sent = p.Now()
+				host.Deliver(p, m)
+			}
+			pending = pending[:0]
+		}
+	})
+
+	total := time.Duration(*seconds) * time.Second
+	start := time.Now()
+	for vt := time.Duration(0); vt < total; vt += *quantum {
+		pending = append(pending, rx.Drain()...)
+		if err := rt.RunFor(*quantum); err != nil {
+			fmt.Fprintf(os.Stderr, "pandora-node: runtime: %v\n", err)
+			os.Exit(1)
+		}
+		if ahead := vt + *quantum - time.Since(start); ahead > 0 {
+			time.Sleep(ahead)
+		}
+	}
+	rt.Shutdown()
+
+	fmt.Printf("%s: %ds conference with %d peers on %s\n", name, *seconds, len(peerList)-1, addr)
+	a := b.AudioStats()
+	fmt.Printf("  mic: %d segments sent on VCI %d (%d datagram sends, %d unrouted)\n",
+		a.MicSegs, out, mux.sent, mux.unrouted)
+	for j := range peerList {
+		if j == *index {
+			continue
+		}
+		vci := vciBase + uint32(j)
+		st := b.Mixer().Stats(vci)
+		lat := b.PlayoutLatency(vci)
+		fmt.Printf("  VCI %d (n%02d): %d segments, %d lost, %d concealed, %d silence insertions",
+			vci, j, st.Segments, st.LostSegments, st.Concealed, st.Clawback.SilenceInserted)
+		if lat.Count() > 0 {
+			fmt.Printf(", playout mean %s", lat.Mean())
+		}
+		fmt.Println()
+	}
+	if errs := rx.DecodeErrs(); errs != 0 {
+		fmt.Printf("  %d undecodable datagrams dropped\n", errs)
+	}
+}

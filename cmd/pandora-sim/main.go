@@ -8,18 +8,21 @@
 //
 //	pandora-sim -boxes 4 -seconds 10 -bandwidth 100000000 -video
 //	pandora-sim -faults loss,crash -degrade -trace 40
+//	pandora-sim -boxes 8 -fabric -faults 'stall,target=fab.p01' -degrade
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/atm"
 	"repro/internal/box"
 	"repro/internal/core"
 	"repro/internal/degrade"
+	"repro/internal/fabric"
 	"repro/internal/faultinject"
 	"repro/internal/occam"
 	"repro/internal/video"
@@ -36,9 +39,10 @@ func main() {
 	stats := flag.Bool("stats", false, "print the full observability counter table")
 	prom := flag.Bool("prom", false, "print counters in Prometheus text format")
 	traceN := flag.Int("trace", 0, "print the last N trace events")
-	faults := flag.String("faults", "", "inject faults: comma list of loss, corrupt, dup, jitter, stall, sink, crash, all")
+	faults := flag.String("faults", "", "inject faults: comma list of loss, corrupt, dup, jitter, stall, sink, crash, all; add target=<prefix> to restrict link faults to matching links or fabric ports")
 	faultSeed := flag.Uint64("fault-seed", 1, "master seed for the injected fault schedules")
-	degradeOn := flag.Bool("degrade", false, "run the overload degradation controller on every box")
+	degradeOn := flag.Bool("degrade", false, "run the overload degradation controller on every box (and fabric port with -fabric)")
+	fabricOn := flag.Bool("fabric", false, "mesh the conference through one cell-switched fabric instead of pairwise links")
 	flag.Parse()
 	if *boxes < 2 {
 		fmt.Fprintln(os.Stderr, "need at least 2 boxes")
@@ -77,13 +81,21 @@ func main() {
 		}
 		s.AddBox(cfg)
 	}
-	for i := 0; i < *boxes; i++ {
-		for j := i + 1; j < *boxes; j++ {
-			s.Connect(names[i], names[j], atm.LinkConfig{
-				Bandwidth: *bandwidth,
-				LossRate:  *loss,
-				Seed:      uint64(i*100 + j),
-			})
+	var fab *fabric.Fabric
+	if *fabricOn {
+		fab = s.AddFabric("fab", fabric.Config{PortBandwidth: *bandwidth})
+		for _, n := range names {
+			s.AttachFabric("fab", n)
+		}
+	} else {
+		for i := 0; i < *boxes; i++ {
+			for j := i + 1; j < *boxes; j++ {
+				s.Connect(names[i], names[j], atm.LinkConfig{
+					Bandwidth: *bandwidth,
+					LossRate:  *loss,
+					Seed:      uint64(i*100 + j),
+				})
+			}
 		}
 	}
 
@@ -116,7 +128,13 @@ func main() {
 		time.Since(wall).Seconds(), float64(*seconds)/time.Since(wall).Seconds())
 
 	for _, st := range streams {
-		for dst, vci := range st.VCIs {
+		dsts := make([]string, 0, len(st.VCIs))
+		for dst := range st.VCIs {
+			dsts = append(dsts, dst)
+		}
+		sort.Strings(dsts)
+		for _, dst := range dsts {
+			vci := st.VCIs[dst]
 			m := s.Box(dst).Mixer().Stats(vci)
 			lat := s.Box(dst).PlayoutLatency(vci)
 			fmt.Printf("%s → %s: %6d segs, lost %4d, concealed %4d, silences %4d, latency mean %6.2fms p99 %6.2fms\n",
@@ -148,6 +166,14 @@ func main() {
 			total.Delays += fs.Delays
 			total.Stalls += fs.Stalls
 		}
+		if fab != nil {
+			fs := fab.Stats()
+			total.Drops += fs.FaultDrops
+			total.Corruptions += fs.FaultCorrupt
+			total.Duplicates += fs.FaultDups
+			total.Delays += fs.FaultDelays
+			total.Stalls += fs.FaultStalls
+		}
 		fmt.Printf("injected link faults: drop %d, corrupt %d, dup %d, delay %d, stall %d\n",
 			total.Drops, total.Corruptions, total.Duplicates, total.Delays, total.Stalls)
 		for _, n := range names {
@@ -167,6 +193,18 @@ func main() {
 			fmt.Printf("\n%s degradation (%d segments stopped at the switch):\n", n, sw.ShedDrops)
 			for _, act := range acts {
 				fmt.Printf("  %s\n", act)
+			}
+		}
+		if fab != nil {
+			for _, pt := range fab.Ports() {
+				acts := ctrls[pt.Name()].Actions()
+				if len(acts) == 0 {
+					continue
+				}
+				fmt.Printf("\n%s degradation (%d messages shed at the port):\n", pt.Name(), pt.Stats().ShedDrops)
+				for _, act := range acts {
+					fmt.Printf("  %s\n", act)
+				}
 			}
 		}
 	}

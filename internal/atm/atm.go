@@ -10,6 +10,15 @@
 // "Incoming streams from the network carry the stream number
 // allocated by the destination box in their VCIs" — a Message's VCI
 // is exactly that stream number.
+//
+// Ownership: a Message carries one reference to its segment.Wire.
+// Host.Send (and any Transport behind it) consumes that reference on
+// success — delivery hands it to the destination host, and every drop
+// point (queue overflow, injected loss, unrouted VCI) releases it; on
+// error the reference stays with the caller. A host that receives a
+// Message owns its reference and must Release after copying into its
+// own pool — wire references never cross from one box's pool to
+// another's; the copy at the receiver IS the paper's one copy in.
 package atm
 
 import (
@@ -91,6 +100,46 @@ type FaultHook interface {
 type port interface {
 	accept(p *occam.Proc, m Message)
 	name() string
+}
+
+// Transport is the pluggable backend that carries a host's outgoing
+// messages toward their destinations. Host.Send stamps the message and
+// hands it to the host's transport; what happens next depends on the
+// backend:
+//
+//   - the default in-process channel transport looks the VCI up in the
+//     network's circuit table and walks the message down the circuit's
+//     links (the single-process simulation everything else uses);
+//   - a fabric port (internal/fabric) routes the message through a
+//     cell-switched fabric shared by many boxes;
+//   - a UDP transport (internal/atm/udptrans) serialises the message
+//     onto a socket so the peer box can run as a separate OS process.
+//
+// Ownership: Send takes the message's wire reference. On success the
+// reference travels downstream (eventually to the receiving host or a
+// drop point inside the network, which releases it); on error the
+// reference stays with the caller, exactly as with the historical
+// circuit-miss error path.
+type Transport interface {
+	// Send conveys m toward its destination. m.Sent is already stamped.
+	Send(p *occam.Proc, m Message) error
+	// TransportName identifies the backend in diagnostics.
+	TransportName() string
+}
+
+// chanTransport is the default in-process backend: the network's
+// circuit table plus store-and-forward links, all on one runtime.
+type chanTransport struct{ h *Host }
+
+func (t chanTransport) TransportName() string { return "chan" }
+
+func (t chanTransport) Send(p *occam.Proc, m Message) error {
+	c, ok := t.h.net.circuits[circuitKey{t.h.nm, m.VCI}]
+	if !ok {
+		return fmt.Errorf("atm: no circuit for VCI %d from host %s", m.VCI, t.h.nm)
+	}
+	c.first.accept(p, m)
+	return nil
 }
 
 // LinkConfig describes one link's characteristics.
@@ -386,26 +435,46 @@ func (l *Link) runTx(p *occam.Proc) {
 type Host struct {
 	nm string
 	// Rx delivers arriving messages to the host.
-	Rx  *occam.Chan[Message]
-	net *Network
+	Rx    *occam.Chan[Message]
+	net   *Network
+	trans Transport
 }
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.nm }
 
 func (h *Host) name() string { return h.nm }
 
 func (h *Host) accept(p *occam.Proc, m Message) { h.Rx.Send(p, m) }
 
-// Send transmits a message on a circuit previously opened from this
-// host. It stamps the send time and hands the message to the first
-// link (which always accepts; congestion shows up as queueing or
+// Deliver hands an arriving message to the host, transferring the
+// message's wire reference. Transport backends (the fabric's egress
+// transmitters, the pandora-node UDP bridge) call this at the end of
+// their delivery path; in-process circuits arrive the same way.
+func (h *Host) Deliver(p *occam.Proc, m Message) { h.Rx.Send(p, m) }
+
+// SetTransport replaces the host's outgoing backend (the default is
+// the in-process channel transport over the network's circuits).
+// Attaching a box to a fabric port or to a UDP socket goes through
+// here; incoming traffic keeps arriving on Rx regardless of backend.
+func (h *Host) SetTransport(t Transport) {
+	if t == nil {
+		t = chanTransport{h}
+	}
+	h.trans = t
+}
+
+// Transport returns the host's current outgoing backend.
+func (h *Host) Transport() Transport { return h.trans }
+
+// Send transmits a message from this host. It stamps the send time
+// and hands the message to the transport backend — for the default
+// backend, the first link of a circuit previously opened from this
+// host (which always accepts; congestion shows up as queueing or
 // drops inside the network, never as upstream blocking).
 func (h *Host) Send(p *occam.Proc, m Message) error {
-	c, ok := h.net.circuits[circuitKey{h.nm, m.VCI}]
-	if !ok {
-		return fmt.Errorf("atm: no circuit for VCI %d from host %s", m.VCI, h.nm)
-	}
 	m.Sent = p.Now()
-	c.first.accept(p, m)
-	return nil
+	return h.trans.Send(p, m)
 }
 
 // Network is a collection of hosts, links and circuits.
@@ -472,6 +541,7 @@ func (n *Network) AddHost(name string) *Host {
 		Rx:  occam.NewChan[Message](n.rt, name+".rx"),
 		net: n,
 	}
+	h.trans = chanTransport{h}
 	n.hosts[name] = h
 	return h
 }

@@ -99,8 +99,13 @@ func (b *Box) runMicReader(p *occam.Proc) {
 			// Stamp at the first sample's entry to the codec — the
 			// start of this block's 2 ms sampling window — so
 			// measured latency is mouth-to-ear like the paper's 8 ms
-			// figure (§4.2).
-			stampAt = p.Now() - occam.Time(segment.BlockDuration)
+			// figure (§4.2). The codec samples on its own hardware
+			// clock, so the window start is the nominal tick, not the
+			// (contention-dependent) instant this process got
+			// scheduled; stamping nominally also charges any software
+			// delay at the source to the measured latency instead of
+			// hiding it.
+			stampAt = occam.Time((n - 1) * int64(segment.BlockDuration))
 		}
 		blocks = append(blocks, blk)
 		b.audioStat.MicBlocks++

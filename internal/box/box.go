@@ -10,6 +10,16 @@
 // "the data will then flow indefinitely without any further
 // interaction with the host" (§1.2). Reports from every process are
 // multiplexed to a host log.
+//
+// Ownership: each box owns one segment.WirePool. Sources (mic,
+// camera) encode into it; the server switch Retains once per extra
+// output before fanning a wire out; every sink (speaker mixer,
+// display, network transmit) Releases the reference it was handed.
+// Wires arriving from the network belong to the sender's pool — the
+// receiving board copies the bytes into its own pool and Releases the
+// incoming reference, so no wire outlives its box and the data is
+// copied "once into memory, and once out for each output device"
+// (§3.4).
 package box
 
 import (

@@ -13,6 +13,15 @@
 //	sys.Connect("a", "b", atm.LinkConfig{Bandwidth: 100_000_000})
 //	sys.Control(func(p *occam.Proc) { sys.AudioCall(p, "a", "b") })
 //	sys.RunFor(10 * time.Second)
+//
+// Ownership: core itself never touches segment wires — it plumbs
+// boxes, fabrics and links together and installs routes. The
+// invariant it preserves by construction is that every box (and
+// repository) keeps its own segment.WirePool: circuits and fabric
+// ports move wire *references* from a sender's pool to a receiver,
+// and the receiver's single copy-in at its pool boundary is the only
+// byte copy on the path (see internal/segment and internal/atm for
+// the refcount rules core's wiring relies on).
 package core
 
 import (
@@ -24,6 +33,7 @@ import (
 	"repro/internal/atm"
 	"repro/internal/box"
 	"repro/internal/degrade"
+	"repro/internal/fabric"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/occam"
@@ -52,6 +62,10 @@ type System struct {
 	repos map[string]*repository.Repository
 	paths map[string][]*atm.Link // directional: "a->b"
 
+	fabrics  map[string]*fabric.Fabric
+	fabPorts map[string]*fabric.Port   // node name → its fabric port
+	fabOf    map[string]*fabric.Fabric // node name → its fabric
+
 	nextVCI    uint32
 	nextStream map[string]uint32
 }
@@ -66,6 +80,9 @@ func NewSystem() *System {
 		boxes:      make(map[string]*box.Box),
 		repos:      make(map[string]*repository.Repository),
 		paths:      make(map[string][]*atm.Link),
+		fabrics:    make(map[string]*fabric.Fabric),
+		fabPorts:   make(map[string]*fabric.Port),
+		fabOf:      make(map[string]*fabric.Fabric),
 		nextVCI:    1000,
 		nextStream: make(map[string]uint32),
 	}
@@ -133,6 +150,39 @@ func (s *System) ConnectPath(a, b string, cfgs []atm.LinkConfig) {
 // Path returns the links from a to b (nil if not connected).
 func (s *System) Path(a, b string) []*atm.Link { return s.paths[a+"->"+b] }
 
+// AddFabric creates a named switching fabric. Nodes join it with
+// AttachFabric; circuits between two attached nodes are then routed
+// through the fabric instead of point-to-point links.
+func (s *System) AddFabric(name string, cfg fabric.Config) *fabric.Fabric {
+	if _, dup := s.fabrics[name]; dup {
+		panic("core: duplicate fabric " + name)
+	}
+	f := fabric.New(s.RT, name, cfg)
+	f.Observe(s.Obs)
+	s.fabrics[name] = f
+	return f
+}
+
+// AttachFabric connects an existing node to a fabric: the node's host
+// sends through its own fabric port from now on. A node attaches to at
+// most one fabric. Returns the node's port.
+func (s *System) AttachFabric(fabricName, node string) *fabric.Port {
+	f, ok := s.fabrics[fabricName]
+	if !ok {
+		panic("core: unknown fabric " + fabricName)
+	}
+	if _, dup := s.fabOf[node]; dup {
+		panic("core: node " + node + " already fabric-attached")
+	}
+	pt := f.Attach(s.hostOf(node))
+	s.fabPorts[node] = pt
+	s.fabOf[node] = f
+	return pt
+}
+
+// FabricPort returns node's fabric port (nil if not attached).
+func (s *System) FabricPort(node string) *fabric.Port { return s.fabPorts[node] }
+
 // Control runs fn as a high-priority control process (the host
 // workstation's interface code). Call before or between Run calls.
 func (s *System) Control(fn func(p *occam.Proc)) {
@@ -166,7 +216,7 @@ func (s *System) SendAudio(p *occam.Proc, from string, to ...string) *Stream {
 		vci := s.allocVCI()
 		st.VCIs[dst] = vci
 		vcis = append(vcis, vci)
-		s.openCircuit(vci, from, dst)
+		s.openCircuit(p, vci, from, dst, false)
 		if db, ok := s.boxes[dst]; ok {
 			db.SetRoute(p, box.Route{Stream: vci, Outputs: []box.Output{box.OutSpeaker}})
 		}
@@ -186,7 +236,7 @@ func (s *System) SendVideo(p *occam.Proc, from string, cs box.CameraStream, to .
 		vci := s.allocVCI()
 		st.VCIs[dst] = vci
 		vcis = append(vcis, vci)
-		s.openCircuit(vci, from, dst)
+		s.openCircuit(p, vci, from, dst, true)
 		if db, ok := s.boxes[dst]; ok {
 			db.SetRoute(p, box.Route{Stream: vci, Outputs: []box.Output{box.OutDisplay}})
 		}
@@ -226,7 +276,7 @@ func (s *System) Conference(p *occam.Proc, members ...string) []*Stream {
 func (s *System) AddAudioDestination(p *occam.Proc, st *Stream, dst string) {
 	vci := s.allocVCI()
 	st.VCIs[dst] = vci
-	s.openCircuit(vci, st.From, dst)
+	s.openCircuit(p, vci, st.From, dst, st.Video)
 	if db, ok := s.boxes[dst]; ok {
 		out := box.OutSpeaker
 		if st.Video {
@@ -246,7 +296,7 @@ func (s *System) RemoveDestination(p *occam.Proc, st *Stream, dst string) {
 	}
 	delete(st.VCIs, dst)
 	s.reRoute(p, st)
-	s.Net.CloseCircuit(vci, s.hostOf(st.From), s.paths[st.From+"->"+dst]...)
+	s.closeCircuit(vci, st.From, dst)
 }
 
 // reRoute re-installs the source route to match st.VCIs. The switch
@@ -280,7 +330,7 @@ func (s *System) Close(p *occam.Proc, st *Stream) {
 		if db, ok := s.boxes[dst]; ok {
 			db.CloseRoute(p, vci)
 		}
-		s.Net.CloseCircuit(vci, s.hostOf(st.From), s.paths[st.From+"->"+dst]...)
+		s.closeCircuit(vci, st.From, dst)
 	}
 }
 
@@ -291,7 +341,7 @@ func (s *System) RecordAudio(p *occam.Proc, from, repo string) *Stream {
 	st := &Stream{From: from, Local: s.allocStream(from), VCIs: make(map[string]uint32)}
 	vci := s.allocVCI()
 	st.VCIs[repo] = vci
-	s.openCircuit(vci, from, repo)
+	s.openCircuit(p, vci, from, repo, false)
 	src.SetRoute(p, box.Route{Stream: st.Local, Outputs: []box.Output{box.OutNetwork}, NetVCIs: []uint32{vci}})
 	src.StartMic(p, st.Local)
 	return st
@@ -301,19 +351,34 @@ func (s *System) RecordAudio(p *occam.Proc, from, repo string) *Stream {
 // the VCI used (the stream number at the destination).
 func (s *System) PlayTo(p *occam.Proc, repoName string, rec *repository.Recording, to string) uint32 {
 	vci := s.allocVCI()
-	s.openCircuit(vci, repoName, to)
+	s.openCircuit(p, vci, repoName, to, false)
 	s.boxes[to].SetRoute(p, box.Route{Stream: vci, Outputs: []box.Output{box.OutSpeaker}})
 	s.repos[repoName].Playback(rec, vci)
 	return vci
 }
 
 // InjectLinkFaults attaches spec's link-fault schedule to every
-// network link, each with a seed derived from the link's name so
-// schedules are independent but reproducible. Call before RunFor.
+// network link and every fabric port, each with a seed derived from
+// the link's or port's name so schedules are independent but
+// reproducible. Call before RunFor. Port names (e.g. "fab.p03") work
+// in spec target patterns exactly like link names, so a spec can
+// fault one port of a fabric and leave the rest alone.
 func (s *System) InjectLinkFaults(spec faultinject.Spec) {
 	for _, l := range s.Net.Links() {
 		if f := spec.LinkFault(l.Name()); f != nil {
 			l.SetFault(f)
+		}
+	}
+	names := make([]string, 0, len(s.fabrics))
+	for name := range s.fabrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, pt := range s.fabrics[name].Ports() {
+			if f := spec.LinkFault(pt.Name()); f != nil {
+				pt.SetFault(f)
+			}
 		}
 	}
 }
@@ -322,7 +387,11 @@ func (s *System) InjectLinkFaults(spec faultinject.Spec) {
 // 8: each box adapts to its own conditions; there is no global
 // coordinator). Each controller watches its box's decoupling buffers
 // plus the outgoing links of every path leaving the box, and applies
-// cfg with those links filled in. Returns the controllers by box name.
+// cfg with those links filled in. Fabric-attached systems additionally
+// get one controller per fabric port, watching that port's egress
+// queue and shedding only streams routed to it (principle 5 across the
+// fabric); those appear in the result keyed by port name. Returns the
+// controllers by box or port name.
 func (s *System) EnableDegradation(cfg degrade.Config) map[string]*degrade.Controller {
 	names := make([]string, 0, len(s.boxes))
 	for name := range s.boxes {
@@ -344,13 +413,47 @@ func (s *System) EnableDegradation(cfg degrade.Config) map[string]*degrade.Contr
 		bcfg.Links = links
 		out[name] = degrade.New(s.RT, s.boxes[name], bcfg, s.Obs)
 	}
+	fabNames := make([]string, 0, len(s.fabrics))
+	for name := range s.fabrics {
+		fabNames = append(fabNames, name)
+	}
+	sort.Strings(fabNames)
+	for _, name := range fabNames {
+		for port, c := range s.fabrics[name].EnableDegradation(cfg, s.Obs) {
+			out[port] = c
+		}
+	}
 	return out
 }
 
-func (s *System) openCircuit(vci uint32, from, to string) {
+// openCircuit installs the data path for one VCI. If both endpoints
+// hang off the same fabric the VCI goes into the fabric routing table
+// (toward the destination's port); otherwise it becomes a classic
+// point-to-point circuit over the configured link path.
+func (s *System) openCircuit(p *occam.Proc, vci uint32, from, to string, video bool) {
+	if ff, okf := s.fabOf[from]; okf {
+		ft, okt := s.fabOf[to]
+		if !okt || ft != ff {
+			panic(fmt.Sprintf("core: %s is on fabric %s but %s is not", from, ff.Name(), to))
+		}
+		ff.Route(p.Now(), vci, s.fabPorts[to], video)
+		return
+	}
+	if _, okt := s.fabOf[to]; okt {
+		panic(fmt.Sprintf("core: %s is fabric-attached but %s is not", to, from))
+	}
 	links, ok := s.paths[from+"->"+to]
 	if !ok {
 		panic(fmt.Sprintf("core: no path %s -> %s", from, to))
 	}
 	s.Net.OpenCircuit(vci, s.hostOf(from), s.hostOf(to), links...)
+}
+
+// closeCircuit tears down what openCircuit installed.
+func (s *System) closeCircuit(vci uint32, from, to string) {
+	if f, ok := s.fabOf[from]; ok {
+		f.Unroute(vci)
+		return
+	}
+	s.Net.CloseCircuit(vci, s.hostOf(from), s.paths[from+"->"+to]...)
 }

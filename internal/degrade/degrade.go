@@ -84,6 +84,12 @@ type Config struct {
 	// output-queue pressure counts toward this box's video pressure —
 	// congestion there is relieved by shedding video at this box.
 	Links []string
+	// Ports names the fabric ports (the obs "port" label values) whose
+	// egress-queue pressure counts toward this target's video pressure.
+	// Used by per-port fabric controllers; a port target has no audio
+	// buffers, so port congestion never sheds audio (principle 2 holds
+	// trivially at the fabric).
+	Ports []string
 }
 
 func (c Config) withDefaults() Config {
@@ -223,6 +229,9 @@ func (c *Controller) pressure() (video, audio float64) {
 	for _, link := range c.cfg.Links {
 		video = maxf(video, c.linkRatio(link))
 	}
+	for _, port := range c.cfg.Ports {
+		video = maxf(video, c.portRatio(port))
+	}
 	for _, name := range c.target.DegradeAudioBuffers() {
 		audio = maxf(audio, c.bufRatio(name))
 	}
@@ -249,6 +258,19 @@ func (c *Controller) linkRatio(name string) float64 {
 		return 0
 	}
 	lim, ok := c.reg.Value("atm_link_queue_limit", lb)
+	if !ok || lim <= 0 {
+		return 0
+	}
+	return q / lim
+}
+
+func (c *Controller) portRatio(name string) float64 {
+	lb := obs.L("port", name)
+	q, ok := c.reg.Value("fabric_port_queue_depth", lb)
+	if !ok {
+		return 0
+	}
+	lim, ok := c.reg.Value("fabric_port_queue_limit", lb)
 	if !ok || lim <= 0 {
 		return 0
 	}

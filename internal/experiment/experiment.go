@@ -4,6 +4,13 @@
 // the deterministic virtual-time substrate, so every run prints the
 // same numbers. cmd/pandora-bench prints all of them; bench_test.go
 // wraps each in a testing.B benchmark.
+//
+// Ownership: experiments observe, they do not hold. Any code here
+// that sees a segment.Wire (delivery digests, fingerprints) reads its
+// bytes during the delivery callback and keeps no reference — the
+// wire's refcount is exactly as it would be in an uninstrumented run,
+// which is what lets the leak checks in the package tests assert that
+// every pool drains back to full.
 package experiment
 
 import (

@@ -1,0 +1,272 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/box"
+	"repro/internal/core"
+	"repro/internal/degrade"
+	"repro/internal/fabric"
+	"repro/internal/faultinject"
+	"repro/internal/occam"
+	"repro/internal/video"
+	"repro/internal/workload"
+)
+
+// FabricResult is E22's machine-readable outcome, asserted by the
+// tests.
+type FabricResult struct {
+	Boxes     int
+	AudioShed int      // audio sheds anywhere in the faulted run (must be 0)
+	VideoShed int      // video sheds on the congested port
+	Restores  int      // restores on the congested port
+	ShedOrder []uint32 // VCIs shed on the congested port before the first restore
+	// OldestFirst reports the initial shed ladder took the
+	// longest-routed video stream first (principle 3 at the fabric).
+	OldestFirst bool
+	// PortIsolated reports every uncongested port delivered a
+	// byte-identical sequence in the faulted and fault-free runs
+	// (principle 5 across the fabric).
+	PortIsolated bool
+	CleanSheds   int // sheds in the fault-free run (must be 0)
+	// ForwardedBytes / CleanBytes are the fabric's aggregate delivered
+	// payload in the faulted and fault-free runs.
+	ForwardedBytes uint64
+	CleanBytes     uint64
+	InjectedFaults uint64
+	// Fingerprint renders every port's counters and delivery digest
+	// plus the congested port's controller log: two runs with the same
+	// seed must produce byte-identical fingerprints.
+	Fingerprint string
+}
+
+// e22Run is one 16-box fabric conference. Three staggered video bands
+// all aim at the last box, and when faulted is set the fault schedule
+// (burst loss, jitter, two stall outages) targets that box's fabric
+// port alone.
+type e22Run struct {
+	names    []string
+	congPort string
+	vids     []*core.Stream
+	digests  map[string]uint64 // port name → delivery digest
+	counts   map[string]uint64 // port name → deliveries
+	acts     []degrade.Action  // congested port's controller log
+	allActs  map[string][]degrade.Action
+	stats    fabric.PortStats
+	congFlt  fabric.PortStats
+}
+
+const e22Boxes = 16
+
+func e22Conference(seed uint64, faulted bool) *e22Run {
+	s := core.NewSystem()
+	defer s.Shutdown()
+	r := &e22Run{
+		digests: make(map[string]uint64),
+		counts:  make(map[string]uint64),
+	}
+	for i := 0; i < e22Boxes; i++ {
+		name := fmt.Sprintf("n%02d", i)
+		r.names = append(r.names, name)
+		cfg := box.Config{
+			Name:     name,
+			Mic:      workload.NewSpeech(uint64(i+1), 12000),
+			Features: box.Features{JitterCorrection: true},
+		}
+		if i < 3 || i == e22Boxes-1 {
+			// Video sources, and the sink whose display assembles the
+			// three 256-wide bands.
+			cfg.CameraW, cfg.CameraH = 256, 192
+		}
+		s.AddBox(cfg)
+	}
+	// A deliberately small egress bound: two virtual-second outages on
+	// one port are enough to drive its queue past the controller's high
+	// water without troubling the other fifteen.
+	fab := s.AddFabric("fab", fabric.Config{EgressCellLimit: 4096})
+	for _, n := range r.names {
+		s.AttachFabric("fab", n)
+	}
+	sink := r.names[e22Boxes-1]
+	r.congPort = s.FabricPort(sink).Name()
+	if faulted {
+		s.InjectLinkFaults(faultinject.Spec{
+			Seed:   seed,
+			Target: r.congPort,
+			Link: faultinject.LinkConfig{
+				BurstEnter: 0.005, BurstLen: 4,
+				JitterMean: 200 * time.Microsecond, JitterStddev: 400 * time.Microsecond,
+				Stalls: []faultinject.Window{
+					{From: time.Second, To: 1600 * time.Millisecond},
+					{From: 3 * time.Second, To: 3600 * time.Millisecond},
+				},
+			},
+		})
+	}
+	ctrls := s.EnableDegradation(degrade.Config{
+		ShedEvery: 120 * time.Millisecond,
+		Hold:      600 * time.Millisecond,
+	})
+
+	s.Control(func(p *occam.Proc) {
+		s.Conference(p, r.names...)
+		// Three full-rate video bands from three different boxes, opened
+		// 200 ms apart so ages differ, all converging on the last box's
+		// port — the port the fault schedule then congests.
+		for i := 0; i < 3; i++ {
+			r.vids = append(r.vids, s.SendVideo(p, r.names[i], box.CameraStream{
+				Rect: video.Rect{Y: i * 64, W: 256, H: 64},
+				Rate: video.Rate{Num: 1, Den: 1},
+			}, sink))
+			if i < 2 {
+				p.Sleep(200 * time.Millisecond)
+			}
+		}
+	})
+	if err := s.RunFor(5 * time.Second); err != nil {
+		panic(err)
+	}
+
+	for _, n := range r.names {
+		pt := s.FabricPort(n)
+		d, c := pt.DeliveryDigest()
+		r.digests[pt.Name()] = d
+		r.counts[pt.Name()] = c
+	}
+	r.acts = ctrls[r.congPort].Actions()
+	r.allActs = make(map[string][]degrade.Action)
+	for _, n := range r.names {
+		pt := s.FabricPort(n).Name()
+		if acts := ctrls[pt].Actions(); len(acts) > 0 {
+			r.allActs[pt] = acts
+		}
+		if acts := ctrls[n].Actions(); len(acts) > 0 {
+			r.allActs[n] = acts
+		}
+	}
+	r.stats = fab.Stats()
+	r.congFlt = s.FabricPort(sink).Stats()
+	return r
+}
+
+// E22 runs the fabric experiment at the default seed.
+func E22() (*Table, *FabricResult) { return E22Fabric(42) }
+
+// E22Fabric meshes a 16-box audio conference through the switching
+// fabric, aims three staggered video bands at one box, and injects a
+// fault schedule (burst loss, jitter, two stall outages) on that box's
+// port alone — then repeats the identical run fault-free. The faulted
+// port's controller sheds its video oldest-first and never audio,
+// while every other port's delivered byte sequence is identical
+// between the two runs: a slow output degrades only its own port,
+// across the whole fabric (principle 5).
+func E22Fabric(seed uint64) (*Table, *FabricResult) {
+	t := &Table{
+		ID:     "E22",
+		Title:  "Per-port degradation across the switching fabric",
+		Paper:  "a slow output degrades only its own port; video before audio, oldest first (§2.1, principle 5)",
+		Header: []string{"measure", "value"},
+	}
+	clean := e22Conference(seed, false)
+	fl := e22Conference(seed, true)
+
+	res := &FabricResult{Boxes: e22Boxes}
+	for _, acts := range clean.allActs {
+		res.CleanSheds += len(acts)
+	}
+	for port, acts := range fl.allActs {
+		for _, act := range acts {
+			switch {
+			case act.Restore:
+				if port == fl.congPort {
+					res.Restores++
+				}
+			case act.Video:
+				if port == fl.congPort {
+					res.VideoShed++
+				}
+			default:
+				res.AudioShed++
+			}
+		}
+	}
+	res.OldestFirst = true
+	for _, act := range fl.acts {
+		if act.Restore {
+			break
+		}
+		if n := len(res.ShedOrder); n > 0 && res.ShedOrder[n-1] >= act.Stream {
+			// VCIs are allocated in open order, so oldest-first means
+			// strictly ascending VCIs in the initial ladder.
+			res.OldestFirst = false
+		}
+		res.ShedOrder = append(res.ShedOrder, act.Stream)
+	}
+	sinkName := fl.names[e22Boxes-1]
+	if len(res.ShedOrder) == 0 || res.ShedOrder[0] != fl.vids[0].VCIs[sinkName] {
+		res.OldestFirst = false
+	}
+
+	res.PortIsolated = true
+	for port, d := range fl.digests {
+		if port == fl.congPort {
+			continue
+		}
+		if clean.digests[port] != d || clean.counts[port] != fl.counts[port] {
+			res.PortIsolated = false
+		}
+	}
+	res.ForwardedBytes = fl.stats.Bytes
+	res.CleanBytes = clean.stats.Bytes
+	cf := fl.congFlt
+	res.InjectedFaults = cf.FaultDrops + cf.FaultCorrupt + cf.FaultDups + cf.FaultDelays + cf.FaultStalls
+	res.Fingerprint = fabricFingerprint(fl)
+
+	t.Add("boxes on the fabric", fmt.Sprintf("%d (%d audio streams, 3 video bands)",
+		e22Boxes, e22Boxes*(e22Boxes-1)))
+	t.Add("congested port", fmt.Sprintf("%s (faults: %d drops, %d delays, %d stalls)",
+		fl.congPort, cf.FaultDrops, cf.FaultDelays, cf.FaultStalls))
+	t.Add("video shed on congested port", fmt.Sprintf("%d (order %v, restores %d)",
+		res.VideoShed, res.ShedOrder, res.Restores))
+	t.Add("audio shed anywhere", fmt.Sprintf("%d", res.AudioShed))
+	t.Add("uncongested ports byte-identical", fmt.Sprintf("%v (%d ports)",
+		res.PortIsolated, e22Boxes-1))
+	t.Add("aggregate delivered", fmt.Sprintf("%.2f MB of %.2f MB fault-free (%.1f%%)",
+		float64(res.ForwardedBytes)/1e6, float64(res.CleanBytes)/1e6,
+		100*float64(res.ForwardedBytes)/float64(res.CleanBytes)))
+	t.Remark("faulting one fabric port sheds that port's video oldest-first and leaves the other fifteen ports' delivery byte-identical")
+	return t, res
+}
+
+// fabricFingerprint renders a finished faulted run as one
+// deterministic string.
+func fabricFingerprint(r *e22Run) string {
+	var sb strings.Builder
+	ports := make([]string, 0, len(r.digests))
+	for port := range r.digests {
+		ports = append(ports, port)
+	}
+	sort.Strings(ports)
+	for _, port := range ports {
+		fmt.Fprintf(&sb, "port %s: delivered=%d digest=%016x\n",
+			port, r.counts[port], r.digests[port])
+	}
+	cf := r.congFlt
+	fmt.Fprintf(&sb, "congested %s: shed=%d egdrop=%d fault(drop=%d corrupt=%d dup=%d delay=%d stall=%d)\n",
+		r.congPort, cf.ShedDrops, cf.EgressDrops,
+		cf.FaultDrops, cf.FaultCorrupt, cf.FaultDups, cf.FaultDelays, cf.FaultStalls)
+	targets := make([]string, 0, len(r.allActs))
+	for name := range r.allActs {
+		targets = append(targets, name)
+	}
+	sort.Strings(targets)
+	for _, name := range targets {
+		for _, act := range r.allActs[name] {
+			fmt.Fprintf(&sb, "%s: %s\n", name, act.String())
+		}
+	}
+	return sb.String()
+}

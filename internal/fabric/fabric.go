@@ -1,0 +1,706 @@
+// Package fabric is the scale-out ATM switching fabric: an N-port
+// cell switch connecting arbitrarily many Pandora boxes, where the
+// single shared `internal/atm` link set of the small simulations
+// becomes a real contended switch. The paper's boxes hung off
+// 20 Mbit/s-per-link ATM switches and the whole design (principles
+// 1–8) assumes many boxes contending for shared capacity; the fabric
+// is where that contention lives.
+//
+// Topology: each attached host owns one Port. A message sent by the
+// host enters its port's bounded *ingress* queue, crosses the
+// crossbar (paced at a configurable speed-up of the port rate, with
+// per-VCI routing looked up at crossing time), and lands in the
+// destination port's bounded *egress* queue, which a batching
+// transmitter drains onto the destination host at the port line rate.
+// All queues are drop-tail: upstream never blocks, congestion shows
+// up as queue depth and then drops — exactly the atm.Link contract,
+// but per port, so a slow or faulted output degrades only its own
+// port (principle 5 across the fabric).
+//
+// The hot path is cell-aware but not cell-granular: a message's 48-byte
+// payload cells are accounted (queue bounds and transmission times are
+// in cells, including the 5-byte header tax) while the unit moved is
+// still one wire descriptor, and the egress transmitter drains whole
+// *batches* of queued messages per timer event so a deep backlog costs
+// one scheduler wake-up per cell train, not per segment.
+//
+// Ownership: a message's wire reference rides the descriptor through
+// both queues; every drop point (ingress overflow, unrouted VCI, shed
+// VCI, injected fault, egress overflow) releases it, and delivery
+// transfers it to the receiving host, which releases after its single
+// copy-in. The fabric never touches payload bytes except to fold
+// delivered bytes into the per-port delivery digest.
+//
+// Per-port observability (fabric_port_* counters, queue-depth gauges)
+// registers into internal/obs; each port implements degrade.Target so
+// one overload controller per port sheds the port's own video streams
+// oldest-first without disturbing any other port.
+package fabric
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/degrade"
+	"repro/internal/obs"
+	"repro/internal/occam"
+)
+
+// ATM cell geometry: 48 payload bytes carried in 53 wire bytes.
+const (
+	cellPayload = 48
+	cellWire    = 53
+)
+
+// cells returns the number of ATM cells a message of size bytes
+// occupies.
+func cells(size int) int {
+	if size <= 0 {
+		return 1
+	}
+	return (size + cellPayload - 1) / cellPayload
+}
+
+// Config parameterises a Fabric. Zero values select defaults.
+type Config struct {
+	// PortBandwidth is each port's egress line rate in bits per second
+	// (default 100 Mbit/s, the Medusa-era upgrade; the paper's original
+	// switches ran 20 Mbit/s per link).
+	PortBandwidth int64
+	// Propagation is the egress propagation delay per cell train.
+	Propagation time.Duration
+	// IngressLimit bounds a port's ingress queue in messages
+	// (default 64).
+	IngressLimit int
+	// EgressCellLimit bounds a port's egress queue in cells
+	// (default 8192 ≈ 384 KB of payload).
+	EgressCellLimit int
+	// BatchCells is the egress transmitter's maximum cell train per
+	// timer event (default 256 cells ≈ 12 KB). Larger trains cost
+	// fewer scheduler wake-ups under backlog but coarsen delivery
+	// timing by one train's transmission time.
+	BatchCells int
+	// XbarSpeedup is the crossbar's service rate as a multiple of
+	// PortBandwidth (default 8): the shared backplane is faster than
+	// any one port, so sustained congestion collects at egress queues,
+	// as in a real output-queued switch.
+	XbarSpeedup int
+}
+
+func (c Config) withDefaults() Config {
+	if c.PortBandwidth <= 0 {
+		c.PortBandwidth = 100_000_000
+	}
+	if c.IngressLimit <= 0 {
+		c.IngressLimit = 64
+	}
+	if c.EgressCellLimit <= 0 {
+		c.EgressCellLimit = 8192
+	}
+	if c.BatchCells <= 0 {
+		c.BatchCells = 256
+	}
+	if c.XbarSpeedup <= 0 {
+		c.XbarSpeedup = 8
+	}
+	return c
+}
+
+// route is one VCI's entry in the fabric routing table.
+type route struct {
+	out    *Port
+	video  bool
+	opened occam.Time
+}
+
+// Fabric is an N-port cell-switched ATM fabric on one runtime.
+type Fabric struct {
+	rt     *occam.Runtime
+	nm     string
+	cfg    Config
+	ports  []*Port
+	routes map[uint32]*route
+	reg    *obs.Registry
+	trace  *obs.Tracer
+}
+
+// New returns an empty fabric named name. Attach ports, install
+// routes, then drive the runtime.
+func New(rt *occam.Runtime, name string, cfg Config) *Fabric {
+	return &Fabric{
+		rt:     rt,
+		nm:     name,
+		cfg:    cfg.withDefaults(),
+		routes: make(map[uint32]*route),
+	}
+}
+
+// Name returns the fabric's name.
+func (f *Fabric) Name() string { return f.nm }
+
+// Observe attaches an observability registry: every port (existing and
+// future) registers its counters and queue-depth gauges, and routing
+// changes and drops are traced.
+func (f *Fabric) Observe(reg *obs.Registry) {
+	f.reg = reg
+	f.trace = reg.Tracer()
+	for _, pt := range f.ports {
+		pt.observe(reg)
+	}
+}
+
+// Attach creates the next port, connects h to it (the port becomes the
+// host's outgoing transport; deliveries arrive on the host's Rx), and
+// returns it.
+func (f *Fabric) Attach(h *atm.Host) *Port {
+	id := len(f.ports)
+	pt := &Port{
+		fab:       f,
+		id:        id,
+		nm:        fmt.Sprintf("%s.p%02d", f.nm, id),
+		host:      h,
+		in:        occam.NewChan[atm.Message](f.rt, fmt.Sprintf("%s.p%02d.in", f.nm, id)),
+		xbarReq:   occam.NewChan[struct{}](f.rt, fmt.Sprintf("%s.p%02d.xreq", f.nm, id)),
+		xbarItem:  occam.NewChan[atm.Message](f.rt, fmt.Sprintf("%s.p%02d.xitem", f.nm, id)),
+		egIn:      occam.NewChan[atm.Message](f.rt, fmt.Sprintf("%s.p%02d.egin", f.nm, id)),
+		txReq:     occam.NewChan[struct{}](f.rt, fmt.Sprintf("%s.p%02d.txreq", f.nm, id)),
+		txItem:    occam.NewChan[[]atm.Message](f.rt, fmt.Sprintf("%s.p%02d.txitem", f.nm, id)),
+		shed:      make(map[uint32]bool),
+		perVCI:    make(map[uint32]*vciDigest),
+		forwarded: obs.NewCounter(),
+		bytes:     obs.NewCounter(),
+		cellsTx:   obs.NewCounter(),
+		inDrops:   obs.NewCounter(),
+		egDrops:   obs.NewCounter(),
+		unrouted:  obs.NewCounter(),
+		shedDrops: obs.NewCounter(),
+		faultDrop: obs.NewCounter(),
+		faultCorr: obs.NewCounter(),
+		faultDup:  obs.NewCounter(),
+		faultDel:  obs.NewCounter(),
+		faultStal: obs.NewCounter(),
+	}
+	f.ports = append(f.ports, pt)
+	if f.reg != nil {
+		pt.observe(f.reg)
+	}
+	h.SetTransport(pt)
+	f.rt.Go(pt.nm+".ingress", nil, occam.High, pt.runIngress)
+	f.rt.Go(pt.nm+".xbar", nil, occam.High, pt.runXbar)
+	f.rt.Go(pt.nm+".egress", nil, occam.High, pt.runEgress)
+	f.rt.Go(pt.nm+".tx", nil, occam.High, pt.runTx)
+	return pt
+}
+
+// Port returns port i.
+func (f *Fabric) Port(i int) *Port { return f.ports[i] }
+
+// Ports returns the ports in attach order (already deterministic).
+func (f *Fabric) Ports() []*Port { return append([]*Port(nil), f.ports...) }
+
+// Route installs VCI vci toward port to. The video flag and open time
+// feed the per-port overload controllers' shed ranking (video before
+// audio, oldest first). Installing a VCI that is already routed to a
+// *different* port is a programming error, exactly as on atm links;
+// re-installing the same mapping is an idempotent no-op. The table is
+// consulted per message at crossbar time, so an installation takes
+// effect between segments without disturbing any other VCI
+// (principle 6).
+func (f *Fabric) Route(now occam.Time, vci uint32, to *Port, video bool) {
+	if old, ok := f.routes[vci]; ok {
+		if old.out != to {
+			panic(fmt.Sprintf("fabric: %s: VCI %d already routed to %s (conflicting route to %s)",
+				f.nm, vci, old.out.nm, to.nm))
+		}
+		return
+	}
+	f.routes[vci] = &route{out: to, video: video, opened: now}
+	f.trace.Emit(obs.EvStreamOpen, f.nm, vci, "routed to "+to.nm)
+}
+
+// Unroute removes a VCI. Messages already crossing for it are dropped
+// at the crossbar ("unrouted", as on a torn-down circuit); every other
+// VCI is untouched (principle 6).
+func (f *Fabric) Unroute(vci uint32) {
+	r, ok := f.routes[vci]
+	if !ok {
+		return
+	}
+	delete(f.routes, vci)
+	delete(r.out.shed, vci)
+	f.trace.Emit(obs.EvStreamClose, f.nm, vci, "unrouted from "+r.out.nm)
+}
+
+// EnableDegradation starts one overload controller per port
+// (principle 8: each port adapts to its own conditions; there is no
+// fabric-wide coordinator). Each controller watches only its own
+// port's egress queue gauge and sheds only streams routed to that
+// port, so a congested port degrades without disturbing any other
+// (principle 5). Returns the controllers keyed by port name.
+func (f *Fabric) EnableDegradation(cfg degrade.Config, reg *obs.Registry) map[string]*degrade.Controller {
+	out := make(map[string]*degrade.Controller, len(f.ports))
+	for _, pt := range f.ports {
+		pcfg := cfg
+		pcfg.Ports = []string{pt.nm}
+		out[pt.nm] = degrade.New(f.rt, pt, pcfg, reg)
+	}
+	return out
+}
+
+// PortStats is one port's traffic history.
+type PortStats struct {
+	Forwarded    uint64 // messages delivered to the host
+	Bytes        uint64 // payload bytes delivered
+	Cells        uint64 // cells transmitted
+	IngressDrops uint64 // ingress queue overflow
+	EgressDrops  uint64 // egress queue overflow
+	Unrouted     uint64 // dropped at the crossbar: no route
+	ShedDrops    uint64 // dropped by the port's overload controller
+	FaultDrops   uint64
+	FaultCorrupt uint64
+	FaultDups    uint64
+	FaultDelays  uint64
+	FaultStalls  uint64
+}
+
+// Stats sums every port's counters.
+func (f *Fabric) Stats() PortStats {
+	var t PortStats
+	for _, pt := range f.ports {
+		s := pt.Stats()
+		t.Forwarded += s.Forwarded
+		t.Bytes += s.Bytes
+		t.Cells += s.Cells
+		t.IngressDrops += s.IngressDrops
+		t.EgressDrops += s.EgressDrops
+		t.Unrouted += s.Unrouted
+		t.ShedDrops += s.ShedDrops
+		t.FaultDrops += s.FaultDrops
+		t.FaultCorrupt += s.FaultCorrupt
+		t.FaultDups += s.FaultDups
+		t.FaultDelays += s.FaultDelays
+		t.FaultStalls += s.FaultStalls
+	}
+	return t
+}
+
+// Port is one fabric port: the attachment point of one host, with its
+// own bounded ingress and egress queues, crossbar process, batching
+// egress transmitter, optional fault hook and overload controller.
+type Port struct {
+	fab  *Fabric
+	id   int
+	nm   string
+	host *atm.Host
+
+	in       *occam.Chan[atm.Message]
+	xbarReq  *occam.Chan[struct{}]
+	xbarItem *occam.Chan[atm.Message]
+	egIn     *occam.Chan[atm.Message]
+	txReq    *occam.Chan[struct{}]
+	txItem   *occam.Chan[[]atm.Message]
+
+	inq     []atm.Message
+	egq     []atm.Message
+	egCells int
+	batch   []atm.Message // reusable egress batch buffer
+
+	shed  map[uint32]bool
+	fault atm.FaultHook
+
+	// perVCI folds each stream's delivered (corrupt flag, chunk ids,
+	// payload bytes) in delivery order — the per-port evidence the
+	// isolation experiments compare across runs. The digest is kept per
+	// stream because the cross-stream interleave at a port is timing,
+	// not data: a busy receiving box legitimately shifts when its own
+	// transmissions land elsewhere, without changing any byte of any
+	// stream.
+	perVCI    map[uint32]*vciDigest
+	delivered uint64
+
+	forwarded *obs.Counter
+	bytes     *obs.Counter
+	cellsTx   *obs.Counter
+	inDrops   *obs.Counter
+	egDrops   *obs.Counter
+	unrouted  *obs.Counter
+	shedDrops *obs.Counter
+	faultDrop *obs.Counter
+	faultCorr *obs.Counter
+	faultDup  *obs.Counter
+	faultDel  *obs.Counter
+	faultStal *obs.Counter
+}
+
+// Name returns the port name (the obs "port" label value).
+func (pt *Port) Name() string { return pt.nm }
+
+// HostName returns the attached host's name.
+func (pt *Port) HostName() string { return pt.host.Name() }
+
+// Stats returns a copy of the port's counters.
+func (pt *Port) Stats() PortStats {
+	return PortStats{
+		Forwarded:    pt.forwarded.Value(),
+		Bytes:        pt.bytes.Value(),
+		Cells:        pt.cellsTx.Value(),
+		IngressDrops: pt.inDrops.Value(),
+		EgressDrops:  pt.egDrops.Value(),
+		Unrouted:     pt.unrouted.Value(),
+		ShedDrops:    pt.shedDrops.Value(),
+		FaultDrops:   pt.faultDrop.Value(),
+		FaultCorrupt: pt.faultCorr.Value(),
+		FaultDups:    pt.faultDup.Value(),
+		FaultDelays:  pt.faultDel.Value(),
+		FaultStalls:  pt.faultStal.Value(),
+	}
+}
+
+// DeliveryDigest returns an FNV-1a digest over everything the port has
+// delivered, plus the delivery count. Each stream is digested in its
+// own delivery order and the per-stream digests are combined in VCI
+// order, so the digest pins every delivered byte of every stream while
+// staying indifferent to how the streams happened to interleave. Two
+// runs in which this port's streams each saw identical traffic produce
+// identical digests regardless of what happened on other ports.
+func (pt *Port) DeliveryDigest() (digest uint64, delivered uint64) {
+	vcis := make([]uint32, 0, len(pt.perVCI))
+	for vci := range pt.perVCI {
+		vcis = append(vcis, vci)
+	}
+	sort.Slice(vcis, func(i, j int) bool { return vcis[i] < vcis[j] })
+	h := uint64(fnvOffset)
+	for _, vci := range vcis {
+		d := pt.perVCI[vci]
+		h ^= uint64(vci)
+		h *= fnvPrime
+		h ^= d.digest
+		h *= fnvPrime
+		h ^= d.count
+		h *= fnvPrime
+	}
+	return h, pt.delivered
+}
+
+// StreamDigests returns each delivered stream's (digest, count) at
+// this port — DeliveryDigest broken out per VCI.
+func (pt *Port) StreamDigests() map[uint32][2]uint64 {
+	out := make(map[uint32][2]uint64, len(pt.perVCI))
+	for vci, d := range pt.perVCI {
+		out[vci] = [2]uint64{d.digest, d.count}
+	}
+	return out
+}
+
+// SetFault attaches a fault process to the port's egress (nil
+// detaches): every message routed *to* this port consults the hook on
+// egress arrival, and the transmitter consults StallUntil before each
+// cell train — so an injected fault, like real port trouble, stays on
+// its own port.
+func (pt *Port) SetFault(h atm.FaultHook) { pt.fault = h }
+
+// observe registers the port's instruments under the obs "port" label.
+func (pt *Port) observe(reg *obs.Registry) {
+	lb := obs.L("port", pt.nm)
+	reg.RegisterCounter("fabric_port_forwarded_total", pt.forwarded, lb)
+	reg.RegisterCounter("fabric_port_bytes_total", pt.bytes, lb)
+	reg.RegisterCounter("fabric_port_cells_total", pt.cellsTx, lb)
+	reg.RegisterCounter("fabric_port_ingress_drops_total", pt.inDrops, lb)
+	reg.RegisterCounter("fabric_port_egress_drops_total", pt.egDrops, lb)
+	reg.RegisterCounter("fabric_port_unrouted_total", pt.unrouted, lb)
+	reg.RegisterCounter("fabric_port_shed_drops_total", pt.shedDrops, lb)
+	reg.RegisterCounter("fabric_port_fault_drops_total", pt.faultDrop, lb)
+	reg.RegisterCounter("fabric_port_fault_corruptions_total", pt.faultCorr, lb)
+	reg.RegisterCounter("fabric_port_fault_duplicates_total", pt.faultDup, lb)
+	reg.RegisterCounter("fabric_port_fault_delays_total", pt.faultDel, lb)
+	reg.RegisterCounter("fabric_port_fault_stalls_total", pt.faultStal, lb)
+	reg.GaugeFunc("fabric_port_ingress_depth", func() float64 { return float64(len(pt.inq)) }, lb)
+	reg.GaugeFunc("fabric_port_ingress_limit", func() float64 { return float64(pt.fab.cfg.IngressLimit) }, lb)
+	reg.GaugeFunc("fabric_port_queue_depth", func() float64 { return float64(pt.egCells) }, lb)
+	reg.GaugeFunc("fabric_port_queue_limit", func() float64 { return float64(pt.fab.cfg.EgressCellLimit) }, lb)
+}
+
+// TransportName implements atm.Transport.
+func (pt *Port) TransportName() string { return "fabric:" + pt.nm }
+
+// Send implements atm.Transport: the attached host's outgoing messages
+// enter this port's ingress queue (which always accepts and drops on
+// overflow, so the sender never blocks on fabric congestion).
+func (pt *Port) Send(p *occam.Proc, m atm.Message) error {
+	pt.in.Send(p, m)
+	return nil
+}
+
+// runIngress owns the bounded ingress queue: it always accepts from
+// the host side (drop-tail on overflow) and feeds the crossbar.
+func (pt *Port) runIngress(p *occam.Proc) {
+	var (
+		m   atm.Message
+		req struct{}
+	)
+	xbarReady := occam.NewCond(occam.Recv(pt.xbarReq, &req))
+	guards := []occam.Guard{xbarReady, occam.Recv(pt.in, &m)}
+	for {
+		xbarReady.Set(len(pt.inq) > 0)
+		switch p.Alt(guards...) {
+		case 0:
+			head := pt.inq[0]
+			copy(pt.inq, pt.inq[1:])
+			pt.inq[len(pt.inq)-1] = atm.Message{}
+			pt.inq = pt.inq[:len(pt.inq)-1]
+			pt.xbarItem.Send(p, head)
+		case 1:
+			if len(pt.inq) >= pt.fab.cfg.IngressLimit {
+				pt.inDrops.Inc()
+				pt.fab.trace.Emit(obs.EvDrop, pt.nm, m.VCI, "ingress-overflow")
+				m.W.Release()
+				continue
+			}
+			pt.inq = append(pt.inq, m)
+		}
+	}
+}
+
+// runXbar crosses one message at a time at the backplane rate, looks
+// its VCI up in the fabric routing table and hands it to the
+// destination port's egress queue (which always accepts).
+func (pt *Port) runXbar(p *occam.Proc) {
+	var token struct{}
+	bw := pt.fab.cfg.PortBandwidth * int64(pt.fab.cfg.XbarSpeedup)
+	for {
+		pt.xbarReq.Send(p, token)
+		m := pt.xbarItem.Recv(p)
+		n := cells(m.Size)
+		p.Sleep(time.Duration(int64(n) * cellWire * 8 * int64(time.Second) / bw))
+		r, ok := pt.fab.routes[m.VCI]
+		if !ok {
+			pt.unrouted.Inc()
+			pt.fab.trace.Emit(obs.EvDrop, pt.nm, m.VCI, "unrouted")
+			m.W.Release()
+			continue
+		}
+		r.out.egIn.Send(p, m)
+	}
+}
+
+// egAccept applies the egress-side admission pipeline to one arriving
+// message: the port's shed bar first (the overload controller stops a
+// stream before it consumes fault RNG or queue space), then the fault
+// hook, then the cell bound. It returns with the message either queued
+// (possibly twice, for an injected duplicate) or released.
+func (pt *Port) egAccept(p *occam.Proc, m atm.Message) {
+	if pt.shed[m.VCI] {
+		pt.shedDrops.Inc()
+		pt.fab.trace.Emit(obs.EvDrop, pt.nm, m.VCI, "degrade-shed")
+		m.W.Release()
+		return
+	}
+	dup := false
+	if pt.fault != nil {
+		act := pt.fault.OnMessage(p.Now(), m.VCI, m.Size)
+		if act.Drop {
+			reason := act.Reason
+			if reason == "" {
+				reason = "injected-loss"
+			}
+			pt.faultDrop.Inc()
+			pt.fab.trace.Emit(obs.EvFault, pt.nm, m.VCI, reason)
+			m.W.Release()
+			return
+		}
+		if act.Corrupt {
+			m.Corrupt = true
+			pt.faultCorr.Inc()
+			pt.fab.trace.Emit(obs.EvFault, pt.nm, m.VCI, "injected-corruption")
+		}
+		if act.Delay > 0 {
+			m.FaultDelay += act.Delay
+			pt.faultDel.Inc()
+		}
+		dup = act.Duplicate
+	}
+	n := cells(m.Size)
+	if pt.egCells+n > pt.fab.cfg.EgressCellLimit {
+		pt.egDrops.Inc()
+		pt.fab.trace.Emit(obs.EvDrop, pt.nm, m.VCI, "egress-overflow")
+		m.W.Release()
+		return
+	}
+	pt.egq = append(pt.egq, m)
+	pt.egCells += n
+	if dup && pt.egCells+n <= pt.fab.cfg.EgressCellLimit {
+		// The duplicate is a second full message with its own wire
+		// reference, under the same cell bound.
+		m.W.Retain(1)
+		pt.egq = append(pt.egq, m)
+		pt.egCells += n
+		pt.faultDup.Inc()
+		pt.fab.trace.Emit(obs.EvFault, pt.nm, m.VCI, "injected-duplicate")
+	}
+}
+
+// runEgress owns the bounded egress queue: it always accepts from the
+// crossbars and feeds the transmitter one batch (cell train) at a
+// time.
+func (pt *Port) runEgress(p *occam.Proc) {
+	var (
+		m   atm.Message
+		req struct{}
+	)
+	txReady := occam.NewCond(occam.Recv(pt.txReq, &req))
+	guards := []occam.Guard{txReady, occam.Recv(pt.egIn, &m)}
+	for {
+		txReady.Set(len(pt.egq) > 0)
+		switch p.Alt(guards...) {
+		case 0:
+			// Slice a cell train off the head of the queue: at least one
+			// message, then as many more as fit in BatchCells. The batch
+			// buffer is reused — the transmitter finishes with it before
+			// its next request.
+			pt.batch = pt.batch[:0]
+			got := 0
+			for len(pt.egq) > 0 {
+				n := cells(pt.egq[0].Size)
+				if got > 0 && got+n > pt.fab.cfg.BatchCells {
+					break
+				}
+				got += n
+				pt.batch = append(pt.batch, pt.egq[0])
+				copy(pt.egq, pt.egq[1:])
+				pt.egq[len(pt.egq)-1] = atm.Message{}
+				pt.egq = pt.egq[:len(pt.egq)-1]
+			}
+			pt.egCells -= got
+			pt.txItem.Send(p, pt.batch)
+		case 1:
+			pt.egAccept(p, m)
+		}
+	}
+}
+
+// runTx transmits cell trains at the port line rate and delivers to
+// the attached host. One sleep covers the whole train — the batching
+// that keeps a congested port at one scheduler wake-up per train.
+func (pt *Port) runTx(p *occam.Proc) {
+	var token struct{}
+	cfg := pt.fab.cfg
+	for {
+		pt.txReq.Send(p, token)
+		batch := pt.txItem.Recv(p)
+		if pt.fault != nil {
+			if until := pt.fault.StallUntil(p.Now()); until > p.Now() {
+				// The port transmitter is wedged: queued cells wait out
+				// the outage on this port alone.
+				pt.faultStal.Inc()
+				pt.fab.trace.Emit(obs.EvFault, pt.nm, 0, "port-stall")
+				p.SleepUntil(until)
+			}
+		}
+		var (
+			totalCells int
+			maxDelay   time.Duration
+		)
+		for i := range batch {
+			totalCells += cells(batch[i].Size)
+			if batch[i].FaultDelay > maxDelay {
+				maxDelay = batch[i].FaultDelay
+			}
+		}
+		tx := time.Duration(int64(totalCells) * cellWire * 8 * int64(time.Second) / cfg.PortBandwidth)
+		p.Sleep(tx + cfg.Propagation + maxDelay)
+		for i := range batch {
+			m := batch[i]
+			pt.forwarded.Inc()
+			pt.bytes.Add(uint64(m.Size))
+			pt.cellsTx.Add(uint64(cells(m.Size)))
+			pt.fold(m)
+			pt.host.Deliver(p, m)
+			batch[i] = atm.Message{}
+		}
+	}
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// vciDigest is one stream's running delivery digest at one port.
+type vciDigest struct {
+	digest uint64
+	count  uint64
+}
+
+// fold mixes one delivered message into its stream's digest.
+func (pt *Port) fold(m atm.Message) {
+	d, ok := pt.perVCI[m.VCI]
+	if !ok {
+		d = &vciDigest{digest: fnvOffset}
+		pt.perVCI[m.VCI] = d
+	}
+	h := d.digest
+	if m.Corrupt {
+		h ^= 1
+		h *= fnvPrime
+	}
+	h ^= uint64(m.ChunkIndex)<<16 | uint64(m.ChunkTotal)
+	h *= fnvPrime
+	for _, b := range m.W.Bytes() {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	d.digest = h
+	d.count++
+	pt.delivered++
+}
+
+// --- degrade.Target: per-port overload levers ---
+
+// DegradeName implements degrade.Target.
+func (pt *Port) DegradeName() string { return pt.nm }
+
+// DegradeStreams implements degrade.Target: the VCIs currently routed
+// to this port, in VCI order for deterministic controller decisions.
+// Every fabric stream is incoming from the port's point of view — it
+// is traffic about to be delivered to the attached box.
+func (pt *Port) DegradeStreams() []degrade.StreamInfo {
+	ids := make([]uint32, 0, 8)
+	for vci, r := range pt.fab.routes {
+		if r.out == pt {
+			ids = append(ids, vci)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]degrade.StreamInfo, 0, len(ids))
+	for _, vci := range ids {
+		r := pt.fab.routes[vci]
+		out = append(out, degrade.StreamInfo{
+			ID: vci, Video: r.video, Incoming: true, Opened: r.opened,
+		})
+	}
+	return out
+}
+
+// DegradeVideoBuffers implements degrade.Target: a port has no
+// decoupling buffers; its pressure signal is the egress queue gauge
+// named in the controller's Ports config.
+func (pt *Port) DegradeVideoBuffers() []string { return nil }
+
+// DegradeAudioBuffers implements degrade.Target. Always empty: port
+// congestion is relieved by shedding video (principle 2), so a port
+// controller never has audio pressure and never sheds audio.
+func (pt *Port) DegradeAudioBuffers() []string { return nil }
+
+// DegradeShed implements degrade.Target: bar the VCI at this port's
+// egress. The source box keeps transmitting (it is not this port's to
+// command — principle 8 is local adaptation), the crossbar keeps
+// switching, and the cells die here, on the congested port alone.
+func (pt *Port) DegradeShed(p *occam.Proc, id uint32) { pt.shed[id] = true }
+
+// DegradeRestore implements degrade.Target.
+func (pt *Port) DegradeRestore(p *occam.Proc, id uint32) { delete(pt.shed, id) }
+
+// DegradeRepositoryOrder implements degrade.Target.
+func (pt *Port) DegradeRepositoryOrder() bool { return false }

@@ -1,0 +1,236 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/obs"
+	"repro/internal/occam"
+	"repro/internal/segment"
+)
+
+// rig is a fabric with n attached hosts, each with a draining receiver
+// that releases every delivered wire and counts arrivals per VCI.
+type rig struct {
+	rt    *occam.Runtime
+	net   *atm.Network
+	fab   *Fabric
+	hosts []*atm.Host
+	pool  *segment.WirePool
+	got   []map[uint32]int
+}
+
+func newRig(t *testing.T, n int, cfg Config) *rig {
+	t.Helper()
+	rt := occam.NewRuntime()
+	r := &rig{
+		rt:   rt,
+		net:  atm.New(rt),
+		fab:  New(rt, "fab", cfg),
+		pool: segment.NewWirePool(),
+		got:  make([]map[uint32]int, n),
+	}
+	r.fab.Observe(obs.New(rt))
+	for i := 0; i < n; i++ {
+		h := r.net.AddHost(string(rune('a' + i)))
+		r.fab.Attach(h)
+		r.hosts = append(r.hosts, h)
+		counts := make(map[uint32]int)
+		r.got[i] = counts
+		rt.Go(h.Name()+".drain", nil, occam.High, func(p *occam.Proc) {
+			for {
+				m := h.Rx.Recv(p)
+				counts[m.VCI]++
+				m.W.Release()
+			}
+		})
+	}
+	return r
+}
+
+// checkNoWireLeak asserts every wire ref was released. All test wires
+// are the same size, so the pool's News counter is exactly the number
+// of distinct storage records — and all of them must be back on the
+// free list.
+func (r *rig) checkNoWireLeak(t *testing.T) {
+	t.Helper()
+	if free, alloc := r.pool.FreeLen(), int(r.pool.News); free != alloc {
+		t.Fatalf("wire leak: %d of %d storage records returned", free, alloc)
+	}
+}
+
+// send starts a Low-priority sender pushing count segments on vci from
+// host src, one per period.
+func (r *rig) send(t *testing.T, src int, vci uint32, count int, period time.Duration) {
+	t.Helper()
+	h := r.hosts[src]
+	r.rt.Go(h.Name()+".tx", nil, occam.Low, func(p *occam.Proc) {
+		for i := 0; i < count; i++ {
+			p.Sleep(period)
+			w := r.pool.Encode(segment.NewAudio(uint32(i), 0, [][]byte{make([]byte, segment.BlockSamples)}))
+			if err := h.Send(p, atm.Message{VCI: vci, Size: len(w.Bytes()), W: w}); err != nil {
+				w.Release()
+				t.Error(err)
+			}
+		}
+	})
+}
+
+func TestFabricDeliversAndAccounts(t *testing.T) {
+	r := newRig(t, 3, Config{})
+	now := occam.Time(0)
+	r.fab.Route(now, 10, r.fab.Port(1), false)
+	r.fab.Route(now, 11, r.fab.Port(2), false)
+	r.send(t, 0, 10, 20, time.Millisecond)
+	r.send(t, 0, 11, 20, time.Millisecond)
+	if err := r.rt.RunUntil(occam.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	r.rt.Shutdown()
+	if r.got[1][10] != 20 || r.got[2][11] != 20 {
+		t.Fatalf("deliveries: host1=%v host2=%v", r.got[1], r.got[2])
+	}
+	if s := r.fab.Port(1).Stats(); s.Forwarded != 20 {
+		t.Fatalf("port 1 stats %+v", s)
+	}
+	r.checkNoWireLeak(t)
+	if d, n := r.fab.Port(1).DeliveryDigest(); n != 20 || d == fnvOffset {
+		t.Fatalf("port 1 digest (%#x, %d)", d, n)
+	}
+}
+
+// TestFabricRouteUpdateMidStream is principle 6: adding and removing a
+// destination of a multi-copy stream mid-flight must leave the other
+// copy byte-identical to a run where nothing changed.
+func TestFabricRouteUpdateMidStream(t *testing.T) {
+	run := func(update bool) (digest uint64, delivered uint64, unrouted uint64, lateCount int) {
+		r := newRig(t, 4, Config{})
+		r.fab.Route(0, 20, r.fab.Port(1), false) // steady copy
+		r.fab.Route(0, 21, r.fab.Port(2), false) // copy to be torn down
+		r.send(t, 0, 20, 50, time.Millisecond)
+		r.send(t, 0, 21, 50, time.Millisecond)
+		if update {
+			r.rt.Go("reconfig", nil, occam.Low, func(p *occam.Proc) {
+				p.Sleep(25 * time.Millisecond)
+				r.fab.Unroute(21)
+				r.fab.Route(p.Now(), 22, r.fab.Port(3), false) // late-joining destination
+				r.send(t, 0, 22, 10, time.Millisecond)
+			})
+		}
+		if err := r.rt.RunUntil(occam.Time(time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		r.rt.Shutdown()
+		r.checkNoWireLeak(t)
+		d, n := r.fab.Port(1).DeliveryDigest()
+		return d, n, r.fab.Stats().Unrouted, r.got[3][22]
+	}
+	baseD, baseN, _, _ := run(false)
+	updD, updN, unrouted, late := run(true)
+	if updD != baseD || updN != baseN {
+		t.Fatalf("steady copy disturbed by reconfiguration: (%#x,%d) vs (%#x,%d)",
+			updD, updN, baseD, baseN)
+	}
+	if unrouted == 0 {
+		t.Fatal("expected post-teardown segments on VCI 21 to drop as unrouted")
+	}
+	if late != 10 {
+		t.Fatalf("late-added destination got %d of 10", late)
+	}
+}
+
+// faultEvery drops every nth message and can stall the port.
+type faultEvery struct {
+	n     int
+	seen  int
+	stall occam.Time
+}
+
+func (f *faultEvery) OnMessage(now occam.Time, vci uint32, size int) atm.FaultAction {
+	f.seen++
+	if f.n > 0 && f.seen%f.n == 0 {
+		return atm.FaultAction{Drop: true, Reason: "test-loss"}
+	}
+	return atm.FaultAction{}
+}
+
+func (f *faultEvery) StallUntil(now occam.Time) occam.Time { return f.stall }
+
+// TestFabricPortFaultIsolation is principle 5 across the fabric: a
+// faulted (lossy and stalled) port must leave delivery on every other
+// port byte-identical to a fault-free run.
+func TestFabricPortFaultIsolation(t *testing.T) {
+	run := func(faulted bool) (clean uint64, cleanN uint64, faultDrops uint64) {
+		r := newRig(t, 3, Config{})
+		r.fab.Route(0, 30, r.fab.Port(1), true)
+		r.fab.Route(0, 31, r.fab.Port(2), true)
+		if faulted {
+			r.fab.Port(2).SetFault(&faultEvery{n: 3, stall: occam.Time(100 * time.Millisecond)})
+		}
+		r.send(t, 0, 30, 40, time.Millisecond)
+		r.send(t, 0, 31, 40, time.Millisecond)
+		if err := r.rt.RunUntil(occam.Time(time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		r.rt.Shutdown()
+		r.checkNoWireLeak(t)
+		d, n := r.fab.Port(1).DeliveryDigest()
+		return d, n, r.fab.Port(2).Stats().FaultDrops
+	}
+	baseD, baseN, _ := run(false)
+	gotD, gotN, drops := run(true)
+	if gotD != baseD || gotN != baseN {
+		t.Fatalf("fault on port 2 disturbed port 1: (%#x,%d) vs (%#x,%d)",
+			gotD, gotN, baseD, baseN)
+	}
+	if drops == 0 {
+		t.Fatal("fault hook never fired on port 2")
+	}
+}
+
+// TestFabricEgressOverflow drives a port past its cell bound and checks
+// drop-tail accounting plus full wire recovery.
+func TestFabricEgressOverflow(t *testing.T) {
+	r := newRig(t, 2, Config{
+		PortBandwidth:   1_000_000, // slow port: backlog builds
+		EgressCellLimit: 64,
+		BatchCells:      16,
+	})
+	r.fab.Route(0, 40, r.fab.Port(1), true)
+	r.send(t, 0, 40, 200, 100*time.Microsecond)
+	if err := r.rt.RunUntil(occam.Time(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	r.rt.Shutdown()
+	s := r.fab.Port(1).Stats()
+	if s.EgressDrops == 0 {
+		t.Fatalf("expected egress drops, stats %+v", s)
+	}
+	if s.Forwarded == 0 || s.Forwarded+s.EgressDrops+s.IngressDrops != 200 {
+		t.Fatalf("message conservation violated: %+v", s)
+	}
+	r.checkNoWireLeak(t)
+}
+
+// TestFabricDeterministicReplay: identical runs produce identical
+// per-port digests.
+func TestFabricDeterministicReplay(t *testing.T) {
+	run := func() [2]uint64 {
+		r := newRig(t, 3, Config{})
+		r.fab.Route(0, 50, r.fab.Port(1), false)
+		r.fab.Route(0, 51, r.fab.Port(2), true)
+		r.send(t, 0, 50, 30, time.Millisecond)
+		r.send(t, 0, 51, 30, 700*time.Microsecond)
+		if err := r.rt.RunUntil(occam.Time(time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		r.rt.Shutdown()
+		d1, _ := r.fab.Port(1).DeliveryDigest()
+		d2, _ := r.fab.Port(2).DeliveryDigest()
+		return [2]uint64{d1, d2}
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("replay diverged: %#x vs %#x", a, b)
+	}
+}

@@ -222,6 +222,11 @@ type Spec struct {
 	// Crashes maps board name to outage windows, applied to the first
 	// box (alphabetically) of the simulation.
 	Crashes map[string][]Window
+	// Target, when non-empty, restricts link faults to links and fabric
+	// ports whose name starts with it ("a-b" hits one link pair,
+	// "fab.p03" one port, "fab." a whole fabric). Empty targets
+	// everything, as before.
+	Target string
 	// Seed is the spec's master seed.
 	Seed uint64
 }
@@ -237,6 +242,9 @@ func (s Spec) Active() bool {
 // reproducible — schedules.
 func (s Spec) LinkFault(name string) *Link {
 	if !s.Link.active() {
+		return nil
+	}
+	if s.Target != "" && !strings.HasPrefix(name, s.Target) {
 		return nil
 	}
 	cfg := s.Link
@@ -272,16 +280,23 @@ func DeriveSeed(seed uint64, name string) uint64 {
 // ParseSpec parses a comma-separated fault list (the pandora-sim
 // -faults flag): any of "loss", "corrupt", "dup", "jitter", "stall"
 // (periodic link outages), "sink" (stuck net-video sink windows) and
-// "crash" (server-board crash-and-restart), or "all". The canned
-// parameters are chosen to visibly stress a few-second conference run
-// without silencing it.
+// "crash" (server-board crash-and-restart), or "all", plus
+// "target=<prefix>" to confine the link faults to links or fabric
+// ports whose name starts with the prefix. The canned parameters are
+// chosen to visibly stress a few-second conference run without
+// silencing it.
 func ParseSpec(list string, seed uint64) (Spec, error) {
 	s := Spec{Seed: seed}
 	if strings.TrimSpace(list) == "" {
 		return s, nil
 	}
 	for _, tok := range strings.Split(list, ",") {
-		switch strings.TrimSpace(tok) {
+		tok = strings.TrimSpace(tok)
+		if rest, ok := strings.CutPrefix(tok, "target="); ok {
+			s.Target = rest
+			continue
+		}
+		switch tok {
 		case "loss":
 			s.Link.BurstEnter, s.Link.BurstLen = 0.01, 4
 		case "corrupt":

@@ -13,6 +13,17 @@
 // Within a box, segments travel preceded by an extra 32-bit stream
 // number field (§3.4); on the ATM network the stream number rides in
 // the VCI instead.
+//
+// Ownership: encoded segments move as Wire values — reference-counted
+// descriptors over pooled storage (§3.4's buffer discipline applied to
+// the wire format). Passing a Wire transfers exactly one reference;
+// call Retain(n) before handing it to n *additional* consumers, and
+// Release exactly once per reference, which returns the storage to its
+// WirePool at zero. Wires from ParseWire/WireOver are unmanaged views
+// over caller-owned bytes (Retain/Release are no-ops). A WirePool is
+// not thread-safe: it relies on the occam scheduler running one
+// process at a time, so pools are never shared across OS processes or
+// real threads.
 package segment
 
 import (

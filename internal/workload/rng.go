@@ -3,6 +3,12 @@
 // burst processes), video traffic, and the random processes used for
 // jitter and loss injection. Everything is seeded and reproducible —
 // the experiments must produce identical numbers on every run.
+//
+// Ownership: workload never holds segment wires. Sources fill
+// caller-owned sample buffers (an AudioSource writes into the block
+// the audio board hands it; a Camera paints the box's framestore);
+// encoding those samples into a pooled segment.Wire — and every
+// Retain/Release thereafter — is the caller's business.
 package workload
 
 import "math"

@@ -1,0 +1,94 @@
+//go:build ignore
+
+// doc_guard fails if any package under internal/ (or cmd/) lacks a
+// package-level doc comment — the documentation layer's enforcement
+// hook: every package must say which part of the paper it reproduces
+// and, where segment wires cross its boundary, who owns the
+// reference. Run from the repository root:
+//
+//	go run scripts/doc_guard.go
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	var bad []string
+	for _, root := range []string{"internal", "cmd"} {
+		dirs, err := packageDirs(root)
+		if err != nil {
+			fatal("walking %s: %v", root, err)
+		}
+		for _, dir := range dirs {
+			documented, err := hasPackageComment(dir)
+			if err != nil {
+				fatal("parsing %s: %v", dir, err)
+			}
+			if !documented {
+				bad = append(bad, dir)
+			}
+		}
+	}
+	if len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "doc_guard: %d package(s) lack a package doc comment:\n", len(bad))
+		for _, dir := range bad {
+			fmt.Fprintf(os.Stderr, "  %s\n", dir)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("doc_guard: every package has a package doc comment")
+}
+
+// packageDirs returns every directory under root that contains at
+// least one non-test .go file.
+func packageDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// hasPackageComment reports whether any non-test file in dir carries
+// a doc comment on its package clause (the standard "// Package x ..."
+// position; build-tagged files like the scripts count too).
+func hasPackageComment(dir string) (bool, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments|parser.PackageClauseOnly)
+	if err != nil {
+		return false, err
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "doc_guard: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+//go:build ignore
+
+// linkcheck verifies every relative markdown link in the repository's
+// *.md files: the linked file (and, for source links, the repo path)
+// must exist. External http(s) links and bare anchors are not
+// checked — CI must not depend on the network. Run from the
+// repository root:
+//
+//	go run scripts/linkcheck.go
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links [text](dest). Images and
+// reference-style definitions are rare enough here not to need
+// handling.
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func main() {
+	mds, err := filepath.Glob("*.md")
+	if err != nil {
+		fatal("%v", err)
+	}
+	if len(mds) == 0 {
+		fatal("no *.md files found — run from the repository root")
+	}
+	broken := 0
+	for _, md := range mds {
+		raw, err := os.ReadFile(md)
+		if err != nil {
+			fatal("reading %s: %v", md, err)
+		}
+		for i, line := range strings.Split(string(raw), "\n") {
+			for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+				dest := m[1]
+				if strings.HasPrefix(dest, "http://") || strings.HasPrefix(dest, "https://") ||
+					strings.HasPrefix(dest, "mailto:") || strings.HasPrefix(dest, "#") {
+					continue
+				}
+				// Strip an in-file anchor; check only the file part.
+				if idx := strings.IndexByte(dest, '#'); idx >= 0 {
+					dest = dest[:idx]
+					if dest == "" {
+						continue
+					}
+				}
+				target := filepath.Join(filepath.Dir(md), dest)
+				if _, err := os.Stat(target); err != nil {
+					fmt.Fprintf(os.Stderr, "linkcheck: %s:%d: broken link %q\n", md, i+1, m[1])
+					broken++
+				}
+			}
+		}
+	}
+	if broken > 0 {
+		fatal("%d broken link(s)", broken)
+	}
+	fmt.Printf("linkcheck: %d markdown files, all relative links resolve\n", len(mds))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "linkcheck: "+format+"\n", args...)
+	os.Exit(1)
+}
