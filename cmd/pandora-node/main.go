@@ -17,6 +17,14 @@
 // its own deterministic virtual-time runtime, paced against the wall
 // clock in -quantum steps; only the arrival batches from the socket
 // are nondeterministic, exactly the boundary the Receiver documents.
+//
+// With -scenario the node reads the same declarative spec file
+// pandora-sim runs (see internal/scenario) and takes its own box
+// configuration — name, mic workload, feature set, segment shape,
+// interface rate — from the spec's box at -index, and the run length
+// from the spec's duration. The peer topology still comes from -peers:
+// the spec describes boxes and workloads once, and each OS process
+// plays one of them.
 package main
 
 import (
@@ -30,8 +38,38 @@ import (
 	"repro/internal/atm/udptrans"
 	"repro/internal/box"
 	"repro/internal/occam"
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
+
+// boxConfigFromSpec maps one scenario box onto a node's box.Config —
+// the same field mapping the in-process scenario runner applies, minus
+// the simulation-only fault hooks.
+func boxConfigFromSpec(bs scenario.Box) box.Config {
+	cfg := box.Config{
+		Name:              bs.Name,
+		BlocksPerSegment:  bs.Blocks,
+		CameraW:           bs.CameraW,
+		CameraH:           bs.CameraH,
+		NetInterfaceBits:  bs.NetIfBits,
+		InterleaveNetwork: bs.Interleave,
+		SharedNetBuffer:   bs.SharedNet,
+		Features: box.Features{
+			JitterCorrection: bs.Jitter,
+			Muting:           bs.Muting,
+			Interface:        bs.Interface,
+		},
+	}
+	if bs.Mic != nil {
+		switch bs.Mic.Kind {
+		case "tone":
+			cfg.Mic = workload.NewTone(int(bs.Mic.A), int32(bs.Mic.B))
+		case "speech":
+			cfg.Mic = workload.NewSpeech(bs.Mic.A, int32(bs.Mic.B))
+		}
+	}
+	return cfg
+}
 
 // vciBase numbers node i's outgoing audio stream vciBase+i on every
 // peer, so the mesh needs no signalling: the peer list order IS the
@@ -82,12 +120,27 @@ func main() {
 	seconds := flag.Int("seconds", 10, "conference length in seconds")
 	quantum := flag.Duration("quantum", 10*time.Millisecond, "virtual-time step per socket drain (wall-clock paced)")
 	seed := flag.Int64("seed", 1, "speech workload seed (offset by -index so nodes differ)")
+	scenarioPath := flag.String("scenario", "", "take this node's box config and run length from a scenario spec file (box at -index)")
 	flag.Parse()
 
 	peerList := strings.Split(*peers, ",")
 	if *index < 0 || *index >= len(peerList) {
 		fmt.Fprintf(os.Stderr, "pandora-node: -index %d out of range for %d peers\n", *index, len(peerList))
 		os.Exit(2)
+	}
+	var spec *scenario.Scenario
+	if *scenarioPath != "" {
+		sc, err := scenario.Load(*scenarioPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pandora-node:", err)
+			os.Exit(1)
+		}
+		if *index >= len(sc.Boxes) {
+			fmt.Fprintf(os.Stderr, "pandora-node: scenario %s has %d boxes, -index %d out of range\n",
+				sc.Name, len(sc.Boxes), *index)
+			os.Exit(2)
+		}
+		spec = sc
 	}
 	addr := *listen
 	if addr == "" {
@@ -119,11 +172,21 @@ func main() {
 	rt := occam.NewRuntime()
 	netw := atm.New(rt)
 	name := fmt.Sprintf("n%02d", *index)
-	b := box.New(rt, netw, box.Config{
+	cfg := box.Config{
 		Name:     name,
 		Mic:      workload.NewSpeech(uint64(*seed)+uint64(*index)+1, 12000),
 		Features: box.Features{JitterCorrection: true},
-	})
+	}
+	total := time.Duration(*seconds) * time.Second
+	if spec != nil {
+		cfg = boxConfigFromSpec(spec.Boxes[*index])
+		name = cfg.Name
+		if cfg.Mic == nil {
+			cfg.Mic = workload.NewSpeech(uint64(*seed)+uint64(*index)+1, 12000)
+		}
+		total = spec.Duration
+	}
+	b := box.New(rt, netw, cfg)
 	b.Host().SetTransport(mux)
 
 	// Routes: our mic to the network on our VCI, every peer VCI to the
@@ -155,7 +218,6 @@ func main() {
 		}
 	})
 
-	total := time.Duration(*seconds) * time.Second
 	start := time.Now()
 	for vt := time.Duration(0); vt < total; vt += *quantum {
 		pending = append(pending, rx.Drain()...)
@@ -169,7 +231,7 @@ func main() {
 	}
 	rt.Shutdown()
 
-	fmt.Printf("%s: %ds conference with %d peers on %s\n", name, *seconds, len(peerList)-1, addr)
+	fmt.Printf("%s: %s conference with %d peers on %s\n", name, total, len(peerList)-1, addr)
 	a := b.AudioStats()
 	fmt.Printf("  mic: %d segments sent on VCI %d (%d datagram sends, %d unrouted)\n",
 		a.MicSegs, out, mux.sent, mux.unrouted)

@@ -9,6 +9,14 @@
 //	pandora-sim -boxes 4 -seconds 10 -bandwidth 100000000 -video
 //	pandora-sim -faults loss,crash -degrade -trace 40
 //	pandora-sim -boxes 8 -fabric -faults 'stall,target=fab.p01' -degrade
+//
+// With -scenario the flags above are ignored: the named file is a
+// declarative scenario spec (see internal/scenario) describing boxes,
+// links, fabrics, the call timeline, fault and degradation phases, and
+// assertions. The run prints each assertion's outcome and exits
+// non-zero if any fails:
+//
+//	pandora-sim -scenario scenarios/churn.scn
 package main
 
 import (
@@ -25,9 +33,31 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/faultinject"
 	"repro/internal/occam"
+	"repro/internal/scenario"
 	"repro/internal/video"
 	"repro/internal/workload"
 )
+
+// runScenarioFile executes one scenario spec file and prints its
+// assertion summary — the output the CI smoke job diffs against golden
+// files, so it contains nothing wall-clock dependent.
+func runScenarioFile(path string) int {
+	sc, err := scenario.Load(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	sum, err := scenario.Execute(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Print(sum.String())
+	if !sum.Pass {
+		return 1
+	}
+	return 0
+}
 
 func main() {
 	boxes := flag.Int("boxes", 3, "number of boxes in the conference")
@@ -43,7 +73,11 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 1, "master seed for the injected fault schedules")
 	degradeOn := flag.Bool("degrade", false, "run the overload degradation controller on every box (and fabric port with -fabric)")
 	fabricOn := flag.Bool("fabric", false, "mesh the conference through one cell-switched fabric instead of pairwise links")
+	scenarioPath := flag.String("scenario", "", "run a declarative scenario spec file instead of the flag-built conference")
 	flag.Parse()
+	if *scenarioPath != "" {
+		os.Exit(runScenarioFile(*scenarioPath))
+	}
 	if *boxes < 2 {
 		fmt.Fprintln(os.Stderr, "need at least 2 boxes")
 		os.Exit(1)

@@ -544,12 +544,14 @@ func (b *Box) RequestSwitchReport(p *occam.Proc) {
 	b.switchCmd.Send(p, SwitchCommand{ReportReq: true})
 }
 
-// WirePoolStats exposes the box's wire pool accounting for leak
-// assertions: after sinks drain, free == int(news) means every wire
-// the box ever allocated is back in the pool.
+// WirePoolStats exposes the box's wire pool allocation counters.
 func (b *Box) WirePoolStats() (gets, news uint64, free int) {
 	return b.wires.Gets, b.wires.News, b.wires.FreeLen()
 }
+
+// WirePoolLeaked returns the number of the box's pooled wires still
+// checked out — zero once every sink has drained and released.
+func (b *Box) WirePoolLeaked() int { return b.wires.Leaked() }
 
 // --- degrade.Target: the overload controller's levers ---
 

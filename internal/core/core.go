@@ -183,6 +183,9 @@ func (s *System) AttachFabric(fabricName, node string) *fabric.Port {
 // FabricPort returns node's fabric port (nil if not attached).
 func (s *System) FabricPort(node string) *fabric.Port { return s.fabPorts[node] }
 
+// Fabric returns a fabric by name (nil if unknown).
+func (s *System) Fabric(name string) *fabric.Fabric { return s.fabrics[name] }
+
 // Control runs fn as a high-priority control process (the host
 // workstation's interface code). Call before or between Run calls.
 func (s *System) Control(fn func(p *occam.Proc)) {

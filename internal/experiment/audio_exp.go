@@ -4,43 +4,10 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/atm"
-	"repro/internal/box"
-	"repro/internal/core"
 	"repro/internal/occam"
 	"repro/internal/segment"
-	"repro/internal/video"
 	"repro/internal/workload"
 )
-
-// feedStreams starts a generator host feeding n audio streams of
-// 2-block segments every 4 ms into dst via VCIs base..base+n-1.
-func feedStreams(s *core.System, dstName string, n int, base uint32) {
-	gen := s.Net.AddHost("gen")
-	dst := s.Box(dstName)
-	l := s.Net.AddLink("gen-feed", atm.LinkConfig{Bandwidth: 100_000_000})
-	for i := 0; i < n; i++ {
-		s.Net.OpenCircuit(base+uint32(i), gen, dst.Host(), l)
-	}
-	s.Control(func(p *occam.Proc) {
-		for i := 0; i < n; i++ {
-			dst.SetRoute(p, box.Route{Stream: base + uint32(i), Outputs: []box.Output{box.OutSpeaker}})
-		}
-		tone := workload.NewTone(400, 8000)
-		pool := segment.NewWirePool()
-		seqs := make([]uint32, n)
-		for tick := 0; ; tick++ {
-			p.SleepUntil(occam.Time(int64(tick) * int64(2*segment.BlockDuration)))
-			for i := 0; i < n; i++ {
-				w := pool.Encode(segment.NewAudio(seqs[i], p.Now(), [][]byte{tone.NextBlock(), tone.NextBlock()}))
-				seqs[i]++
-				if gen.Send(p, atm.Message{VCI: base + uint32(i), Size: w.Len(), W: w}) != nil {
-					w.Release()
-				}
-			}
-		}
-	})
-}
 
 // E1 reproduces the §4.2 mixing-capacity claim: "The T425 transputer
 // used on the audio board can mix five audio streams in the
@@ -81,29 +48,22 @@ func E1() *Table {
 }
 
 func e1LateFraction(n int, loaded bool) float64 {
-	s := core.NewSystem()
-	defer s.Shutdown()
-	cfg := box.Config{Name: "dst"}
+	extras, events := "", ""
 	if loaded {
-		cfg.Features = box.Features{JitterCorrection: true, Muting: true, Interface: true}
-		cfg.Mic = workload.NewTone(300, 8000)
+		// The outgoing stream of the §4.2 loaded case rides on netsend.
+		extras = " mic=tone:300:8000 jitter muting interface"
+		events = "at 0s netsend dst -> sink stream=1 vci=2000\n"
 	}
-	dst := s.AddBox(cfg)
-	s.AddBox(box.Config{Name: "sink"})
-	s.Connect("dst", "sink", atm.LinkConfig{Bandwidth: 100_000_000})
-	feedStreams(s, "dst", n, 100)
-	if loaded {
-		s.Control(func(p *occam.Proc) {
-			// The outgoing stream of the §4.2 loaded case.
-			dst.SetRoute(p, box.Route{Stream: 1, Outputs: []box.Output{box.OutNetwork}, NetVCIs: []uint32{2000}})
-			s.Net.OpenCircuit(2000, dst.Host(), s.Box("sink").Host(), s.Path("dst", "sink")...)
-			dst.StartMic(p, 1)
-		})
-	}
-	if err := s.RunFor(2 * time.Second); err != nil {
-		panic(err)
-	}
-	st := dst.AudioStats()
+	r := runScenario(fmt.Sprintf(`
+scenario e1
+duration 2s
+box dst%s
+box sink
+link dst sink bw=100M
+feed dst n=%d base=100
+%s`, extras, n, events))
+	defer r.Close()
+	st := r.Sys.Box("dst").AudioStats()
 	if st.TicksRun == 0 {
 		return 1
 	}
@@ -183,17 +143,17 @@ func E3() *Table {
 		Paper:  "best 8 ms (4 ms to-codec buffering + 2 ms from-codec) (§4.2)",
 		Header: []string{"metric", "measured", "paper"},
 	}
-	s := core.NewSystem()
-	defer s.Shutdown()
-	s.AddBox(box.Config{Name: "a", Mic: workload.NewTone(400, 10000)})
-	s.AddBox(box.Config{Name: "b"})
-	s.Connect("a", "b", atm.LinkConfig{Bandwidth: 100_000_000, Propagation: 50 * time.Microsecond})
-	var st *core.Stream
-	s.Control(func(p *occam.Proc) { st = s.SendAudio(p, "a", "b") })
-	if err := s.RunFor(5 * time.Second); err != nil {
-		panic(err)
-	}
-	lat := s.Box("b").PlayoutLatency(st.VCIs["b"])
+	r := runScenario(`
+scenario e3
+duration 5s
+box a mic=tone:400:10000
+box b
+link a b bw=100M prop=50us
+at 0s audio a -> b as main
+`)
+	defer r.Close()
+	st := r.Streams["main"]
+	lat := r.Sys.Box("b").PlayoutLatency(st.VCIs["b"])
 	t.Add("best", fmt.Sprintf("%.2fms", float64(lat.Min())/1e6), "8ms")
 	t.Add("mean", fmt.Sprintf("%.2fms", float64(lat.Mean())/1e6), "-")
 	t.Add("p99", fmt.Sprintf("%.2fms", float64(lat.Percentile(99))/1e6), "-")
@@ -228,32 +188,25 @@ func E4() *Table {
 }
 
 func e4Run(withVideo, interleave bool) (jitter, mean time.Duration) {
-	s := core.NewSystem()
-	defer s.Shutdown()
-	s.AddBox(box.Config{
-		Name: "a", Mic: workload.NewTone(400, 10000),
-		CameraW: 256, CameraH: 128,
-		InterleaveNetwork: interleave,
-		// A slow enough interface that one video segment ≈ 15-20 ms.
-		NetInterfaceBits: 7_000_000,
-	})
-	s.AddBox(box.Config{Name: "b", CameraW: 256, CameraH: 128})
-	s.Connect("a", "b", atm.LinkConfig{Bandwidth: 100_000_000})
-	var st *core.Stream
-	s.Control(func(p *occam.Proc) {
-		st = s.SendAudio(p, "a", "b")
-		if withVideo {
-			s.SendVideo(p, "a", box.CameraStream{
-				Rect:         video.Rect{W: 256, H: 128},
-				Rate:         video.Rate{Num: 1, Den: 5},
-				SegsPerFrame: 1, // one big segment: maximum hold-up
-			}, "b")
-		}
-	})
-	if err := s.RunFor(4 * time.Second); err != nil {
-		panic(err)
+	flags, vid := "", ""
+	if interleave {
+		flags = " interleave"
 	}
-	lat := s.Box("b").PlayoutLatency(st.VCIs["b"])
+	if withVideo {
+		// segs=1: one big segment per frame, maximum hold-up.
+		vid = "at 0s video a -> b rect=0,0,256,128 rate=1/5 segs=1\n"
+	}
+	// netif=7M: a slow enough interface that one video segment ≈ 15-20 ms.
+	r := runScenario(fmt.Sprintf(`
+scenario e4
+duration 4s
+box a mic=tone:400:10000 camera=256x128 netif=7M%s
+box b camera=256x128
+link a b bw=100M
+at 0s audio a -> b as main
+%s`, flags, vid))
+	defer r.Close()
+	lat := r.Sys.Box("b").PlayoutLatency(r.Streams["main"].VCIs["b"])
 	return lat.Jitter(), lat.Mean()
 }
 
@@ -267,17 +220,20 @@ func E17() *Table {
 		Paper:  "≈5 kHz context switches; <1 µs each is negligible (§4.2, §3.1)",
 		Header: []string{"metric", "value"},
 	}
-	s := core.NewSystem()
-	s.AddBox(box.Config{Name: "a", Mic: workload.NewTone(400, 10000)})
-	s.AddBox(box.Config{Name: "b"})
-	s.Connect("a", "b", atm.LinkConfig{Bandwidth: 100_000_000})
-	s.Control(func(p *occam.Proc) { s.AudioCall(p, "a", "b") })
-	before := s.RT.Switches()
-	if err := s.RunFor(2 * time.Second); err != nil {
+	r := startScenario(`
+scenario e17
+duration 2s
+box a mic=tone:400:10000
+box b
+link a b bw=100M
+at 0s call a b
+`, nil)
+	before := r.Sys.RT.Switches()
+	if err := r.RunFor(2 * time.Second); err != nil {
 		panic(err)
 	}
-	perSec := float64(s.RT.Switches()-before) / 2
-	s.Shutdown()
+	perSec := float64(r.Sys.RT.Switches()-before) / 2
+	r.Close()
 	t.Add("switches/second (whole 2-box system)", fmt.Sprintf("%.0f", perSec))
 	t.Add("switch budget at 1µs each", fmt.Sprintf("%.2f%% of one CPU", perSec*1e-6*100))
 	return t
@@ -307,17 +263,16 @@ func E18() *Table {
 }
 
 func e18Run(blocksPerSeg int) (best, mean time.Duration) {
-	s := core.NewSystem()
-	defer s.Shutdown()
-	s.AddBox(box.Config{Name: "a", Mic: workload.NewTone(400, 10000), BlocksPerSegment: blocksPerSeg})
-	s.AddBox(box.Config{Name: "b"})
-	s.Connect("a", "b", atm.LinkConfig{Bandwidth: 100_000_000})
-	var st *core.Stream
-	s.Control(func(p *occam.Proc) { st = s.SendAudio(p, "a", "b") })
-	if err := s.RunFor(3 * time.Second); err != nil {
-		panic(err)
-	}
-	lat := s.Box("b").PlayoutLatency(st.VCIs["b"])
+	r := runScenario(fmt.Sprintf(`
+scenario e18
+duration 3s
+box a mic=tone:400:10000 blocks=%d
+box b
+link a b bw=100M
+at 0s audio a -> b as main
+`, blocksPerSeg))
+	defer r.Close()
+	lat := r.Sys.Box("b").PlayoutLatency(r.Streams["main"].VCIs["b"])
 	return lat.Min(), lat.Mean()
 }
 
@@ -357,17 +312,17 @@ type e9Stats struct {
 }
 
 func e9Run(loss float64) e9Stats {
-	s := core.NewSystem()
-	defer s.Shutdown()
-	s.AddBox(box.Config{Name: "a", Mic: workload.NewTone(400, 10000)})
-	s.AddBox(box.Config{Name: "b"})
-	s.Connect("a", "b", atm.LinkConfig{Bandwidth: 100_000_000, LossRate: loss, Seed: 42})
-	var st *core.Stream
-	s.Control(func(p *occam.Proc) { st = s.SendAudio(p, "a", "b") })
-	if err := s.RunFor(10 * time.Second); err != nil {
-		panic(err)
-	}
-	m := s.Box("b").Mixer().Stats(st.VCIs["b"])
+	r := runScenario(fmt.Sprintf(`
+scenario e9
+duration 10s
+box a mic=tone:400:10000
+box b
+link a b bw=100M loss=%g lseed=42
+at 0s audio a -> b as main
+`, loss))
+	defer r.Close()
+	st := r.Streams["main"]
+	m := r.Sys.Box("b").Mixer().Stats(st.VCIs["b"])
 	return e9Stats{
 		blocks:    m.Blocks,
 		lost:      m.LostSegments,

@@ -4,13 +4,9 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/atm"
 	"repro/internal/baseline"
-	"repro/internal/box"
 	"repro/internal/clawback"
-	"repro/internal/core"
 	"repro/internal/metrics"
-	"repro/internal/occam"
 	"repro/internal/segment"
 	"repro/internal/workload"
 )
@@ -290,42 +286,22 @@ func E16() *Table {
 		Paper:  "audio and video communicated successfully under high jitter (§3.7.2)",
 		Header: []string{"metric", "value"},
 	}
-	s := core.NewSystem()
-	defer s.Shutdown()
-	s.AddBox(box.Config{Name: "cam", Mic: workload.NewTone(400, 10000)})
-	s.AddBox(box.Config{Name: "lon"})
 	// Three networks with protocol conversions: middling bandwidths,
 	// real propagation, small queues — and heavy cross traffic on the
 	// middle hop.
-	s.ConnectPath("cam", "lon", []atm.LinkConfig{
-		{Bandwidth: 100_000_000, Propagation: 200 * time.Microsecond},
-		{Bandwidth: 8_000_000, Propagation: 3 * time.Millisecond, QueueLimit: 32},
-		{Bandwidth: 100_000_000, Propagation: 200 * time.Microsecond},
-	})
-	mid := s.Path("cam", "lon")[1]
-	// Cross traffic host hammering the middle hop.
-	cross := s.Net.AddHost("cross")
-	crossSink := s.Net.AddHost("crossSink")
-	s.Net.OpenCircuit(9000, cross, crossSink, mid)
-	s.RT.Go("crossSink.drain", nil, occam.High, func(p *occam.Proc) {
-		for {
-			crossSink.Rx.Recv(p)
-		}
-	})
-	s.RT.Go("cross.tx", nil, occam.Low, func(p *occam.Proc) {
-		rng := workload.NewRNG(7)
-		for {
-			p.Sleep(time.Duration(rng.Intn(int(12 * time.Millisecond))))
-			cross.Send(p, atm.Message{VCI: 9000, Size: 2000 + rng.Intn(4000)})
-		}
-	})
-	var st *core.Stream
-	s.Control(func(p *occam.Proc) { st = s.SendAudio(p, "cam", "lon") })
-	if err := s.RunFor(30 * time.Second); err != nil {
-		panic(err)
-	}
-	m := s.Box("lon").Mixer().Stats(st.VCIs["lon"])
-	lat := s.Box("lon").PlayoutLatency(st.VCIs["lon"])
+	r := runScenario(`
+scenario e16
+duration 30s
+box cam mic=tone:400:10000
+box lon
+link cam lon bw=100M prop=200us / bw=8M prop=3ms queue=32 / bw=100M prop=200us
+cross cam lon hop=1 vci=9000 seed=7 gap=12ms size=2000+4000
+at 0s audio cam -> lon as main
+`)
+	defer r.Close()
+	st := r.Streams["main"]
+	m := r.Sys.Box("lon").Mixer().Stats(st.VCIs["lon"])
+	lat := r.Sys.Box("lon").PlayoutLatency(st.VCIs["lon"])
 	t.Add("segments delivered", fmt.Sprintf("%d", m.Segments))
 	t.Add("segments lost in the network", fmt.Sprintf("%d", m.LostSegments))
 	t.Add("silence insertions", fmt.Sprintf("%d (%s of playback)", m.Clawback.SilenceInserted,

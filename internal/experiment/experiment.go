@@ -16,6 +16,9 @@ package experiment
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/occam"
+	"repro/internal/scenario"
 )
 
 // Table is a printable experiment result.
@@ -74,6 +77,28 @@ func (t *Table) String() string {
 		fmt.Fprintf(&sb, "  note: %s\n", r)
 	}
 	return sb.String()
+}
+
+// startScenario compiles an embedded scenario spec and spawns its
+// system without advancing time; then, when non-nil, runs in the
+// timeline control process after the last event (measurement probes).
+// Specs here are compiled-in constants, so errors panic.
+func startScenario(text string, then func(p *occam.Proc)) *scenario.Runner {
+	r, err := scenario.NewRunner(scenario.MustParse(text))
+	if err != nil {
+		panic(err)
+	}
+	r.Start(then)
+	return r
+}
+
+// runScenario plays one embedded spec to its full duration.
+func runScenario(text string) *scenario.Runner {
+	r := startScenario(text, nil)
+	if err := r.RunFor(r.Spec.Duration); err != nil {
+		panic(err)
+	}
+	return r
 }
 
 func ms(v float64) string { return fmt.Sprintf("%.2fms", v) }

@@ -4,16 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"time"
 
-	"repro/internal/box"
 	"repro/internal/core"
 	"repro/internal/degrade"
 	"repro/internal/fabric"
-	"repro/internal/faultinject"
-	"repro/internal/occam"
-	"repro/internal/video"
-	"repro/internal/workload"
 )
 
 // FabricResult is E22's machine-readable outcome, asserted by the
@@ -62,72 +56,49 @@ type e22Run struct {
 const e22Boxes = 16
 
 func e22Conference(seed uint64, faulted bool) *e22Run {
-	s := core.NewSystem()
-	defer s.Shutdown()
 	r := &e22Run{
 		digests: make(map[string]uint64),
 		counts:  make(map[string]uint64),
 	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "scenario e22\nseed %d\nduration 5s\n", seed)
 	for i := 0; i < e22Boxes; i++ {
 		name := fmt.Sprintf("n%02d", i)
 		r.names = append(r.names, name)
-		cfg := box.Config{
-			Name:     name,
-			Mic:      workload.NewSpeech(uint64(i+1), 12000),
-			Features: box.Features{JitterCorrection: true},
-		}
+		cam := ""
 		if i < 3 || i == e22Boxes-1 {
 			// Video sources, and the sink whose display assembles the
 			// three 256-wide bands.
-			cfg.CameraW, cfg.CameraH = 256, 192
+			cam = " camera=256x192"
 		}
-		s.AddBox(cfg)
+		fmt.Fprintf(&sb, "box %s mic=speech:%d:12000 jitter%s\n", name, i+1, cam)
 	}
 	// A deliberately small egress bound: two virtual-second outages on
 	// one port are enough to drive its queue past the controller's high
 	// water without troubling the other fifteen.
-	fab := s.AddFabric("fab", fabric.Config{EgressCellLimit: 4096})
-	for _, n := range r.names {
-		s.AttachFabric("fab", n)
-	}
+	sb.WriteString("fabric fab egress=4096\n")
+	sb.WriteString("attach fab " + strings.Join(r.names, " ") + "\n")
 	sink := r.names[e22Boxes-1]
-	r.congPort = s.FabricPort(sink).Name()
+	// Ports are numbered in attach order, so the sink's is the last.
+	r.congPort = fmt.Sprintf("fab.p%02d", e22Boxes-1)
 	if faulted {
-		s.InjectLinkFaults(faultinject.Spec{
-			Seed:   seed,
-			Target: r.congPort,
-			Link: faultinject.LinkConfig{
-				BurstEnter: 0.005, BurstLen: 4,
-				JitterMean: 200 * time.Microsecond, JitterStddev: 400 * time.Microsecond,
-				Stalls: []faultinject.Window{
-					{From: time.Second, To: 1600 * time.Millisecond},
-					{From: 3 * time.Second, To: 3600 * time.Millisecond},
-				},
-			},
-		})
+		fmt.Fprintf(&sb, "faults burst=0.005/4,jitter=200us/400us,stallwin=1s-1600ms,stallwin=3s-3600ms,target=%s\n", r.congPort)
 	}
-	ctrls := s.EnableDegradation(degrade.Config{
-		ShedEvery: 120 * time.Millisecond,
-		Hold:      600 * time.Millisecond,
-	})
-
-	s.Control(func(p *occam.Proc) {
-		s.Conference(p, r.names...)
-		// Three full-rate video bands from three different boxes, opened
-		// 200 ms apart so ages differ, all converging on the last box's
-		// port — the port the fault schedule then congests.
-		for i := 0; i < 3; i++ {
-			r.vids = append(r.vids, s.SendVideo(p, r.names[i], box.CameraStream{
-				Rect: video.Rect{Y: i * 64, W: 256, H: 64},
-				Rate: video.Rate{Num: 1, Den: 1},
-			}, sink))
-			if i < 2 {
-				p.Sleep(200 * time.Millisecond)
-			}
-		}
-	})
-	if err := s.RunFor(5 * time.Second); err != nil {
-		panic(err)
+	sb.WriteString("degrade shed=120ms hold=600ms\n")
+	sb.WriteString("at 0s conference " + strings.Join(r.names, " ") + "\n")
+	// Three full-rate video bands from three different boxes, opened
+	// 200 ms apart so ages differ, all converging on the last box's
+	// port — the port the fault schedule then congests.
+	for i := 0; i < 3; i++ {
+		fmt.Fprintf(&sb, "at %dms video %s -> %s rect=0,%d,256,64 rate=1/1 as v%d\n",
+			i*200, r.names[i], sink, i*64, i)
+	}
+	run := runScenario(sb.String())
+	defer run.Close()
+	s, ctrls := run.Sys, run.Ctrls
+	fab := s.Fabric("fab")
+	for i := 0; i < 3; i++ {
+		r.vids = append(r.vids, run.Streams[fmt.Sprintf("v%d", i)])
 	}
 
 	for _, n := range r.names {

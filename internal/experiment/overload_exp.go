@@ -3,17 +3,11 @@ package experiment
 import (
 	"fmt"
 	"strings"
-	"time"
 
 	"repro/internal/atm"
-	"repro/internal/box"
 	"repro/internal/core"
 	"repro/internal/degrade"
-	"repro/internal/faultinject"
 	"repro/internal/obs"
-	"repro/internal/occam"
-	"repro/internal/video"
-	"repro/internal/workload"
 )
 
 // OverloadResult is E21's machine-readable outcome, used by the tests
@@ -55,49 +49,29 @@ func E21Overload(seed uint64) (*Table, *OverloadResult) {
 		Paper:  "video degrades before audio; the oldest streams degrade first; boxes adapt locally (§2.1)",
 		Header: []string{"measure", "value"},
 	}
-	s := core.NewSystem()
-	defer s.Shutdown()
-	s.AddBox(box.Config{
-		Name: "a", Mic: workload.NewTone(400, 10000),
-		CameraW: 256, CameraH: 192,
-		// The first limit exceeded in normal operation (§3.7.1): an
-		// interface too slow for three full-rate video bands.
-		NetInterfaceBits: 3_500_000,
-	})
-	s.AddBox(box.Config{Name: "b", CameraW: 256, CameraH: 192})
-	s.Connect("a", "b", atm.LinkConfig{Bandwidth: 100_000_000})
-
-	// Deterministic link faults: burst loss, light duplication, jitter.
-	spec := faultinject.Spec{Seed: seed, Link: faultinject.LinkConfig{
-		BurstEnter: 0.002, BurstLen: 3,
-		Duplicate:  0.002,
-		JitterMean: 300 * time.Microsecond, JitterStddev: 600 * time.Microsecond,
-	}}
-	s.InjectLinkFaults(spec)
-	ctrls := s.EnableDegradation(degrade.Config{
-		ShedEvery: 150 * time.Millisecond,
-		Hold:      800 * time.Millisecond,
-	})
-
-	// Audio first, then three video bands opened 400 ms apart, so ages
-	// differ and "oldest first" is observable.
-	var audio *core.Stream
-	var vids []*core.Stream
-	s.Control(func(p *occam.Proc) {
-		audio = s.SendAudio(p, "a", "b")
-		for i := 0; i < 3; i++ {
-			vids = append(vids, s.SendVideo(p, "a", box.CameraStream{
-				Rect: video.Rect{Y: i * 64, W: 256, H: 64},
-				Rate: video.Rate{Num: 1, Den: 1},
-			}, "b"))
-			if i < 2 {
-				p.Sleep(400 * time.Millisecond)
-			}
-		}
-	})
-	if err := s.RunFor(6 * time.Second); err != nil {
-		panic(err)
-	}
+	// netif=3500k is the first limit exceeded in normal operation
+	// (§3.7.1): an interface too slow for three full-rate video bands.
+	// Deterministic link faults — burst loss, light duplication, jitter
+	// — ride on the spec's seed, and the three video bands open 400 ms
+	// apart so ages differ and "oldest first" is observable.
+	r := runScenario(fmt.Sprintf(`
+scenario e21
+seed %d
+duration 6s
+box a mic=tone:400:10000 camera=256x192 netif=3500k
+box b camera=256x192
+link a b bw=100M
+faults burst=0.002/3,dup=0.002,jitter=300us/600us
+degrade shed=150ms hold=800ms
+at 0s audio a -> b as audio
+at 0s video a -> b rect=0,0,256,64 rate=1/1 as v0
+at 400ms video a -> b rect=0,64,256,64 rate=1/1 as v1
+at 800ms video a -> b rect=0,128,256,64 rate=1/1 as v2
+`, seed))
+	defer r.Close()
+	s, ctrls := r.Sys, r.Ctrls
+	audio := r.Streams["audio"]
+	vids := []*core.Stream{r.Streams["v0"], r.Streams["v1"], r.Streams["v2"]}
 
 	res := &OverloadResult{}
 

@@ -5,17 +5,14 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/atm"
-	"repro/internal/box"
-	"repro/internal/core"
 	"repro/internal/decouple"
 	"repro/internal/metrics"
 	"repro/internal/mulaw"
 	"repro/internal/muting"
 	"repro/internal/occam"
 	"repro/internal/repository"
+	"repro/internal/scenario"
 	"repro/internal/segment"
-	"repro/internal/video"
 	"repro/internal/workload"
 )
 
@@ -88,83 +85,69 @@ func E10() *Table {
 	}
 
 	// P1: CPU overload on the audio board — incoming mixing degrades,
-	// the outgoing mic stream does not.
+	// the outgoing mic stream does not. The feed (6 streams) is over
+	// the loaded capacity of 3.
 	{
-		s := core.NewSystem()
-		cfg := box.Config{Name: "dst", Mic: workload.NewTone(300, 9000),
-			Features: box.Features{JitterCorrection: true, Muting: true, Interface: true}}
-		dst := s.AddBox(cfg)
-		s.AddBox(box.Config{Name: "sink"})
-		s.Connect("dst", "sink", atm.LinkConfig{Bandwidth: 100_000_000})
-		feedStreams(s, "dst", 6, 100) // over the loaded capacity of 3
-		var st *core.Stream
-		s.Control(func(p *occam.Proc) { st = s.SendAudio(p, "dst", "sink") })
-		if err := s.RunFor(3 * time.Second); err != nil {
-			panic(err)
-		}
-		_ = st
-		a := dst.AudioStats()
+		r := runScenario(`
+scenario e10p1
+duration 3s
+box dst mic=tone:300:9000 jitter muting interface
+box sink
+link dst sink bw=100M
+feed dst n=6 base=100
+at 0s audio dst -> sink as out
+`)
+		st := r.Streams["out"]
+		a := r.Sys.Box("dst").AudioStats()
 		incomingDegraded := a.LateTicks > 0
-		outgoingClean := a.MicDrops == 0 && s.Box("sink").Mixer().Stats(st.VCIs["sink"]).Segments > 500
+		outgoingClean := a.MicDrops == 0 && r.Sys.Box("sink").Mixer().Stats(st.VCIs["sink"]).Segments > 500
 		t.Add("P1 outgoing priority",
 			fmt.Sprintf("late mix ticks=%d, mic drops=%d", a.LateTicks, a.MicDrops),
 			yes(incomingDegraded && outgoingClean))
-		s.Shutdown()
+		r.Close()
 	}
 
-	// P2: a constricted network output loses video, not audio.
+	// P2: a constricted network output loses video, not audio
+	// (netif=2500k: interface too slow for the video).
 	{
-		s := core.NewSystem()
-		s.AddBox(box.Config{Name: "a", Mic: workload.NewTone(300, 9000), CameraW: 256, CameraH: 128,
-			NetInterfaceBits: 2_500_000}) // interface too slow for the video
-		s.AddBox(box.Config{Name: "b", CameraW: 256, CameraH: 128})
-		s.Connect("a", "b", atm.LinkConfig{Bandwidth: 100_000_000})
-		var st *core.Stream
-		s.Control(func(p *occam.Proc) {
-			st = s.SendAudio(p, "a", "b")
-			s.SendVideo(p, "a", box.CameraStream{
-				Rect: video.Rect{W: 256, H: 128}, Rate: video.Rate{Num: 1, Den: 1},
-			}, "b")
-		})
-		if err := s.RunFor(4 * time.Second); err != nil {
-			panic(err)
-		}
-		sw := s.Box("a").SwitchStats()
-		audioLost := s.Box("b").Mixer().Stats(st.VCIs["b"]).LostSegments
+		r := runScenario(`
+scenario e10p2
+duration 4s
+box a mic=tone:300:9000 camera=256x128 netif=2500k
+box b camera=256x128
+link a b bw=100M
+at 0s audio a -> b as main
+at 0s video a -> b rect=0,0,256,128 rate=1/1
+`)
+		st := r.Streams["main"]
+		sw := r.Sys.Box("a").SwitchStats()
+		audioLost := r.Sys.Box("b").Mixer().Stats(st.VCIs["b"]).LostSegments
 		videoDropped := sw.FullDrops[2] + sw.AgeDrops[2] // bufNetVideo slot
 		t.Add("P2 audio priority",
 			fmt.Sprintf("video drops=%d, audio lost=%d", videoDropped, audioLost),
 			yes(videoDropped > 20 && audioLost < videoDropped/10))
-		s.Shutdown()
+		r.Close()
 	}
 
 	// P3: with the video buffer overloaded by two equal streams, the
 	// older stream degrades first.
 	{
-		s := core.NewSystem()
-		s.AddBox(box.Config{Name: "a", CameraW: 256, CameraH: 128, NetInterfaceBits: 3_000_000})
-		s.AddBox(box.Config{Name: "b", CameraW: 256, CameraH: 128})
-		s.Connect("a", "b", atm.LinkConfig{Bandwidth: 100_000_000})
-		var oldSt, newSt *core.Stream
-		s.Control(func(p *occam.Proc) {
-			oldSt = s.SendVideo(p, "a", box.CameraStream{
-				Rect: video.Rect{W: 256, H: 64}, Rate: video.Rate{Num: 1, Den: 1},
-			}, "b")
-			p.Sleep(500 * time.Millisecond)
-			newSt = s.SendVideo(p, "a", box.CameraStream{
-				Rect: video.Rect{X: 0, Y: 64, W: 256, H: 64}, Rate: video.Rate{Num: 1, Den: 1},
-			}, "b")
-		})
-		if err := s.RunFor(5 * time.Second); err != nil {
-			panic(err)
-		}
-		sw := s.Box("a").SwitchStats()
-		oldDrops := sw.PerStreamDrops[oldSt.Local]
-		newDrops := sw.PerStreamDrops[newSt.Local]
+		r := runScenario(`
+scenario e10p3
+duration 5s
+box a camera=256x128 netif=3M
+box b camera=256x128
+link a b bw=100M
+at 0s video a -> b rect=0,0,256,64 rate=1/1 as old
+at 500ms video a -> b rect=0,64,256,64 rate=1/1 as new
+`)
+		sw := r.Sys.Box("a").SwitchStats()
+		oldDrops := sw.PerStreamDrops[r.Streams["old"].Local]
+		newDrops := sw.PerStreamDrops[r.Streams["new"].Local]
 		t.Add("P3 new-stream priority",
 			fmt.Sprintf("old stream drops=%d, new stream drops=%d", oldDrops, newDrops),
 			yes(oldDrops > 2*newDrops))
-		s.Shutdown()
+		r.Close()
 	}
 	return t
 }
@@ -185,20 +168,21 @@ func E11() *Table {
 		Paper:  "downstream bottlenecks must not affect streams split off earlier (§2.2)",
 		Header: []string{"destination", "path", "segments", "lost"},
 	}
-	s := core.NewSystem()
-	defer s.Shutdown()
-	s.AddBox(box.Config{Name: "src", Mic: workload.NewTone(440, 9000)})
-	s.AddBox(box.Config{Name: "fast"})
-	s.AddBox(box.Config{Name: "slow"})
-	s.Connect("src", "fast", atm.LinkConfig{Bandwidth: 100_000_000})
-	s.Connect("src", "slow", atm.LinkConfig{Bandwidth: 64_000, QueueLimit: 4}) // hopeless
-	var st *core.Stream
-	s.Control(func(p *occam.Proc) { st = s.SendAudio(p, "src", "fast", "slow") })
-	if err := s.RunFor(5 * time.Second); err != nil {
-		panic(err)
-	}
-	fast := s.Box("fast").Mixer().Stats(st.VCIs["fast"])
-	slow := s.Box("slow").Mixer().Stats(st.VCIs["slow"])
+	// The 64 kbit/s queue=4 path to slow is hopeless by design.
+	r := runScenario(`
+scenario e11
+duration 5s
+box src mic=tone:440:9000
+box fast
+box slow
+link src fast bw=100M
+link src slow bw=64k queue=4
+at 0s audio src -> fast,slow as main
+`)
+	defer r.Close()
+	st := r.Streams["main"]
+	fast := r.Sys.Box("fast").Mixer().Stats(st.VCIs["fast"])
+	slow := r.Sys.Box("slow").Mixer().Stats(st.VCIs["slow"])
 	t.Add("fast", "100 Mbit/s", fmt.Sprintf("%d", fast.Segments), fmt.Sprintf("%d", fast.LostSegments))
 	t.Add("slow", "64 kbit/s", fmt.Sprintf("%d", slow.Segments), fmt.Sprintf("%d", slow.LostSegments))
 	t.Remark("fast copy complete (%s loss) while the slow path sheds most segments", pct(fast.LostSegments, fast.Segments+fast.LostSegments))
@@ -214,26 +198,25 @@ func E12() *Table {
 		Paper:  "splitting or closing one destination must not affect the other copies (§2.2)",
 		Header: []string{"phase", "kept copy lost segments"},
 	}
-	s := core.NewSystem()
-	defer s.Shutdown()
-	s.AddBox(box.Config{Name: "src", Mic: workload.NewTone(440, 9000)})
-	s.AddBox(box.Config{Name: "keep"})
-	s.AddBox(box.Config{Name: "extra"})
-	s.Connect("src", "keep", atm.LinkConfig{Bandwidth: 100_000_000})
-	s.Connect("src", "extra", atm.LinkConfig{Bandwidth: 100_000_000})
-	var st *core.Stream
-	s.Control(func(p *occam.Proc) {
-		st = s.SendAudio(p, "src", "keep")
-		p.Sleep(time.Second)
-		s.AddAudioDestination(p, st, "extra")
-		p.Sleep(time.Second)
-		s.RemoveDestination(p, st, "extra")
-	})
+	r := startScenario(`
+scenario e12
+duration 3s
+box src mic=tone:440:9000
+box keep
+box extra
+link src keep bw=100M
+link src extra bw=100M
+at 0s audio src -> keep as main
+at 1s split main extra
+at 2s drop main extra
+`, nil)
+	defer r.Close()
 	check := func(phase string, d time.Duration) {
-		if err := s.RunFor(d); err != nil {
+		if err := r.RunFor(d); err != nil {
 			panic(err)
 		}
-		t.Add(phase, fmt.Sprintf("%d", s.Box("keep").Mixer().Stats(st.VCIs["keep"]).LostSegments))
+		st := r.Streams["main"]
+		t.Add(phase, fmt.Sprintf("%d", r.Sys.Box("keep").Mixer().Stats(st.VCIs["keep"]).LostSegments))
 	}
 	check("single destination", time.Second)
 	check("after split to second destination", time.Second)
@@ -251,26 +234,29 @@ func E13() *Table {
 		Header: []string{"load", "command round trip"},
 	}
 	for _, loaded := range []bool{false, true} {
-		s := core.NewSystem()
-		s.AddBox(box.Config{Name: "a", Mic: workload.NewTone(300, 9000), CameraW: 256, CameraH: 128})
-		s.AddBox(box.Config{Name: "b", CameraW: 256, CameraH: 128})
-		s.Connect("a", "b", atm.LinkConfig{Bandwidth: 6_000_000})
+		events := ""
+		if loaded {
+			events = "at 0s audio a -> b\nat 0s video a -> b rect=0,0,256,128 rate=1/1\n"
+		}
 		var rtt time.Duration
-		s.Control(func(p *occam.Proc) {
+		var r *scenario.Runner
+		r = startScenario(fmt.Sprintf(`
+scenario e13
+duration 1500ms
+box a mic=tone:300:9000 camera=256x128
+box b camera=256x128
+link a b bw=6M
+%s`, events), func(p *occam.Proc) {
 			if loaded {
-				s.SendAudio(p, "a", "b")
-				s.SendVideo(p, "a", box.CameraStream{
-					Rect: video.Rect{W: 256, H: 128}, Rate: video.Rate{Num: 1, Den: 1},
-				}, "b")
 				p.Sleep(time.Second)
 			}
 			before := p.Now()
-			s.Box("a").RequestSwitchReport(p)
+			r.Sys.Box("a").RequestSwitchReport(p)
 			// The report lands in the log; the switch handled the
 			// command synchronously before continuing with data.
 			rtt = time.Duration(p.Now() - before)
 		})
-		if err := s.RunFor(1500 * time.Millisecond); err != nil {
+		if err := r.RunFor(1500 * time.Millisecond); err != nil {
 			panic(err)
 		}
 		name := "idle"
@@ -278,7 +264,7 @@ func E13() *Table {
 			name = "audio + full-rate video over a congested link"
 		}
 		t.Add(name, rtt.String())
-		s.Shutdown()
+		r.Close()
 	}
 	return t
 }
@@ -507,25 +493,21 @@ func A2() *Table {
 }
 
 func a2Run(shared bool) (jitter time.Duration, silences, lost uint64) {
-	s := core.NewSystem()
-	defer s.Shutdown()
-	s.AddBox(box.Config{
-		Name: "a", Mic: workload.NewTone(400, 10000),
-		CameraW: 256, CameraH: 128, SharedNetBuffer: shared,
-		NetInterfaceBits: 3_500_000,
-	})
-	s.AddBox(box.Config{Name: "b", CameraW: 256, CameraH: 128})
-	s.Connect("a", "b", atm.LinkConfig{Bandwidth: 100_000_000})
-	var st *core.Stream
-	s.Control(func(p *occam.Proc) {
-		st = s.SendAudio(p, "a", "b")
-		s.SendVideo(p, "a", box.CameraStream{
-			Rect: video.Rect{W: 256, H: 128}, Rate: video.Rate{Num: 1, Den: 1},
-		}, "b")
-	})
-	if err := s.RunFor(5 * time.Second); err != nil {
-		panic(err)
+	flags := ""
+	if shared {
+		flags = " sharednet"
 	}
-	m := s.Box("b").Mixer().Stats(st.VCIs["b"])
-	return s.Box("b").PlayoutLatency(st.VCIs["b"]).Jitter(), m.Clawback.SilenceInserted, m.LostSegments
+	r := runScenario(fmt.Sprintf(`
+scenario a2
+duration 5s
+box a mic=tone:400:10000 camera=256x128 netif=3500k%s
+box b camera=256x128
+link a b bw=100M
+at 0s audio a -> b as main
+at 0s video a -> b rect=0,0,256,128 rate=1/1
+`, flags))
+	defer r.Close()
+	st := r.Streams["main"]
+	m := r.Sys.Box("b").Mixer().Stats(st.VCIs["b"])
+	return r.Sys.Box("b").PlayoutLatency(st.VCIs["b"]).Jitter(), m.Clawback.SilenceInserted, m.LostSegments
 }

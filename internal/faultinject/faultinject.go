@@ -18,6 +18,8 @@ package faultinject
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -278,54 +280,266 @@ func DeriveSeed(seed uint64, name string) uint64 {
 }
 
 // ParseSpec parses a comma-separated fault list (the pandora-sim
-// -faults flag): any of "loss", "corrupt", "dup", "jitter", "stall"
-// (periodic link outages), "sink" (stuck net-video sink windows) and
-// "crash" (server-board crash-and-restart), or "all", plus
-// "target=<prefix>" to confine the link faults to links or fabric
-// ports whose name starts with the prefix. The canned parameters are
-// chosen to visibly stress a few-second conference run without
-// silencing it.
+// -faults flag and the scenario-file "faults" directive): any of
+// "loss", "corrupt", "dup", "jitter", "stall" (periodic link
+// outages), "sink" (stuck net-video sink windows) and "crash"
+// (server-board crash-and-restart), or "all", plus "target=<prefix>"
+// to confine the link faults to links or fabric ports whose name
+// starts with the prefix. The canned parameters are chosen to visibly
+// stress a few-second conference run without silencing it.
+//
+// Each canned word also has a parameterised form, so a scenario file
+// can state exact rates instead of the canned ones:
+//
+//	burst=P[/L]      loss-burst entry probability P, mean length L
+//	corrupt=P        per-message corruption probability
+//	dup=P            per-message duplication probability
+//	jitter=M[/S]     extra delay, mean M and stddev S (durations)
+//	stall=E/F        periodic outage: the first F of every E
+//	stallwin=F-T     one explicit outage window (repeatable)
+//	sink=F-T         one sink-stall window (repeatable)
+//	crash=B:F-T      one crash window for board B (repeatable)
+//	seed=N           override the master seed
+//
+// Parse errors name the offending token and its position in the list.
 func ParseSpec(list string, seed uint64) (Spec, error) {
 	s := Spec{Seed: seed}
 	if strings.TrimSpace(list) == "" {
 		return s, nil
 	}
-	for _, tok := range strings.Split(list, ",") {
-		tok = strings.TrimSpace(tok)
-		if rest, ok := strings.CutPrefix(tok, "target="); ok {
-			s.Target = rest
-			continue
+	offset := 0
+	for i, raw := range strings.Split(list, ",") {
+		tok := strings.TrimSpace(raw)
+		if err := s.applyToken(tok); err != nil {
+			return Spec{}, fmt.Errorf("faultinject: token %d (%q) at char %d: %w",
+				i+1, tok, offset+countLeadingSpace(raw), err)
 		}
-		switch tok {
-		case "loss":
-			s.Link.BurstEnter, s.Link.BurstLen = 0.01, 4
-		case "corrupt":
-			s.Link.Corrupt = 0.01
-		case "dup":
-			s.Link.Duplicate = 0.005
-		case "jitter":
-			s.Link.JitterMean, s.Link.JitterStddev = time.Millisecond, 2*time.Millisecond
-		case "stall":
-			s.Link.StallEvery, s.Link.StallFor = time.Second, 150*time.Millisecond
-		case "sink":
-			s.SinkStalls = []Window{
-				{From: time.Second, To: 1200 * time.Millisecond},
-				{From: 3 * time.Second, To: 3200 * time.Millisecond},
-			}
-		case "crash":
-			if s.Crashes == nil {
-				s.Crashes = make(map[string][]Window)
-			}
-			s.Crashes["server"] = []Window{{From: 1500 * time.Millisecond, To: 2 * time.Second}}
-		case "all":
-			s.Link.BurstEnter, s.Link.BurstLen = 0.01, 4
-			s.Link.Corrupt = 0.01
-			s.Link.Duplicate = 0.005
-			s.Link.JitterMean, s.Link.JitterStddev = time.Millisecond, 2*time.Millisecond
-		case "":
-		default:
-			return Spec{}, fmt.Errorf("faultinject: unknown fault %q (want loss, corrupt, dup, jitter, stall, sink, crash or all)", tok)
-		}
+		offset += len(raw) + 1 // the comma
 	}
 	return s, nil
+}
+
+func countLeadingSpace(s string) int { return len(s) - len(strings.TrimLeft(s, " \t")) }
+
+// applyToken folds one grammar token into the spec.
+func (s *Spec) applyToken(tok string) error {
+	if key, val, ok := strings.Cut(tok, "="); ok {
+		return s.applyParam(key, val)
+	}
+	switch tok {
+	case "loss":
+		s.Link.BurstEnter, s.Link.BurstLen = 0.01, 4
+	case "corrupt":
+		s.Link.Corrupt = 0.01
+	case "dup":
+		s.Link.Duplicate = 0.005
+	case "jitter":
+		s.Link.JitterMean, s.Link.JitterStddev = time.Millisecond, 2*time.Millisecond
+	case "stall":
+		s.Link.StallEvery, s.Link.StallFor = time.Second, 150*time.Millisecond
+	case "sink":
+		s.SinkStalls = []Window{
+			{From: time.Second, To: 1200 * time.Millisecond},
+			{From: 3 * time.Second, To: 3200 * time.Millisecond},
+		}
+	case "crash":
+		s.crash("server", Window{From: 1500 * time.Millisecond, To: 2 * time.Second})
+	case "all":
+		s.Link.BurstEnter, s.Link.BurstLen = 0.01, 4
+		s.Link.Corrupt = 0.01
+		s.Link.Duplicate = 0.005
+		s.Link.JitterMean, s.Link.JitterStddev = time.Millisecond, 2*time.Millisecond
+	case "":
+	default:
+		return fmt.Errorf("unknown fault %q (want loss, corrupt, dup, jitter, stall, sink, crash or all)", tok)
+	}
+	return nil
+}
+
+// applyParam folds one key=value token into the spec.
+func (s *Spec) applyParam(key, val string) error {
+	switch key {
+	case "target":
+		s.Target = val
+		return nil
+	case "seed":
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("seed wants an unsigned integer, got %q", val)
+		}
+		s.Seed = n
+		return nil
+	case "burst":
+		p, l, split := strings.Cut(val, "/")
+		prob, err := parseProb(p)
+		if err != nil {
+			return err
+		}
+		s.Link.BurstEnter = prob
+		if split {
+			n, err := strconv.Atoi(l)
+			if err != nil || n < 1 {
+				return fmt.Errorf("burst length wants a positive integer, got %q", l)
+			}
+			s.Link.BurstLen = n
+		}
+		return nil
+	case "corrupt":
+		prob, err := parseProb(val)
+		if err != nil {
+			return err
+		}
+		s.Link.Corrupt = prob
+		return nil
+	case "dup":
+		prob, err := parseProb(val)
+		if err != nil {
+			return err
+		}
+		s.Link.Duplicate = prob
+		return nil
+	case "jitter":
+		m, sd, split := strings.Cut(val, "/")
+		mean, err := time.ParseDuration(m)
+		if err != nil {
+			return fmt.Errorf("jitter mean: %q is not a duration", m)
+		}
+		s.Link.JitterMean = mean
+		if split {
+			stddev, err := time.ParseDuration(sd)
+			if err != nil {
+				return fmt.Errorf("jitter stddev: %q is not a duration", sd)
+			}
+			s.Link.JitterStddev = stddev
+		}
+		return nil
+	case "stall":
+		e, f, split := strings.Cut(val, "/")
+		if !split {
+			return fmt.Errorf("stall wants EVERY/FOR durations, got %q", val)
+		}
+		every, err := time.ParseDuration(e)
+		if err != nil {
+			return fmt.Errorf("stall period: %q is not a duration", e)
+		}
+		dur, err := time.ParseDuration(f)
+		if err != nil {
+			return fmt.Errorf("stall length: %q is not a duration", f)
+		}
+		s.Link.StallEvery, s.Link.StallFor = every, dur
+		return nil
+	case "stallwin":
+		w, err := ParseWindow(val)
+		if err != nil {
+			return err
+		}
+		s.Link.Stalls = append(s.Link.Stalls, w)
+		return nil
+	case "sink":
+		w, err := ParseWindow(val)
+		if err != nil {
+			return err
+		}
+		s.SinkStalls = append(s.SinkStalls, w)
+		return nil
+	case "crash":
+		board, win, split := strings.Cut(val, ":")
+		if !split || board == "" {
+			return fmt.Errorf("crash wants BOARD:FROM-TO, got %q", val)
+		}
+		w, err := ParseWindow(win)
+		if err != nil {
+			return err
+		}
+		s.crash(board, w)
+		return nil
+	default:
+		return fmt.Errorf("unknown fault parameter %q (want burst, corrupt, dup, jitter, stall, stallwin, sink, crash, target or seed)", key)
+	}
+}
+
+func (s *Spec) crash(board string, w Window) {
+	if s.Crashes == nil {
+		s.Crashes = make(map[string][]Window)
+	}
+	s.Crashes[board] = append(s.Crashes[board], w)
+}
+
+func parseProb(v string) (float64, error) {
+	p, err := strconv.ParseFloat(v, 64)
+	if err != nil || p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability wants a number in [0,1], got %q", v)
+	}
+	return p, nil
+}
+
+// ParseWindow parses "FROM-TO" into a Window of two durations with
+// From < To.
+func ParseWindow(v string) (Window, error) {
+	f, t, ok := strings.Cut(v, "-")
+	if !ok {
+		return Window{}, fmt.Errorf("window wants FROM-TO durations, got %q", v)
+	}
+	from, err := time.ParseDuration(f)
+	if err != nil {
+		return Window{}, fmt.Errorf("window start: %q is not a duration", f)
+	}
+	to, err := time.ParseDuration(t)
+	if err != nil {
+		return Window{}, fmt.Errorf("window end: %q is not a duration", t)
+	}
+	if to <= from {
+		return Window{}, fmt.Errorf("window %q ends before it starts", v)
+	}
+	return Window{From: from, To: to}, nil
+}
+
+// FormatSpec renders a spec back into the ParseSpec grammar, always in
+// the parameterised forms, such that ParseSpec(FormatSpec(s), s.Seed)
+// reproduces s (for specs whose Link.Seed is zero — the template seed
+// is never used; LinkFault derives per-link seeds from Spec.Seed).
+func FormatSpec(s Spec) string {
+	var toks []string
+	num := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	win := func(w Window) string { return w.From.String() + "-" + w.To.String() }
+	l := s.Link
+	if l.BurstEnter > 0 {
+		tok := "burst=" + num(l.BurstEnter)
+		if l.BurstLen > 0 {
+			tok += "/" + strconv.Itoa(l.BurstLen)
+		}
+		toks = append(toks, tok)
+	}
+	if l.Corrupt > 0 {
+		toks = append(toks, "corrupt="+num(l.Corrupt))
+	}
+	if l.Duplicate > 0 {
+		toks = append(toks, "dup="+num(l.Duplicate))
+	}
+	if l.JitterMean > 0 || l.JitterStddev > 0 {
+		toks = append(toks, "jitter="+l.JitterMean.String()+"/"+l.JitterStddev.String())
+	}
+	if l.StallEvery > 0 && l.StallFor > 0 {
+		toks = append(toks, "stall="+l.StallEvery.String()+"/"+l.StallFor.String())
+	}
+	for _, w := range l.Stalls {
+		toks = append(toks, "stallwin="+win(w))
+	}
+	for _, w := range s.SinkStalls {
+		toks = append(toks, "sink="+win(w))
+	}
+	boards := make([]string, 0, len(s.Crashes))
+	for b := range s.Crashes {
+		boards = append(boards, b)
+	}
+	sort.Strings(boards)
+	for _, b := range boards {
+		for _, w := range s.Crashes[b] {
+			toks = append(toks, "crash="+b+":"+win(w))
+		}
+	}
+	if s.Target != "" {
+		toks = append(toks, "target="+s.Target)
+	}
+	return strings.Join(toks, ",")
 }

@@ -60,7 +60,13 @@ type StreamStats struct {
 	Concealed      uint64 // blocks filled by replaying the last block
 	LateDuplicates uint64 // late or duplicate segments thrown away (§3.8)
 	Reactivations  uint64 // times the stream was re-created after idle
-	Clawback       clawback.Stats
+	// Digest is an FNV-1a hash over every delivered segment's sequence
+	// number and sample bytes, in arrival order — the stream's delivery
+	// set as one comparable word. Two runs delivered byte-identical
+	// audio for this stream iff their digests and Segments counts match
+	// (the scenario layer's "survivors byte-identical" assertion).
+	Digest   uint64
+	Clawback clawback.Stats
 }
 
 // streamCounters are one stream's registry instruments.
@@ -83,6 +89,7 @@ type stream struct {
 	lastBlock [segment.BlockSamples]byte
 	haveLast  bool
 	active    bool
+	digest    uint64
 	c         streamCounters
 }
 
@@ -165,6 +172,7 @@ func (m *Mixer) Stats(id uint32) StreamStats {
 		Concealed:      s.c.concealed.Value(),
 		LateDuplicates: s.c.lateDups.Value(),
 		Reactivations:  s.c.reactivations.Value(),
+		Digest:         s.digest,
 		Clawback:       s.buf.Stats(),
 	}
 }
@@ -181,6 +189,7 @@ func (m *Mixer) newStream(id uint32) *stream {
 	return &stream{
 		buf:    clawback.New(cfg),
 		active: true,
+		digest: fnvOffset,
 		c: streamCounters{
 			segments:      reg.Counter("mixer_segments_total", lbs...),
 			blocks:        reg.Counter("mixer_blocks_total", lbs...),
@@ -268,8 +277,10 @@ func (m *Mixer) Deliver(id uint32, w segment.Wire) {
 	s.nextSeq = seq + 1
 	s.seenAny = true
 
+	s.digest = fnvFold(s.digest, byte(seq), byte(seq>>8), byte(seq>>16), byte(seq>>24))
 	for i := 0; i < blocks; i++ {
 		blk := w.AudioBlock(i)
+		s.digest = fnvFold(s.digest, blk...)
 		w.Retain(1) // the queued item's reference; dropped items release it
 		s.buf.PushItem(clawback.Item{
 			Data:  blk,
@@ -361,6 +372,18 @@ func (m *Mixer) SetShed(id uint32, shed bool) {
 
 // Ticks returns how many mixing ticks have run.
 func (m *Mixer) Ticks() uint64 { return m.ticks }
+
+// FNV-1a, folded inline so the delivery digest costs no allocation on
+// the per-segment path.
+const fnvOffset = 14695981039346656037
+
+func fnvFold(h uint64, bs ...byte) uint64 {
+	for _, b := range bs {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
 
 // orderedIDs returns the stream ids in ascending order for
 // deterministic mixing, reusing the mixer's scratch slice.

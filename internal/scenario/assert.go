@@ -1,0 +1,292 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Summary is the deterministic result of a scenario's assertion phase:
+// one line per assert, in spec order, plus a PASS/FAIL verdict. Two
+// runs of the same spec render byte-identical summaries — the property
+// the CI scenario-smoke job diffs against its golden files.
+type Summary struct {
+	Name  string
+	Lines []string
+	Pass  bool
+}
+
+// String renders the summary.
+func (s *Summary) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "scenario %s: %d asserts\n", s.Name, len(s.Lines))
+	for _, l := range s.Lines {
+		sb.WriteString("  " + l + "\n")
+	}
+	verdict := "PASS"
+	if !s.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&sb, "scenario %s: %s\n", s.Name, verdict)
+	return sb.String()
+}
+
+// Evaluate runs every assertion against the finished run. It may run
+// the scenario's fault-free twin (for survivors-identical) — an
+// entire second system — so call it once, after RunFor has covered
+// the full duration.
+func (r *Runner) Evaluate() (*Summary, error) {
+	sum := &Summary{Name: r.Spec.Name, Pass: true}
+	var clean *Runner
+	for _, a := range r.Spec.Asserts {
+		if a.Kind != "survivors-identical" || clean != nil {
+			continue
+		}
+		c, err := r.cleanTwin()
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: fault-free twin: %w", r.Spec.Name, err)
+		}
+		clean = c
+		defer clean.Close()
+	}
+	for _, a := range r.Spec.Asserts {
+		ok, detail := r.check(a, clean)
+		status := "ok"
+		if !ok {
+			status, sum.Pass = "FAIL", false
+		}
+		label := a.Kind
+		if a.Arg != "" {
+			label += " " + a.Arg
+		}
+		sum.Lines = append(sum.Lines, fmt.Sprintf("%-4s %s: %s", status, label, detail))
+	}
+	return sum, nil
+}
+
+// cleanTwin re-runs the scenario with every fault stripped: no link
+// faults, no board crashes, no sink stalls. Everything else — seeds,
+// timeline, degradation — is identical.
+func (r *Runner) cleanTwin() (*Runner, error) {
+	sc := *r.Spec
+	sc.Faults = ""
+	sc.Boxes = make([]Box, len(r.Spec.Boxes))
+	copy(sc.Boxes, r.Spec.Boxes)
+	for i := range sc.Boxes {
+		sc.Boxes[i].Crashes = nil
+		sc.Boxes[i].SinkStalls = nil
+	}
+	sc.Asserts = nil
+	c, err := NewRunner(&sc)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Run(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// crashedBoxes is the set of boxes with any board-crash window — the
+// boxes survivors-identical excludes.
+func (r *Runner) crashedBoxes() map[string]bool {
+	out := map[string]bool{}
+	for i, b := range r.Spec.Boxes {
+		if len(b.Crashes) > 0 || (i == 0 && len(r.FaultSpec.Crashes) > 0) {
+			out[b.Name] = true
+		}
+	}
+	return out
+}
+
+// streamRefs returns the named streams in deterministic (sorted ref)
+// order.
+func (r *Runner) streamRefs() []string {
+	refs := make([]string, 0, len(r.Streams))
+	for ref := range r.Streams {
+		refs = append(refs, ref)
+	}
+	sort.Strings(refs)
+	return refs
+}
+
+func (r *Runner) check(a Assert, clean *Runner) (bool, string) {
+	switch a.Kind {
+	case "no-audio-shed":
+		n := 0
+		for _, name := range r.ctrlNames() {
+			for _, act := range r.Ctrls[name].Actions() {
+				if !act.Restore && !act.Video {
+					n++
+				}
+			}
+		}
+		return n == 0, fmt.Sprintf("%d audio sheds", n)
+	case "video-shed":
+		min := 1
+		if a.HasValue {
+			min = int(a.Value)
+		}
+		n := 0
+		for _, name := range r.ctrlNames() {
+			for _, act := range r.Ctrls[name].Actions() {
+				if !act.Restore && act.Video {
+					n++
+				}
+			}
+		}
+		return n >= min, fmt.Sprintf("%d video sheds (want ≥ %d)", n, min)
+	case "shed-order-oldest-first":
+		c, ok := r.Ctrls[a.Arg]
+		if !ok {
+			return false, fmt.Sprintf("no controller %q", a.Arg)
+		}
+		var order []uint32
+		ascending := true
+		for _, act := range c.Actions() {
+			if act.Restore {
+				break
+			}
+			if n := len(order); n > 0 && order[n-1] >= act.Stream {
+				ascending = false
+			}
+			order = append(order, act.Stream)
+		}
+		return ascending && len(order) > 0, fmt.Sprintf("initial shed ladder %v", order)
+	case "survivors-identical":
+		crashed := r.crashedBoxes()
+		checked, mismatched := 0, 0
+		for _, ref := range r.streamRefs() {
+			st := r.Streams[ref]
+			if st.Video || crashed[st.From] {
+				continue
+			}
+			cst := clean.Streams[ref]
+			dsts := make([]string, 0, len(st.VCIs))
+			for dst := range st.VCIs {
+				dsts = append(dsts, dst)
+			}
+			sort.Strings(dsts)
+			for _, dst := range dsts {
+				if crashed[dst] {
+					continue
+				}
+				checked++
+				m := r.Sys.Box(dst).Mixer().Stats(st.VCIs[dst])
+				cm := clean.Sys.Box(dst).Mixer().Stats(cst.VCIs[dst])
+				if m.Digest != cm.Digest || m.Segments != cm.Segments {
+					mismatched++
+				}
+			}
+		}
+		return mismatched == 0 && checked > 0,
+			fmt.Sprintf("%d/%d surviving deliveries byte-identical with the fault-free twin", checked-mismatched, checked)
+	case "wires-drain":
+		leaks := 0
+		var total uint64
+		for _, b := range r.Spec.Boxes {
+			_, news, _ := r.Sys.Box(b.Name).WirePoolStats()
+			total += news
+			if r.Sys.Box(b.Name).WirePoolLeaked() != 0 {
+				leaks++
+			}
+		}
+		return leaks == 0, fmt.Sprintf("%d pools, %d wire allocations, %d pools leaking", len(r.Spec.Boxes), total, leaks)
+	case "gauge-zero", "gauge-max":
+		limit := 0.0
+		if a.Kind == "gauge-max" {
+			limit = a.Value
+		}
+		samples := r.Sys.Obs.Snapshot().Family(a.Arg)
+		if len(samples) == 0 {
+			return false, fmt.Sprintf("no gauge %q registered", a.Arg)
+		}
+		max := 0.0
+		for _, s := range samples {
+			if s.Value > max {
+				max = s.Value
+			}
+		}
+		return max <= limit, fmt.Sprintf("max %g over %d samples (limit %g)", max, len(samples), limit)
+	case "min-segments", "max-lost", "max-silence-pct":
+		st, ok := r.Streams[a.Arg]
+		if !ok {
+			return false, fmt.Sprintf("no stream %q", a.Arg)
+		}
+		dsts := make([]string, 0, len(st.VCIs))
+		for dst := range st.VCIs {
+			dsts = append(dsts, dst)
+		}
+		sort.Strings(dsts)
+		ok2 := true
+		var parts []string
+		for _, dst := range dsts {
+			m := r.Sys.Box(dst).Mixer().Stats(st.VCIs[dst])
+			switch a.Kind {
+			case "min-segments":
+				if float64(m.Segments) < a.Value {
+					ok2 = false
+				}
+				parts = append(parts, fmt.Sprintf("%s=%d", dst, m.Segments))
+			case "max-lost":
+				if float64(m.LostSegments) > a.Value {
+					ok2 = false
+				}
+				parts = append(parts, fmt.Sprintf("%s=%d", dst, m.LostSegments))
+			case "max-silence-pct":
+				pct := 0.0
+				if m.Blocks > 0 {
+					pct = 100 * float64(m.Clawback.SilenceInserted) / float64(m.Blocks)
+				}
+				if pct > a.Value {
+					ok2 = false
+				}
+				parts = append(parts, fmt.Sprintf("%s=%.2f%%", dst, pct))
+			}
+		}
+		return ok2, fmt.Sprintf("%s (limit %g)", strings.Join(parts, " "), a.Value)
+	case "faults-fired":
+		var total uint64
+		for _, l := range r.Sys.Net.Links() {
+			fs := l.FaultStats()
+			total += fs.Drops + fs.Corruptions + fs.Duplicates + fs.Delays + fs.Stalls
+		}
+		for _, f := range r.Spec.Fabrics {
+			for _, n := range f.Attach {
+				ps := r.Sys.FabricPort(n).Stats()
+				total += ps.FaultDrops + ps.FaultCorrupt + ps.FaultDups + ps.FaultDelays + ps.FaultStalls
+			}
+		}
+		// Board crashes count too: a crash window inside the run is a
+		// fired fault even when no link fault is configured.
+		crashes := 0
+		for box := range r.crashedBoxes() {
+			_ = box
+			crashes++
+		}
+		return total > 0 || crashes > 0, fmt.Sprintf("%d link faults, %d crashed boxes", total, crashes)
+	case "circuits":
+		n := 0
+		for _, ref := range r.streamRefs() {
+			if st := r.Streams[ref]; st.From == a.Arg {
+				n += len(st.VCIs)
+			}
+		}
+		if a.HasValue {
+			return n == int(a.Value), fmt.Sprintf("%d circuits open from %s (want %d)", n, a.Arg, int(a.Value))
+		}
+		return true, fmt.Sprintf("%d circuits open from %s", n, a.Arg)
+	}
+	return false, "unknown assert"
+}
+
+// ctrlNames returns controller names in deterministic order.
+func (r *Runner) ctrlNames() []string {
+	names := make([]string, 0, len(r.Ctrls))
+	for name := range r.Ctrls {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

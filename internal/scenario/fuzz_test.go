@@ -1,0 +1,42 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzScenarioParse feeds arbitrary text to the parser. Any input the
+// parser accepts must round-trip: Format's output re-parses to a
+// deeply equal scenario and Format is a fixed point. Run longer with:
+//
+//	go test -fuzz=FuzzScenarioParse -fuzztime=30s ./internal/scenario
+func FuzzScenarioParse(f *testing.F) {
+	f.Add(representative)
+	files, _ := filepath.Glob("../../scenarios/*.scn")
+	for _, file := range files {
+		if text, err := os.ReadFile(file); err == nil {
+			f.Add(string(text))
+		}
+	}
+	f.Add("scenario x\nduration 1s\nbox a\n")
+	f.Add("scenario x\nduration 1s\nbox a mic=tone:1:2 crash=audio:1s-2s\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		sc, err := Parse(text)
+		if err != nil {
+			return // rejected input is fine; it must just not panic
+		}
+		printed := sc.Format()
+		sc2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("Format output rejected: %v\ninput: %q\nformatted:\n%s", err, text, printed)
+		}
+		if !reflect.DeepEqual(sc, sc2) {
+			t.Fatalf("round trip changed the scenario\ninput: %q\nformatted:\n%s", text, printed)
+		}
+		if printed2 := sc2.Format(); printed2 != printed {
+			t.Fatalf("Format not a fixed point\nfirst:\n%s\nsecond:\n%s", printed, printed2)
+		}
+	})
+}

@@ -1,0 +1,337 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/box"
+	"repro/internal/core"
+	"repro/internal/degrade"
+	"repro/internal/fabric"
+	"repro/internal/faultinject"
+	"repro/internal/occam"
+	"repro/internal/segment"
+	"repro/internal/video"
+	"repro/internal/workload"
+)
+
+// Runner executes one scenario on a fresh core.System. Build order is
+// fixed — boxes, links, fabrics, feeds, cross traffic, faults,
+// degradation, then one control process playing the event timeline —
+// so that two runs of the same spec are byte-identical, and a spec
+// that reproduces a hand-wired experiment reproduces its schedule
+// exactly.
+type Runner struct {
+	Spec *Scenario
+	Sys  *core.System
+	// Streams holds every stream a timeline event named with "as";
+	// conference and call members land under "REF[i]".
+	Streams map[string]*core.Stream
+	// Ctrls are the degradation controllers by box or fabric-port name
+	// (nil when the spec has no degrade phase).
+	Ctrls map[string]*degrade.Controller
+	// FaultSpec is the parsed fault phase.
+	FaultSpec faultinject.Spec
+
+	started bool
+}
+
+// NewRunner validates the spec and prepares a runner.
+func NewRunner(sc *Scenario) (*Runner, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	fs, err := faultinject.ParseSpec(sc.Faults, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{Spec: sc, FaultSpec: fs, Streams: make(map[string]*core.Stream)}, nil
+}
+
+// Start builds the system and spawns every process, including the
+// timeline, without advancing virtual time. then, when non-nil, runs
+// inside the timeline control process after the last event — the hook
+// measurement probes use to share the timeline's schedule.
+func (r *Runner) Start(then func(p *occam.Proc)) {
+	if r.started {
+		panic("scenario: Start called twice")
+	}
+	r.started = true
+	sc := r.Spec
+	s := core.NewSystem()
+	r.Sys = s
+
+	for i, bs := range sc.Boxes {
+		cfg := box.Config{
+			Name:              bs.Name,
+			BlocksPerSegment:  bs.Blocks,
+			CameraW:           bs.CameraW,
+			CameraH:           bs.CameraH,
+			NetInterfaceBits:  bs.NetIfBits,
+			InterleaveNetwork: bs.Interleave,
+			SharedNetBuffer:   bs.SharedNet,
+			Features: box.Features{
+				JitterCorrection: bs.Jitter,
+				Muting:           bs.Muting,
+				Interface:        bs.Interface,
+			},
+		}
+		if bs.Mic != nil {
+			switch bs.Mic.Kind {
+			case "tone":
+				cfg.Mic = workload.NewTone(int(bs.Mic.A), int32(bs.Mic.B))
+			case "speech":
+				cfg.Mic = workload.NewSpeech(bs.Mic.A, int32(bs.Mic.B))
+			}
+		}
+		crashes := bs.Crashes
+		stalls := bs.SinkStalls
+		if i == 0 {
+			// The spec-level fault phase targets the first box, exactly
+			// as pandora-sim -faults does.
+			if crashes == nil && len(r.FaultSpec.Crashes) > 0 {
+				crashes = r.FaultSpec.Crashes
+			}
+			if len(stalls) == 0 {
+				stalls = r.FaultSpec.SinkStalls
+			}
+		}
+		if len(crashes) > 0 {
+			b := faultinject.NewBoards()
+			boards := make([]string, 0, len(crashes))
+			for board := range crashes {
+				boards = append(boards, board)
+			}
+			sort.Strings(boards)
+			for _, board := range boards {
+				for _, w := range crashes[board] {
+					b.Crash(board, w.From, w.To)
+				}
+			}
+			cfg.BoardFaults = b
+		}
+		if len(stalls) > 0 {
+			cfg.SinkStalls = map[string][]faultinject.Window{
+				"net-video": stalls,
+				"net-audio": stalls,
+			}
+		}
+		s.AddBox(cfg)
+	}
+
+	for _, l := range sc.Links {
+		cfgs := make([]atm.LinkConfig, len(l.Hops))
+		for i, h := range l.Hops {
+			cfgs[i] = atm.LinkConfig{
+				Bandwidth:   h.Bandwidth,
+				Propagation: h.Propagation,
+				QueueLimit:  h.QueueLimit,
+				LossRate:    h.Loss,
+				Seed:        h.Seed,
+			}
+		}
+		s.ConnectPath(l.From, l.To, cfgs)
+	}
+
+	for _, f := range sc.Fabrics {
+		s.AddFabric(f.Name, fabric.Config{
+			PortBandwidth:   f.PortBandwidth,
+			Propagation:     f.Propagation,
+			IngressLimit:    f.IngressLimit,
+			EgressCellLimit: f.EgressCellLimit,
+			BatchCells:      f.BatchCells,
+			XbarSpeedup:     f.Speedup,
+		})
+		for _, n := range f.Attach {
+			s.AttachFabric(f.Name, n)
+		}
+	}
+
+	for i, fd := range sc.Feeds {
+		r.startFeed(hostName("gen", i), fd)
+	}
+	for i, c := range sc.Cross {
+		r.startCross(hostName("cross", i), hostName("crossSink", i), c)
+	}
+
+	if r.FaultSpec.Active() {
+		s.InjectLinkFaults(r.FaultSpec)
+	}
+	if sc.Degrade != nil {
+		r.Ctrls = s.EnableDegradation(degrade.Config{
+			ShedEvery: sc.Degrade.ShedEvery,
+			Hold:      sc.Degrade.Hold,
+		})
+	}
+
+	events := make([]Event, len(sc.Events))
+	copy(events, sc.Events)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	if len(events) > 0 || then != nil {
+		s.Control(func(p *occam.Proc) {
+			// Event times are offsets between command issues, not absolute
+			// deadlines: the timeline sleeps the delta from the previous
+			// event's time, so each command starts its gap after the
+			// previous command completed — command calls themselves consume
+			// virtual time (circuit setup round trips), and this is exactly
+			// how a hand-written control process with p.Sleep between
+			// commands behaves.
+			var prev time.Duration
+			for _, ev := range events {
+				if d := ev.At - prev; d > 0 {
+					p.Sleep(d)
+				}
+				prev = ev.At
+				r.apply(p, ev)
+			}
+			if then != nil {
+				then(p)
+			}
+		})
+	}
+}
+
+// hostName keeps the first generator's historical name ("gen",
+// "cross") and numbers the rest, so single-generator specs reproduce
+// the hand-wired experiments' process names exactly.
+func hostName(base string, i int) string {
+	if i == 0 {
+		return base
+	}
+	return fmt.Sprintf("%s%d", base, i+1)
+}
+
+// startFeed replicates the experiment suite's feedStreams generator: a
+// host pushing N tone streams of 2-block segments every 4 ms.
+func (r *Runner) startFeed(name string, fd Feed) {
+	s := r.Sys
+	gen := s.Net.AddHost(name)
+	dst := s.Box(fd.Box)
+	l := s.Net.AddLink(name+"-feed", atm.LinkConfig{Bandwidth: 100_000_000})
+	n, base := fd.N, fd.Base
+	for i := 0; i < n; i++ {
+		s.Net.OpenCircuit(base+uint32(i), gen, dst.Host(), l)
+	}
+	s.Control(func(p *occam.Proc) {
+		for i := 0; i < n; i++ {
+			dst.SetRoute(p, box.Route{Stream: base + uint32(i), Outputs: []box.Output{box.OutSpeaker}})
+		}
+		tone := workload.NewTone(400, 8000)
+		pool := segment.NewWirePool()
+		seqs := make([]uint32, n)
+		for tick := 0; ; tick++ {
+			p.SleepUntil(occam.Time(int64(tick) * int64(2*segment.BlockDuration)))
+			for i := 0; i < n; i++ {
+				w := pool.Encode(segment.NewAudio(seqs[i], p.Now(), [][]byte{tone.NextBlock(), tone.NextBlock()}))
+				seqs[i]++
+				if gen.Send(p, atm.Message{VCI: base + uint32(i), Size: w.Len(), W: w}) != nil {
+					w.Release()
+				}
+			}
+		}
+	})
+}
+
+// startCross replicates E16's cross-traffic pair: a drain host and a
+// transmitter hammering one hop of an existing path.
+func (r *Runner) startCross(txName, sinkName string, c Cross) {
+	s := r.Sys
+	hop := s.Path(c.From, c.To)[c.Hop]
+	tx := s.Net.AddHost(txName)
+	sink := s.Net.AddHost(sinkName)
+	s.Net.OpenCircuit(c.VCI, tx, sink, hop)
+	s.RT.Go(sinkName+".drain", nil, occam.High, func(p *occam.Proc) {
+		for {
+			sink.Rx.Recv(p)
+		}
+	})
+	vci, seed, gap, szMin, szJit := c.VCI, c.Seed, c.Gap, c.SizeMin, c.SizeJitter
+	s.RT.Go(txName+".tx", nil, occam.Low, func(p *occam.Proc) {
+		rng := workload.NewRNG(seed)
+		for {
+			p.Sleep(time.Duration(rng.Intn(int(gap))))
+			tx.Send(p, atm.Message{VCI: vci, Size: szMin + rng.Intn(szJit)})
+		}
+	})
+}
+
+// apply executes one timeline event inside the control process.
+func (r *Runner) apply(p *occam.Proc, ev Event) {
+	s := r.Sys
+	switch ev.Op {
+	case "audio":
+		st := s.SendAudio(p, ev.From, ev.To...)
+		if ev.Ref != "" {
+			r.Streams[ev.Ref] = st
+		}
+	case "video":
+		st := s.SendVideo(p, ev.From, box.CameraStream{
+			Rect:         video.Rect{X: ev.X, Y: ev.Y, W: ev.W, H: ev.H},
+			Rate:         video.Rate{Num: ev.RateNum, Den: ev.RateDen},
+			SegsPerFrame: ev.Segs,
+		}, ev.To...)
+		if ev.Ref != "" {
+			r.Streams[ev.Ref] = st
+		}
+	case "call":
+		ab, ba := s.AudioCall(p, ev.From, ev.To[0])
+		if ev.Ref != "" {
+			r.Streams[ev.Ref+"[0]"] = ab
+			r.Streams[ev.Ref+"[1]"] = ba
+		}
+	case "conference":
+		members := append([]string{ev.From}, ev.To...)
+		sts := s.Conference(p, members...)
+		if ev.Ref != "" {
+			for i, st := range sts {
+				r.Streams[fmt.Sprintf("%s[%d]", ev.Ref, i)] = st
+			}
+		}
+	case "split":
+		s.AddAudioDestination(p, r.Streams[ev.Ref], ev.To[0])
+	case "drop":
+		s.RemoveDestination(p, r.Streams[ev.Ref], ev.To[0])
+	case "close":
+		s.Close(p, r.Streams[ev.Ref])
+	case "netsend":
+		// Raw route: the E1 "outgoing stream" — a mic stream pushed onto
+		// an explicit VCI with no speaker route installed at the far end.
+		src := s.Box(ev.From)
+		src.SetRoute(p, box.Route{Stream: ev.Stream, Outputs: []box.Output{box.OutNetwork}, NetVCIs: []uint32{ev.VCI}})
+		s.Net.OpenCircuit(ev.VCI, src.Host(), s.Box(ev.To[0]).Host(), s.Path(ev.From, ev.To[0])...)
+		src.StartMic(p, ev.Stream)
+	}
+}
+
+// RunFor advances virtual time; Start must have been called.
+func (r *Runner) RunFor(d time.Duration) error { return r.Sys.RunFor(d) }
+
+// Run starts the scenario (with no probe hook) and plays it to its
+// full duration.
+func (r *Runner) Run() error {
+	r.Start(nil)
+	return r.RunFor(r.Spec.Duration)
+}
+
+// Close shuts the system down.
+func (r *Runner) Close() {
+	if r.Sys != nil {
+		r.Sys.Shutdown()
+	}
+}
+
+// Execute is the one-call form used by binaries: validate, run to
+// completion, evaluate assertions, return the summary.
+func Execute(sc *Scenario) (*Summary, error) {
+	r, err := NewRunner(sc)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	if err := r.Run(); err != nil {
+		return nil, err
+	}
+	return r.Evaluate()
+}

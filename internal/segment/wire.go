@@ -253,9 +253,13 @@ type WirePool struct {
 	free []*wireCtl
 
 	// Gets counts wires handed out; News counts the subset that had
-	// to allocate fresh storage (pool miss or growth).
+	// to allocate fresh storage (pool miss or growth). Ctls counts
+	// distinct storage records ever created — News can exceed it when
+	// a record's storage grows in place — so a drained pool has
+	// exactly Ctls records on its free list.
 	Gets uint64
 	News uint64
+	Ctls uint64
 }
 
 // NewWirePool returns an empty pool.
@@ -271,6 +275,7 @@ func (pl *WirePool) get(size int) *wireCtl {
 		pl.free = pl.free[:n-1]
 	} else {
 		c = &wireCtl{pool: pl}
+		pl.Ctls++
 	}
 	if cap(c.arr) < size {
 		pl.News++
@@ -304,3 +309,7 @@ func (pl *WirePool) Copy(src []byte) Wire {
 
 // FreeLen returns the number of idle storage records (tests).
 func (pl *WirePool) FreeLen() int { return len(pl.free) }
+
+// Leaked returns the number of storage records currently checked out:
+// zero once every wire the pool ever handed out has been released.
+func (pl *WirePool) Leaked() int { return int(pl.Ctls) - len(pl.free) }

@@ -1,8 +1,9 @@
 //go:build ignore
 
-// bench_guard runs the E2/E3 benchmarks once and fails if allocs/op
-// regresses more than 20% against the committed BENCH_e2e.json
-// baseline (the single-copy data path's headline numbers). Run from
+// bench_guard runs the E2/E3/E21/E22 benchmarks once and fails if
+// allocs/op regresses more than 20% against the committed
+// BENCH_e2e.json baseline (the single-copy data path's headline
+// numbers plus the overload and fabric-isolation paths). Run from
 // the repository root:
 //
 //	go run scripts/bench_guard.go
@@ -20,8 +21,10 @@ import (
 // guarded maps benchmark names to the BENCH_e2e.json experiment IDs
 // holding their baseline allocs/op.
 var guarded = map[string]string{
-	"BenchmarkE2LinkCapacity":  "E2",
-	"BenchmarkE3OneWayLatency": "E3",
+	"BenchmarkE2LinkCapacity":         "E2",
+	"BenchmarkE3OneWayLatency":        "E3",
+	"BenchmarkE21OverloadDegradation": "E21",
+	"BenchmarkE22FabricIsolation":     "E22",
 }
 
 const regressionLimit = 1.20
@@ -48,7 +51,7 @@ func main() {
 	}
 
 	cmd := exec.Command("go", "test",
-		"-bench", "BenchmarkE2LinkCapacity|BenchmarkE3OneWayLatency",
+		"-bench", "BenchmarkE2LinkCapacity|BenchmarkE3OneWayLatency|BenchmarkE21OverloadDegradation|BenchmarkE22FabricIsolation",
 		"-benchtime", "1x", "-benchmem", "-run", "^$", ".")
 	out, err := cmd.CombinedOutput()
 	fmt.Print(string(out))
