@@ -1,0 +1,30 @@
+package scenario
+
+import "testing"
+
+func TestReviewCloseBaseRef(t *testing.T) {
+	sc := MustParse(`scenario x
+duration 3s
+box A mic=tone:400:8000
+box B
+link A B bw=100M
+at 100ms call A B as c
+at 1s close c
+`)
+	if _, err := Execute(sc); err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+}
+
+func TestReviewCrossNoGap(t *testing.T) {
+	sc := MustParse(`scenario y
+duration 1s
+box A mic=tone:400:8000
+box B
+link A B bw=100M
+cross A B hop=0 vci=99 seed=1 size=100+5
+`)
+	if _, err := Execute(sc); err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+}
