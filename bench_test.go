@@ -166,6 +166,31 @@ func BenchmarkE22FabricIsolation(b *testing.B) {
 	}
 }
 
+// BenchmarkFabricCrossbar isolates the fabric fast path: segments
+// crossing the sharded crossbar into a batched egress, one per 20 µs
+// of virtual time. allocs/op is the headline — the cell path must not
+// allocate at steady state.
+func BenchmarkFabricCrossbar(b *testing.B) {
+	b.ReportAllocs()
+	if got := experiment.MicroFabricCrossbar(b.N); got == 0 && b.N > 0 {
+		b.Fatal("crossbar delivered nothing")
+	}
+}
+
+// BenchmarkUDPTransBatch isolates the udptrans fast path: zero-alloc
+// encode into the batch arena, one sendmmsg per DefaultBatch
+// datagrams over a real loopback socket.
+func BenchmarkUDPTransBatch(b *testing.B) {
+	b.ReportAllocs()
+	d, _, err := experiment.MicroUDPTransBatch(b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if d != uint64(b.N) {
+		b.Fatalf("sent %d of %d datagrams", d, b.N)
+	}
+}
+
 func BenchmarkA1BufferPlacement(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -27,14 +27,54 @@ type benchRecord struct {
 	AllocsPerOp uint64 `json:"allocs_per_op"`
 }
 
-// benchFile is the BENCH_e2e.json schema. PreRefactor records the
-// allocs/op of the boxed-`any` data path before the single-copy
-// segment.Wire refactor, so the trajectory stays visible; CI compares
-// fresh E2/E3 numbers against Experiments as the committed baseline.
+// benchFile is the BENCH_e2e.json schema. Micro holds the per-op cost
+// of the isolated fast-path workloads (one op = one segment through
+// the crossbar, one datagram through the batcher — matching
+// BenchmarkFabricCrossbar and BenchmarkUDPTransBatch). PreRefactor
+// records the allocs/op of the boxed-`any` data path before the
+// single-copy segment.Wire refactor, so the trajectory stays visible;
+// CI compares fresh E2/E3 numbers against Experiments as the committed
+// baseline.
 type benchFile struct {
 	Schema      string            `json:"schema"`
 	Experiments []benchRecord     `json:"experiments"`
+	Micro       []benchRecord     `json:"micro"`
 	PreRefactor map[string]uint64 `json:"pre_refactor_allocs_per_op"`
+}
+
+// microRecords measures the fast-path micro workloads at a fixed
+// iteration count, reporting per-op figures like testing.B would.
+func microRecords() []benchRecord {
+	type micro struct {
+		id    string
+		iters int
+		fn    func(iters int)
+	}
+	micros := []micro{
+		{"FabricCrossbar", 200_000, func(n int) { experiment.MicroFabricCrossbar(n) }},
+		{"UDPTransBatch", 100_000, func(n int) {
+			if _, _, err := experiment.MicroUDPTransBatch(n); err != nil {
+				fmt.Fprintf(os.Stderr, "micro UDPTransBatch: %v\n", err)
+			}
+		}},
+	}
+	var out []benchRecord
+	for _, m := range micros {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		t0 := time.Now()
+		m.fn(m.iters)
+		wall := time.Since(t0)
+		runtime.ReadMemStats(&after)
+		out = append(out, benchRecord{
+			ID:          m.id,
+			NsPerOp:     wall.Nanoseconds() / int64(m.iters),
+			BytesPerOp:  (after.TotalAlloc - before.TotalAlloc) / uint64(m.iters),
+			AllocsPerOp: (after.Mallocs - before.Mallocs) / uint64(m.iters),
+		})
+	}
+	return out
 }
 
 func main() {
@@ -132,6 +172,7 @@ func writeBenchJSON(path string, records []benchRecord) error {
 	out := benchFile{
 		Schema:      "pandora-bench-e2e/v1",
 		Experiments: records,
+		Micro:       microRecords(),
 		PreRefactor: preRefactorAllocs,
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

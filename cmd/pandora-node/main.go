@@ -77,16 +77,30 @@ func boxConfigFromSpec(bs scenario.Box) box.Config {
 const vciBase = 2000
 
 // vciMux fans one box's outgoing messages out to its peers: the VCI
-// identifies the stream, the routing table lists the sockets that want
-// it. It implements atm.Transport; the datagram is encoded once and
-// written to every peer, then the wire reference is released (the
-// single release the transport contract allows — on error the
-// reference stays with the caller).
+// identifies the stream, the routing table lists the batched sockets
+// that want it. It implements atm.Transport; the datagram is encoded
+// once and handed to every peer's Batcher, then the wire reference is
+// released (the single release the transport contract allows — on
+// error the reference stays with the caller).
+//
+// Latency is bounded three ways: a Batcher flushes itself when full
+// (-udp-batch datagrams), the mux flushes everything when -udp-flush
+// of virtual time has passed since the last flush, and the wall-clock
+// loop flushes after every RunFor quantum so nothing outlives a
+// quantum.
+// Socket errors are counted, not propagated: a UDP send that fails
+// (say ECONNREFUSED while a peer is still starting) is a lost
+// datagram, the same loss the network itself can inflict.
 type vciMux struct {
-	routes   map[uint32][]*udptrans.Transport
+	routes   map[uint32][]*udptrans.Batcher
+	all      []*udptrans.Batcher // every batcher once, for FlushAll
 	buf      []byte
 	sent     uint64
 	unrouted uint64
+	sendErrs uint64
+
+	flushEvery time.Duration // virtual time between forced flushes; 0 = only batch-full and quantum flushes
+	lastFlush  time.Duration
 }
 
 func (m *vciMux) TransportName() string { return "udpmux" }
@@ -103,14 +117,40 @@ func (m *vciMux) Send(p *occam.Proc, msg atm.Message) error {
 		return err
 	}
 	m.buf = out[:0] // keep grown storage for the next message
-	for _, t := range peers {
-		if err := t.Write(out); err != nil {
-			return err
+	for _, b := range peers {
+		if err := b.AddRaw(out); err != nil {
+			m.sendErrs++
 		}
 	}
 	msg.W.Release()
 	m.sent++
+	if m.flushEvery > 0 {
+		if now := time.Duration(p.Now()); now-m.lastFlush >= m.flushEvery {
+			m.lastFlush = now
+			m.FlushAll()
+		}
+	}
 	return nil
+}
+
+// FlushAll drains every peer's batch onto the wire, counting failed
+// sends as datagram loss.
+func (m *vciMux) FlushAll() {
+	for _, b := range m.all {
+		if err := b.Flush(); err != nil {
+			m.sendErrs++
+		}
+	}
+}
+
+// Stats sums the syscall amortisation counters over every peer.
+func (m *vciMux) Stats() (batches, datagrams uint64) {
+	for _, b := range m.all {
+		bb, dd := b.Stats()
+		batches += bb
+		datagrams += dd
+	}
+	return
 }
 
 func main() {
@@ -120,6 +160,8 @@ func main() {
 	seconds := flag.Int("seconds", 10, "conference length in seconds")
 	quantum := flag.Duration("quantum", 10*time.Millisecond, "virtual-time step per socket drain (wall-clock paced)")
 	seed := flag.Int64("seed", 1, "speech workload seed (offset by -index so nodes differ)")
+	udpBatch := flag.Int("udp-batch", udptrans.DefaultBatch, "max datagrams coalesced into one sendmmsg batch per peer (1 = unbatched)")
+	udpFlush := flag.Duration("udp-flush", 0, "flush batches after this much virtual time (0: only on full batch and each quantum)")
 	scenarioPath := flag.String("scenario", "", "take this node's box config and run length from a scenario spec file (box at -index)")
 	flag.Parse()
 
@@ -155,7 +197,7 @@ func main() {
 	defer rx.Close()
 
 	out := vciBase + uint32(*index)
-	mux := &vciMux{routes: make(map[uint32][]*udptrans.Transport)}
+	mux := &vciMux{routes: make(map[uint32][]*udptrans.Batcher), flushEvery: *udpFlush}
 	for j, peer := range peerList {
 		if j == *index {
 			continue
@@ -166,7 +208,9 @@ func main() {
 			os.Exit(1)
 		}
 		defer t.Close()
-		mux.routes[out] = append(mux.routes[out], t)
+		b := udptrans.NewBatcher(t, *udpBatch)
+		mux.routes[out] = append(mux.routes[out], b)
+		mux.all = append(mux.all, b)
 	}
 
 	rt := occam.NewRuntime()
@@ -225,6 +269,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "pandora-node: runtime: %v\n", err)
 			os.Exit(1)
 		}
+		mux.FlushAll()
 		if ahead := vt + *quantum - time.Since(start); ahead > 0 {
 			time.Sleep(ahead)
 		}
@@ -233,8 +278,16 @@ func main() {
 
 	fmt.Printf("%s: %s conference with %d peers on %s\n", name, total, len(peerList)-1, addr)
 	a := b.AudioStats()
+	batches, datagrams := mux.Stats()
 	fmt.Printf("  mic: %d segments sent on VCI %d (%d datagram sends, %d unrouted)\n",
 		a.MicSegs, out, mux.sent, mux.unrouted)
+	if batches > 0 {
+		fmt.Printf("  udp: %d datagrams in %d sendmmsg batches (%.1f per syscall)\n",
+			datagrams, batches, float64(datagrams)/float64(batches))
+	}
+	if mux.sendErrs > 0 {
+		fmt.Printf("  udp: %d batches lost to socket errors\n", mux.sendErrs)
+	}
 	for j := range peerList {
 		if j == *index {
 			continue

@@ -81,31 +81,47 @@ type refChange struct {
 	Delta int
 }
 
-// Pool is the allocator process handle. Create with New, then call
+// waiter is one process blocked in Get while the pool is dry: the
+// signal it sleeps on, and the slot the granting Release fills before
+// raising it. Waiter records are recycled through a free list.
+type waiter struct {
+	sig *occam.Signal
+	buf *Buffer
+}
+
+// Pool is the allocator handle. Create with New, then call
 // Get/Retain/Release from Occam processes.
+//
+// The allocator is passive: grants and reference-count changes are
+// zero-virtual-time bookkeeping, so they run inline in the calling
+// process instead of rendezvousing with an allocator process. The
+// paper's defining starvation behaviour is kept exactly — "If there
+// are no buffers available ... the requesting processes will be
+// descheduled" — by parking requesters on signals in FIFO order; the
+// Release that frees a buffer grants it to the longest-waiting
+// requester and wakes it. Only the report protocol (command/report
+// channels, like all other Pandora processes) keeps a process.
 type Pool struct {
 	rt      *occam.Runtime
 	bufs    []*Buffer
 	refs    []int
 	free    []int
-	req     *occam.Chan[*occam.Chan[*Buffer]]
-	rel     *occam.Chan[refChange]
 	cmd     *occam.Chan[struct{}] // report request
 	reports *occam.Chan[Report]
 
-	// replyFree recycles Get reply channels. A channel leaves the list
-	// for the whole request/grant exchange and returns once the grant
-	// is received, so no two concurrent Gets share one. User code is
-	// serialised by the runtime, so the list needs no locking.
-	replyFree []*occam.Chan[*Buffer]
+	// waiters are processes descheduled in Get, FIFO. waiterFree
+	// recycles waiter records (and their signals).
+	waiters    []*waiter
+	waiterFree []*waiter
 
+	wasStarved  bool
 	starvations uint64
 	grants      uint64
 	trace       *obs.Tracer
 	source      string
 }
 
-// New creates a pool of n buffers and starts the allocator process on
+// New creates a pool of n buffers and starts the report process on
 // node. reports may be nil.
 func New(rt *occam.Runtime, node *occam.Node, n int, reports *occam.Chan[Report]) *Pool {
 	if n <= 0 {
@@ -116,8 +132,6 @@ func New(rt *occam.Runtime, node *occam.Node, n int, reports *occam.Chan[Report]
 		bufs:    make([]*Buffer, n),
 		refs:    make([]int, n),
 		free:    make([]int, 0, n),
-		req:     occam.NewChan[*occam.Chan[*Buffer]](rt, "alloc.req"),
-		rel:     occam.NewChan[refChange](rt, "alloc.rel"),
 		cmd:     occam.NewChan[struct{}](rt, "alloc.cmd"),
 		reports: reports,
 	}
@@ -141,57 +155,39 @@ func (pl *Pool) Observe(reg *obs.Registry, owner string) {
 	pl.source = owner + ".allocator"
 }
 
-// run is the allocator process: reference-count changes are always
-// served; requests only when buffers are free.
+// run is the report process: the allocator's command/report channel
+// attachment, kept as a process so a report request never blocks the
+// requester on the report collector.
 func (pl *Pool) run(p *occam.Proc) {
-	wasStarved := false
-	var (
-		ch     refChange
-		reply  *occam.Chan[*Buffer]
-		report struct{}
-	)
-	// "If there are no buffers available, then the allocator will not
-	// listen for any requests": the request guard's condition tracks
-	// the free list. Guards are hoisted out of the loop and reused.
-	haveFree := occam.NewCond(occam.Recv(pl.req, &reply))
-	guards := []occam.Guard{
-		occam.Recv(pl.rel, &ch),
-		occam.Recv(pl.cmd, &report),
-		haveFree,
-	}
 	for {
-		haveFree.Set(len(pl.free) > 0)
-		switch p.Alt(guards...) {
-		case 0:
-			pl.applyRefChange(ch)
-			if wasStarved && len(pl.free) > 0 {
-				wasStarved = false
-				pl.trace.Emit(obs.EvRecover, pl.source, 0, "buffers free again")
-			}
-		case 1:
-			if pl.reports != nil {
-				pl.reports.Send(p, Report{Free: len(pl.free), Total: len(pl.bufs)})
-			}
-		case 2:
-			idx := pl.free[len(pl.free)-1]
-			pl.free = pl.free[:len(pl.free)-1]
-			pl.refs[idx] = 1
-			pl.grants++
-			buf := pl.bufs[idx]
-			buf.Payload = segment.Wire{}
-			buf.Stream = 0
-			reply.Send(p, buf)
-			if len(pl.free) == 0 && !wasStarved {
-				// The next request will block: log the fault.
-				wasStarved = true
-				pl.starvations++
-				pl.trace.Emit(obs.EvOverload, pl.source, 0, "buffer pool exhausted")
-				if pl.reports != nil {
-					pl.reports.TrySend(p, Report{Starved: true, Free: 0, Total: len(pl.bufs)})
-				}
-			}
+		pl.cmd.Recv(p)
+		if pl.reports != nil {
+			pl.reports.Send(p, Report{Free: len(pl.free), Total: len(pl.bufs)})
 		}
 	}
+}
+
+// grant pops a free buffer for the requester (bookkeeping only — the
+// caller hands it over) and logs the starvation fault when the pool
+// runs dry, exactly as the paper requires.
+func (pl *Pool) grant(p *occam.Proc) *Buffer {
+	idx := pl.free[len(pl.free)-1]
+	pl.free = pl.free[:len(pl.free)-1]
+	pl.refs[idx] = 1
+	pl.grants++
+	buf := pl.bufs[idx]
+	buf.Payload = segment.Wire{}
+	buf.Stream = 0
+	if len(pl.free) == 0 && !pl.wasStarved {
+		// The next request will block: log the (serious) fault.
+		pl.wasStarved = true
+		pl.starvations++
+		pl.trace.Emit(obs.EvOverload, pl.source, 0, "buffer pool exhausted")
+		if pl.reports != nil {
+			pl.reports.TrySend(p, Report{Starved: true, Free: 0, Total: len(pl.bufs)})
+		}
+	}
+	return buf
 }
 
 func (pl *Pool) applyRefChange(ch refChange) {
@@ -207,20 +203,40 @@ func (pl *Pool) applyRefChange(ch refChange) {
 	}
 }
 
-// Get obtains an empty buffer, blocking while none are free. Reply
-// channels are recycled on a free list rather than allocated per call.
+// Get obtains an empty buffer. While none are free the requesting
+// process is descheduled ("by the usual channel synchronisation
+// mechanism") until a Release frees one; blocked requesters are served
+// oldest first.
 func (pl *Pool) Get(p *occam.Proc) *Buffer {
-	var reply *occam.Chan[*Buffer]
-	if n := len(pl.replyFree); n > 0 {
-		reply = pl.replyFree[n-1]
-		pl.replyFree = pl.replyFree[:n-1]
-	} else {
-		reply = occam.NewChan[*Buffer](pl.rt, "alloc.reply")
+	if len(pl.free) > 0 && len(pl.waiters) == 0 {
+		return pl.grant(p)
 	}
-	pl.req.Send(p, reply)
-	buf := reply.Recv(p)
-	pl.replyFree = append(pl.replyFree, reply)
+	var w *waiter
+	if n := len(pl.waiterFree); n > 0 {
+		w = pl.waiterFree[n-1]
+		pl.waiterFree = pl.waiterFree[:n-1]
+	} else {
+		w = &waiter{sig: occam.NewSignal(pl.rt, "alloc.wait")}
+	}
+	pl.waiters = append(pl.waiters, w)
+	w.sig.Wait(p)
+	buf := w.buf
+	w.buf = nil
+	pl.waiterFree = append(pl.waiterFree, w)
 	return buf
+}
+
+// wakeWaiter hands a newly freed buffer to the longest-waiting
+// requester. The grant bookkeeping runs here, in the releasing
+// process, so the freed buffer cannot be stolen before the woken
+// requester runs.
+func (pl *Pool) wakeWaiter(p *occam.Proc) {
+	w := pl.waiters[0]
+	copy(pl.waiters, pl.waiters[1:])
+	pl.waiters[len(pl.waiters)-1] = nil
+	pl.waiters = pl.waiters[:len(pl.waiters)-1]
+	w.buf = pl.grant(p)
+	w.sig.Raise()
 }
 
 // Retain adds extra references before a buffer descriptor is sent to
@@ -230,14 +246,23 @@ func (pl *Pool) Retain(p *occam.Proc, b *Buffer, extra int) {
 	if extra <= 0 {
 		return
 	}
-	pl.rel.Send(p, refChange{Index: b.Index, Delta: extra})
+	pl.applyRefChange(refChange{Index: b.Index, Delta: extra})
 }
 
 // Release drops one reference when a process has finished with a
 // buffer without passing it on. At zero references the buffer returns
-// to the free list.
+// to the free list — or goes straight to a starved requester.
 func (pl *Pool) Release(p *occam.Proc, b *Buffer) {
-	pl.rel.Send(p, refChange{Index: b.Index, Delta: -1})
+	pl.applyRefChange(refChange{Index: b.Index, Delta: -1})
+	if len(pl.free) > 0 {
+		if pl.wasStarved {
+			pl.wasStarved = false
+			pl.trace.Emit(obs.EvRecover, pl.source, 0, "buffers free again")
+		}
+		if len(pl.waiters) > 0 {
+			pl.wakeWaiter(p)
+		}
+	}
 }
 
 // RequestReport asks the allocator to emit a status report.

@@ -184,11 +184,18 @@ type LinkStats struct {
 // input, transmit serially at the configured bandwidth, and are
 // handed to the next port on their circuit after the propagation
 // delay.
+//
+// The link is passive: admission (fault hook, loss process, queue
+// bound) runs inline in the arriving message's process or callback,
+// each transmission is one occam.Timer event, and link-to-link
+// forwarding happens directly in the transmission-end callback. Only
+// delivery to a host — which must be able to block on the host's Rx —
+// runs in a process, one per link, woken by a Signal when a
+// transmission ends at a host hop.
 type Link struct {
 	rt   *occam.Runtime
 	nm   string
 	cfg  LinkConfig
-	in   *occam.Chan[Message]
 	rng  *workload.RNG
 	next map[uint32]port // route per VCI
 
@@ -206,18 +213,22 @@ type Link struct {
 	faultDelays *obs.Counter
 	faultStalls *obs.Counter
 
-	queue  []Message
-	txReq  *occam.Chan[struct{}]
-	txItem *occam.Chan[Message]
+	queue   []Message
+	txm     Message // message in transmission
+	txBusy  bool
+	txTimer *occam.Timer
+
+	dlvm    Message // message awaiting host delivery
+	dlvHost *Host
+	dlvSig  *occam.Signal
 }
 
-// NewLink creates a link and starts its queue and transmit processes.
+// NewLink creates a link and starts its delivery process.
 func NewLink(rt *occam.Runtime, name string, cfg LinkConfig) *Link {
 	l := &Link{
 		rt:          rt,
 		nm:          name,
 		cfg:         cfg.withDefaults(),
-		in:          occam.NewChan[Message](rt, name+".in"),
 		rng:         workload.NewRNG(cfg.Seed),
 		next:        make(map[uint32]port),
 		forwarded:   obs.NewCounter(),
@@ -229,11 +240,10 @@ func NewLink(rt *occam.Runtime, name string, cfg LinkConfig) *Link {
 		faultDups:   obs.NewCounter(),
 		faultDelays: obs.NewCounter(),
 		faultStalls: obs.NewCounter(),
-		txReq:       occam.NewChan[struct{}](rt, name+".txreq"),
-		txItem:      occam.NewChan[Message](rt, name+".txitem"),
 	}
-	rt.Go(name+".queue", nil, occam.High, l.runQueue)
-	rt.Go(name+".tx", nil, occam.High, l.runTx)
+	l.txTimer = occam.NewTimer(rt, l.txDone)
+	l.dlvSig = occam.NewSignal(rt, name+".deliver")
+	rt.Go(name+".tx", nil, occam.High, l.runDeliver)
 	return l
 }
 
@@ -324,107 +334,154 @@ func (l *Link) route(vci uint32, to port) {
 	l.next[vci] = to
 }
 
-// accept enqueues a message arriving at the link. The queue process
-// always listens, so upstream never blocks; overflow means drop-tail.
-func (l *Link) accept(p *occam.Proc, m Message) { l.in.Send(p, m) }
-
-// runQueue owns the bounded queue: it always accepts (dropping on
-// overflow) and feeds the transmitter.
-func (l *Link) runQueue(p *occam.Proc) {
-	var (
-		m   Message
-		req struct{}
-	)
-	txReady := occam.NewCond(occam.Recv(l.txReq, &req))
-	guards := []occam.Guard{txReady, occam.Recv(l.in, &m)}
-	for {
-		txReady.Set(len(l.queue) > 0)
-		switch p.Alt(guards...) {
-		case 0:
-			head := l.queue[0]
-			copy(l.queue, l.queue[1:])
-			l.queue[len(l.queue)-1] = Message{}
-			l.queue = l.queue[:len(l.queue)-1]
-			l.txItem.Send(p, head)
-		case 1:
-			dup := false
-			if l.fault != nil {
-				act := l.fault.OnMessage(p.Now(), m.VCI, m.Size)
-				if act.Drop {
-					reason := act.Reason
-					if reason == "" {
-						reason = "injected-loss"
-					}
-					l.faultDrops.Inc()
-					l.trace.Emit(obs.EvFault, "atm."+l.nm, m.VCI, reason)
-					m.W.Release()
-					continue
-				}
-				if act.Corrupt {
-					m.Corrupt = true
-					l.faultCorr.Inc()
-					l.trace.Emit(obs.EvFault, "atm."+l.nm, m.VCI, "injected-corruption")
-				}
-				if act.Delay > 0 {
-					m.FaultDelay += act.Delay
-					l.faultDelays.Inc()
-				}
-				dup = act.Duplicate
-			}
-			if l.cfg.LossRate > 0 && l.rng.Bool(l.cfg.LossRate) {
-				l.lossDrops.Inc()
-				l.trace.Emit(obs.EvDrop, "atm."+l.nm, m.VCI, "loss")
-				m.W.Release()
-				continue
-			}
-			if len(l.queue) >= l.cfg.QueueLimit {
-				l.queueDrops.Inc()
-				l.trace.Emit(obs.EvDrop, "atm."+l.nm, m.VCI, "queue-overflow")
-				m.W.Release()
-				continue
-			}
-			l.queue = append(l.queue, m)
-			if dup && len(l.queue) < l.cfg.QueueLimit {
-				// The duplicate is a second full message: it carries its
-				// own wire reference and respects the queue bound.
-				m.W.Retain(1)
-				l.queue = append(l.queue, m)
-				l.faultDups.Inc()
-				l.trace.Emit(obs.EvFault, "atm."+l.nm, m.VCI, "injected-duplicate")
-			}
-		}
+// accept runs the link's admission pipeline inline in the arriving
+// message's process: the queue always accepts (drop-tail on overflow),
+// so upstream never blocks. If the transmitter is idle the message
+// starts transmitting immediately.
+func (l *Link) accept(p *occam.Proc, m Message) {
+	if end, start := l.admit(p.Now(), m); start {
+		l.txTimer.Schedule(end)
 	}
 }
 
-// runTx serialises transmissions at the link bandwidth and forwards
-// after the propagation delay.
-func (l *Link) runTx(p *occam.Proc) {
-	var token struct{}
-	for {
-		l.txReq.Send(p, token)
-		m := l.txItem.Recv(p)
-		if l.fault != nil {
-			if until := l.fault.StallUntil(p.Now()); until > p.Now() {
-				// The link is stalled (a wedged switch port): messages
-				// already queued wait out the outage.
-				l.faultStalls.Inc()
-				l.trace.Emit(obs.EvFault, "atm."+l.nm, m.VCI, "link-stall")
-				p.SleepUntil(until)
+// acceptSched is accept for scheduler context — an upstream link's
+// transmission-end callback forwarding into this link.
+func (l *Link) acceptSched(s occam.Sched, m Message) {
+	if end, start := l.admit(s.Now(), m); start {
+		s.Schedule(l.txTimer, end)
+	}
+}
+
+// admit applies the arrival pipeline (fault hook, loss process, queue
+// bound, duplicate) and, when the transmitter is idle, pops the head
+// into transmission. It returns (transmission end, true) when the
+// caller must arm the transmit timer in its own context.
+func (l *Link) admit(now occam.Time, m Message) (occam.Time, bool) {
+	dup := false
+	if l.fault != nil {
+		act := l.fault.OnMessage(now, m.VCI, m.Size)
+		if act.Drop {
+			reason := act.Reason
+			if reason == "" {
+				reason = "injected-loss"
 			}
-		}
-		tx := time.Duration(int64(m.Size) * 8 * int64(time.Second) / l.cfg.Bandwidth)
-		p.Sleep(tx + l.cfg.Propagation + m.FaultDelay)
-		nxt, ok := l.next[m.VCI]
-		if !ok {
-			// Unrouted VCI: the circuit was torn down mid-flight.
-			l.lossDrops.Inc()
-			l.trace.Emit(obs.EvDrop, "atm."+l.nm, m.VCI, "unrouted")
+			l.faultDrops.Inc()
+			l.trace.EmitAt(now, obs.EvFault, "atm."+l.nm, m.VCI, reason)
 			m.W.Release()
-			continue
+			return 0, false
 		}
+		if act.Corrupt {
+			m.Corrupt = true
+			l.faultCorr.Inc()
+			l.trace.EmitAt(now, obs.EvFault, "atm."+l.nm, m.VCI, "injected-corruption")
+		}
+		if act.Delay > 0 {
+			m.FaultDelay += act.Delay
+			l.faultDelays.Inc()
+		}
+		dup = act.Duplicate
+	}
+	if l.cfg.LossRate > 0 && l.rng.Bool(l.cfg.LossRate) {
+		l.lossDrops.Inc()
+		l.trace.EmitAt(now, obs.EvDrop, "atm."+l.nm, m.VCI, "loss")
+		m.W.Release()
+		return 0, false
+	}
+	if len(l.queue) >= l.cfg.QueueLimit {
+		l.queueDrops.Inc()
+		l.trace.EmitAt(now, obs.EvDrop, "atm."+l.nm, m.VCI, "queue-overflow")
+		m.W.Release()
+		return 0, false
+	}
+	l.queue = append(l.queue, m)
+	if dup && len(l.queue) < l.cfg.QueueLimit {
+		// The duplicate is a second full message: it carries its
+		// own wire reference and respects the queue bound.
+		m.W.Retain(1)
+		l.queue = append(l.queue, m)
+		l.faultDups.Inc()
+		l.trace.EmitAt(now, obs.EvFault, "atm."+l.nm, m.VCI, "injected-duplicate")
+	}
+	if l.txBusy {
+		return 0, false
+	}
+	return l.popTx(now), true
+}
+
+// popTx moves the queue head into transmission and returns when the
+// transmission ends: the stall window, if the fault hook has the
+// transmitter wedged (messages already queued wait out the outage),
+// then the serialisation time at link bandwidth plus propagation and
+// any injected per-message delay.
+func (l *Link) popTx(now occam.Time) occam.Time {
+	m := l.queue[0]
+	copy(l.queue, l.queue[1:])
+	l.queue[len(l.queue)-1] = Message{}
+	l.queue = l.queue[:len(l.queue)-1]
+	l.txm = m
+	l.txBusy = true
+	if l.fault != nil {
+		if until := l.fault.StallUntil(now); until > now {
+			l.faultStalls.Inc()
+			l.trace.EmitAt(now, obs.EvFault, "atm."+l.nm, m.VCI, "link-stall")
+			now = until
+		}
+	}
+	tx := time.Duration(int64(m.Size) * 8 * int64(time.Second) / l.cfg.Bandwidth)
+	return now + occam.Time(tx+l.cfg.Propagation+m.FaultDelay)
+}
+
+// txDone is the transmission-end callback (scheduler context): it
+// routes the transmitted message — a link hop forwards inline, a host
+// hop hands off to the delivery process, which alone may block — and
+// starts the next transmission unless a host delivery is pending (the
+// transmitter serialises behind its own deliveries, as a real
+// interface does behind a slow receiver).
+func (l *Link) txDone(s occam.Sched) {
+	m := l.txm
+	l.txm = Message{}
+	nxt, ok := l.next[m.VCI]
+	if !ok {
+		// Unrouted VCI: the circuit was torn down mid-flight.
+		l.lossDrops.Inc()
+		l.trace.EmitAt(s.Now(), obs.EvDrop, "atm."+l.nm, m.VCI, "unrouted")
+		m.W.Release()
+	} else {
 		l.forwarded.Inc()
 		l.bytes.Add(uint64(m.Size))
-		nxt.accept(p, m)
+		switch hop := nxt.(type) {
+		case *Link:
+			hop.acceptSched(s, m)
+		case *Host:
+			l.dlvm = m
+			l.dlvHost = hop
+			s.Raise(l.dlvSig)
+			return // runDeliver restarts the transmitter
+		default:
+			panic("atm: unknown port type at " + l.nm)
+		}
+	}
+	if len(l.queue) > 0 {
+		s.Schedule(l.txTimer, l.popTx(s.Now()))
+	} else {
+		l.txBusy = false
+	}
+}
+
+// runDeliver is the link's one process: it hands messages to their
+// destination host — the only hop that may block, on the host's Rx —
+// and restarts the transmitter when the delivery completes.
+func (l *Link) runDeliver(p *occam.Proc) {
+	for {
+		l.dlvSig.Wait(p)
+		m, h := l.dlvm, l.dlvHost
+		l.dlvm, l.dlvHost = Message{}, nil
+		h.Deliver(p, m)
+		if len(l.queue) > 0 {
+			l.txTimer.Schedule(l.popTx(p.Now()))
+		} else {
+			l.txBusy = false
+		}
 	}
 }
 

@@ -1,0 +1,11 @@
+//go:build !(linux && (amd64 || arm64))
+
+package udptrans
+
+// batchSender on platforms without sendmmsg: one write per datagram.
+// The batch still amortises encode work and flush bookkeeping.
+type batchSender struct{}
+
+func (s *batchSender) send(t *Transport, arena []byte, ends []int) error {
+	return sendLoop(t, arena, ends)
+}

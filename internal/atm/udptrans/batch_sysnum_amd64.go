@@ -1,0 +1,7 @@
+//go:build linux && amd64
+
+package udptrans
+
+// sendmmsg(2) syscall number; the amd64 syscall package predates the
+// call and does not export it.
+const sysSendmmsg uintptr = 307

@@ -1,0 +1,6 @@
+//go:build linux && arm64
+
+package udptrans
+
+// sendmmsg(2) syscall number on arm64.
+const sysSendmmsg uintptr = 269

@@ -162,6 +162,109 @@ func (t *Transport) Write(datagram []byte) error {
 // Close releases the socket.
 func (t *Transport) Close() error { return t.conn.Close() }
 
+// DefaultBatch is a Batcher's default maximum datagrams per flush.
+const DefaultBatch = 16
+
+// Batcher coalesces outgoing datagrams for one peer socket and sends
+// each batch with a single syscall (sendmmsg on Linux, a write loop
+// elsewhere). Datagrams are encoded back to back into one reused
+// arena, so a steady stream costs zero allocations and one syscall per
+// batch instead of one per message. Latency is bounded by the caller:
+// Add flushes when the batch is full, and the owner flushes on its own
+// deadline (cmd/pandora-node flushes every run quantum and whenever
+// the configured flush interval of virtual time has passed).
+type Batcher struct {
+	t     *Transport
+	max   int
+	arena []byte // encoded datagrams, back to back
+	ends  []int  // end offset of each datagram in arena
+	sys   batchSender
+
+	batches uint64
+	msgs    uint64
+}
+
+// NewBatcher wraps t with batching; maxBatch <= 0 selects
+// DefaultBatch.
+func NewBatcher(t *Transport, maxBatch int) *Batcher {
+	if maxBatch <= 0 {
+		maxBatch = DefaultBatch
+	}
+	return &Batcher{t: t, max: maxBatch}
+}
+
+// Len returns the number of datagrams waiting in the batch.
+func (b *Batcher) Len() int { return len(b.ends) }
+
+// Stats returns how many batches were flushed and how many datagrams
+// they carried (the syscall amortisation ratio).
+func (b *Batcher) Stats() (batches, datagrams uint64) { return b.batches, b.msgs }
+
+// Add encodes m into the batch arena, flushing first if the batch is
+// full. The message's wire reference is untouched (callers that own it
+// release it after fanning out, per the Send contract).
+func (b *Batcher) Add(m atm.Message) error {
+	if len(b.ends) >= b.max {
+		if err := b.Flush(); err != nil {
+			return err
+		}
+	}
+	out, err := Encode(b.arena, m)
+	if err != nil {
+		return err
+	}
+	b.arena = out
+	b.ends = append(b.ends, len(out))
+	return nil
+}
+
+// AddRaw appends one already-encoded datagram (the fan-out path: the
+// mux encodes once and hands the same bytes to every peer's batcher,
+// which must copy because each batch arena has its own lifetime).
+func (b *Batcher) AddRaw(datagram []byte) error {
+	if len(b.ends) >= b.max {
+		if err := b.Flush(); err != nil {
+			return err
+		}
+	}
+	b.arena = append(b.arena, datagram...)
+	b.ends = append(b.ends, len(b.arena))
+	return nil
+}
+
+// Flush sends every queued datagram in one syscall where the platform
+// allows and resets the batch. A no-op when the batch is empty. The
+// batch is discarded even when the send fails — UDP datagrams that
+// could not leave are lost, exactly like datagrams lost in flight —
+// and the error reports the loss to the caller.
+func (b *Batcher) Flush() error {
+	if len(b.ends) == 0 {
+		return nil
+	}
+	err := b.sys.send(b.t, b.arena, b.ends)
+	if err == nil {
+		b.batches++
+		b.msgs += uint64(len(b.ends))
+	}
+	b.arena = b.arena[:0]
+	b.ends = b.ends[:0]
+	return err
+}
+
+// sendLoop is the portable batch submission: one Write per datagram.
+// Used directly on platforms without sendmmsg and as the fallback when
+// the raw connection is unavailable.
+func sendLoop(t *Transport, arena []byte, ends []int) error {
+	start := 0
+	for _, end := range ends {
+		if err := t.Write(arena[start:end]); err != nil {
+			return err
+		}
+		start = end
+	}
+	return nil
+}
+
 // Receiver owns a listening UDP socket and a goroutine that queues
 // arriving datagrams; the virtual-time side drains them between run
 // quanta with Drain.

@@ -61,6 +61,85 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestBatcherRoundTrip drives a Batcher over a loopback socket pair:
+// mixed Add/AddRaw traffic, a forced mid-stream flush, and the
+// batch/datagram counters. Skipped where sockets are unavailable.
+func TestBatcherRoundTrip(t *testing.T) {
+	rx, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback sockets unavailable: %v", err)
+	}
+	defer rx.Close()
+	tx, err := Dial(rx.Addr())
+	if err != nil {
+		t.Skipf("loopback sockets unavailable: %v", err)
+	}
+	defer tx.Close()
+
+	b := NewBatcher(tx, 4)
+	const n = 10
+	var raw []byte
+	for i := uint32(0); i < n; i++ {
+		w := testWire(t, i)
+		m := atm.Message{VCI: 200 + i, Size: len(w.Bytes()), W: w}
+		if i%2 == 0 {
+			if err := b.Add(m); err != nil {
+				t.Fatalf("add %d: %v", i, err)
+			}
+		} else {
+			raw, err = Encode(raw[:0], m)
+			if err != nil {
+				t.Fatalf("encode %d: %v", i, err)
+			}
+			if err := b.AddRaw(raw); err != nil {
+				t.Fatalf("addraw %d: %v", i, err)
+			}
+		}
+		if i == 5 {
+			if err := b.Flush(); err != nil {
+				t.Fatalf("mid-stream flush: %v", err)
+			}
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatalf("final flush: %v", err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("batch not empty after flush: %d", b.Len())
+	}
+	batches, msgs := b.Stats()
+	if msgs != n {
+		t.Fatalf("batcher counted %d datagrams, sent %d", msgs, n)
+	}
+	if batches == 0 || batches > n {
+		t.Fatalf("implausible batch count %d", batches)
+	}
+
+	var got []atm.Message
+	deadline := time.Now().Add(5 * time.Second)
+	for len(got) < n && time.Now().Before(deadline) {
+		got = append(got, rx.Drain()...)
+		if len(got) < n {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if len(got) < n {
+		t.Skipf("only %d of %d datagrams arrived — lossy loopback, not a batcher failure", len(got), n)
+	}
+	seen := make(map[uint32]uint32)
+	for _, m := range got {
+		seen[m.VCI] = m.W.Seq()
+	}
+	for i := uint32(0); i < n; i++ {
+		if seq, ok := seen[200+i]; !ok || seq != i {
+			t.Fatalf("VCI %d: got seq %d (present %v); all %v", 200+i, seq, ok, seen)
+		}
+	}
+	if rx.DecodeErrs() != 0 {
+		t.Fatalf("%d decode errors on clean batched traffic", rx.DecodeErrs())
+	}
+}
+
 // TestLoopbackRoundTrip sends messages through a real UDP socket pair
 // on the loopback interface. Skipped where sockets are unavailable
 // (sandboxed builders).

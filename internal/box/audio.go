@@ -7,6 +7,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/occam"
 	"repro/internal/segment"
+	"repro/internal/workload"
 )
 
 // The audio board (§3.5, figure 3.5): the codec produces a 16-byte
@@ -43,13 +44,32 @@ func (b *Box) startAudio() {
 // possible to the data source" (§3.2).
 func (b *Box) runMicReader(p *occam.Proc) {
 	sender := decouple.NewSender(b.micOutBuf)
+	// The accumulating segment is built in place: blocks are filled
+	// directly into the tail of a reused sample buffer (for sources
+	// implementing workload.BlockFiller) and the Audio header is reset
+	// around it per segment. WirePool.Encode copies the bytes out, so
+	// both are recycled immediately after the single encode.
+	filler, _ := b.cfg.Mic.(workload.BlockFiller)
 	var (
 		stream  uint32
 		active  bool
-		blocks  [][]byte
+		adata   []byte // accumulated samples of the segment being built
+		nblocks int
+		aseg    segment.Audio
 		stampAt occam.Time
 		seq     uint32
 		perSeg  = b.cfg.BlocksPerSegment
+	)
+	// The guard slice is hoisted: Recv overwrites cmd/ready wholesale
+	// on every fire, so the variables can be reused across iterations.
+	var (
+		cmd    audioCmd
+		ready  bool
+		guards = []occam.Guard{
+			occam.Recv(b.audioCmds, &cmd),
+			sender.ReadyGuard(&ready),
+			occam.Skip(),
+		}
 	)
 	for n := int64(0); ; n++ {
 		p.SleepUntil(occam.Time(n * int64(segment.BlockDuration)))
@@ -57,13 +77,7 @@ func (b *Box) runMicReader(p *occam.Proc) {
 		// will be received as soon as the process has finished
 		// dealing with any current segment."
 		for {
-			var cmd audioCmd
-			var ready bool
-			which := p.Alt(
-				occam.Recv(b.audioCmds, &cmd),
-				sender.ReadyGuard(&ready),
-				occam.Skip(),
-			)
+			which := p.Alt(guards...)
 			if which == 2 {
 				break
 			}
@@ -74,7 +88,7 @@ func (b *Box) runMicReader(p *occam.Proc) {
 			switch {
 			case cmd.StartMic != nil:
 				stream, active, seq = *cmd.StartMic, true, 0
-				blocks = nil
+				nblocks = 0
 				b.trace.Emit(obs.EvStreamOpen, b.cfg.Name+".mic", stream, "mic started")
 			case cmd.StopMic:
 				active = false
@@ -82,7 +96,7 @@ func (b *Box) runMicReader(p *occam.Proc) {
 			}
 			if cmd.SetBlocks > 0 && cmd.SetBlocks <= segment.MaxBlocksPerSegment {
 				perSeg = cmd.SetBlocks
-				blocks = nil
+				nblocks = 0
 				b.trace.Emit(obs.EvReconfig, b.cfg.Name+".mic", stream,
 					"blocks-per-segment changed")
 			}
@@ -91,11 +105,7 @@ func (b *Box) runMicReader(p *occam.Proc) {
 			continue
 		}
 		p.Consume(audioOutgoingCost)
-		blk := b.cfg.Mic.NextBlock()
-		if b.cfg.Features.Muting {
-			b.muter.ApplyMic(int64(p.Now()), blk)
-		}
-		if len(blocks) == 0 {
+		if nblocks == 0 {
 			// Stamp at the first sample's entry to the codec — the
 			// start of this block's 2 ms sampling window — so
 			// measured latency is mouth-to-ear like the paper's 8 ms
@@ -106,15 +116,34 @@ func (b *Box) runMicReader(p *occam.Proc) {
 			// delay at the source to the measured latency instead of
 			// hiding it.
 			stampAt = occam.Time((n - 1) * int64(segment.BlockDuration))
+			adata = adata[:0]
 		}
-		blocks = append(blocks, blk)
+		var blk []byte
+		if filler != nil {
+			if cap(adata) < len(adata)+segment.BlockSamples {
+				adata = append(adata, make([]byte, segment.BlockSamples)...)
+			} else {
+				adata = adata[:len(adata)+segment.BlockSamples]
+			}
+			blk = adata[len(adata)-segment.BlockSamples:]
+			filler.FillBlock(blk)
+		} else {
+			blk = b.cfg.Mic.NextBlock()
+		}
+		if b.cfg.Features.Muting {
+			b.muter.ApplyMic(int64(p.Now()), blk)
+		}
+		if filler == nil {
+			adata = append(adata, blk...)
+		}
+		nblocks++
 		b.audioStat.MicBlocks++
-		if len(blocks) >= perSeg {
+		if nblocks >= perSeg {
 			// The single encode at the capture source (§3.4): from here
 			// to the output device only the wire descriptor moves.
-			w := b.wires.Encode(segment.NewAudio(seq, stampAt, blocks))
+			w := b.wires.Encode(aseg.Reset(seq, stampAt, adata))
 			seq++
-			blocks = blocks[:0]
+			nblocks = 0
 			if !sender.Deliver(p, wireMsg{Stream: stream, W: w}) {
 				// Back pressure reached the source: throw away data
 				// here, closest to the codec (§3.7.1).

@@ -249,6 +249,9 @@ type Box struct {
 	// every stream (the switch's own table is private to its process).
 	streamDir map[uint32]routeInfo
 
+	// openedScratch is isAmongOldest's reused open-time list.
+	openedScratch []occam.Time
+
 	// Injected board-crash accounting (nil maps when no BoardFaults).
 	crashDrops  map[string]*obs.Counter
 	crashTraced map[string]bool // trace once per outage, not per segment

@@ -2,7 +2,6 @@ package box
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"repro/internal/allocator"
@@ -245,9 +244,11 @@ func (b *Box) streamsFor(routes map[uint32]*Route, slot int) int {
 }
 
 // isAmongOldest reports whether r is within the k oldest streams
-// routed to slot.
+// routed to slot. The open-time list is gathered into a reused
+// scratch slice and insertion-sorted (a handful of streams at most) —
+// this runs per switched segment under degrade pressure.
 func (b *Box) isAmongOldest(routes map[uint32]*Route, r *Route, slot, k int) bool {
-	var opened []occam.Time
+	opened := b.openedScratch[:0]
 	for _, o := range routes {
 		for _, out := range o.Outputs {
 			if slotMatches(out, slot) {
@@ -256,10 +257,15 @@ func (b *Box) isAmongOldest(routes map[uint32]*Route, r *Route, slot, k int) boo
 			}
 		}
 	}
+	b.openedScratch = opened[:0]
 	if len(opened) <= 1 {
 		return false
 	}
-	sort.Slice(opened, func(i, j int) bool { return opened[i] < opened[j] })
+	for i := 1; i < len(opened); i++ {
+		for j := i; j > 0 && opened[j-1] > opened[j]; j-- {
+			opened[j-1], opened[j] = opened[j], opened[j-1]
+		}
+	}
 	if k > len(opened)-1 {
 		k = len(opened) - 1
 	}

@@ -31,34 +31,34 @@ func (b *Box) startDisplay() {
 }
 
 // packLines serialises compressed lines (2-byte length prefix each)
-// into a video segment's Data.
-func packLines(lines [][]byte) []byte {
-	var out []byte
+// into a video segment's Data, appending to dst (pass a reused
+// scratch slice on hot paths).
+func packLines(dst []byte, lines [][]byte) []byte {
 	for _, l := range lines {
 		var hdr [2]byte
 		binary.BigEndian.PutUint16(hdr[:], uint16(len(l)))
-		out = append(out, hdr[:]...)
-		out = append(out, l...)
+		dst = append(dst, hdr[:]...)
+		dst = append(dst, l...)
 	}
-	return out
+	return dst
 }
 
-// unpackLines reverses packLines.
-func unpackLines(data []byte) ([][]byte, bool) {
-	var lines [][]byte
+// unpackLines reverses packLines, appending the line views (aliasing
+// data) to dst.
+func unpackLines(dst [][]byte, data []byte) ([][]byte, bool) {
 	for len(data) > 0 {
 		if len(data) < 2 {
-			return nil, false
+			return dst, false
 		}
 		n := int(binary.BigEndian.Uint16(data))
 		data = data[2:]
 		if len(data) < n {
-			return nil, false
+			return dst, false
 		}
-		lines = append(lines, data[:n])
+		dst = append(dst, data[:n])
 		data = data[n:]
 	}
-	return lines, true
+	return dst, true
 }
 
 // runCapture drives the camera at 25 Hz and produces segments for
@@ -69,6 +69,15 @@ func (b *Box) runCapture(p *occam.Proc) {
 	frameSeq := make(map[uint32]uint32)
 	segSeq := make(map[uint32]uint32)
 	lp := video.LineParams{Shift: 1}
+	// Per-board scratch, reused every band: the framestore read
+	// rectangle, the line codec, the compressed-line list, and the
+	// packed segment data (copied on into the wire by Encode).
+	var (
+		rect   video.Frame
+		codec  video.Codec
+		lines  [][]byte
+		packed []byte
+	)
 
 	for frame := 0; ; frame++ {
 		p.SleepUntil(occam.Time(int64(frame) * int64(video.FramePeriod)))
@@ -117,19 +126,20 @@ func (b *Box) runCapture(p *occam.Proc) {
 				band := video.Rect{X: cs.Rect.X, Y: cs.Rect.Y + y0, W: cs.Rect.W, H: y1 - y0}
 				readTime := time.Duration(band.W*band.H) * 20 * time.Nanosecond
 				p.SleepUntil(scan.SafeReadStart(p.Now(), band, readTime))
-				rect := b.framestore.ReadRect(band)
-				var lines [][]byte
+				b.framestore.ReadRectInto(&rect, band)
+				lines = lines[:0]
+				codec.Reset()
 				for y := 0; y < y1-y0; y++ {
-					wire, _ := video.CompressLine(rect.Row(y), lp)
-					lines = append(lines, wire)
+					lines = append(lines, codec.CompressLine(rect.Row(y), lp))
 					p.Consume(captureSliceCost / video.DefaultSliceLines)
 				}
+				packed = packLines(packed[:0], lines)
 				seg := segment.NewVideo(
 					segSeq[id], p.Now(),
 					frameSeq[id], uint32(nsegs), uint32(s),
 					uint32(cs.Rect.X), uint32(cs.Rect.Y+y0),
 					uint32(cs.Rect.W), uint32(y0), uint32(y1-y0),
-					packLines(lines))
+					packed)
 				seg.Compression = segment.CompressionDPCM
 				seg.Args = []uint32{uint32(lp.Shift)}
 				seg.Length = uint32(seg.WireSize())
@@ -166,6 +176,14 @@ func (b *Box) runDisplay(p *occam.Proc) {
 	scan := video.Scan{Lines: b.cfg.CameraH, Period: video.FramePeriod}
 	assemblers := make(map[uint32]*video.Assembler)
 	var seg segment.Video // reused header view into each wire
+	// Per-board scratch, reused every segment: the line views into the
+	// wire, the codec, and the decoded image (blitted into the
+	// assembler's own frame by Add).
+	var (
+		lines [][]byte
+		codec video.Codec
+		img   video.Frame
+	)
 	for {
 		msg := b.serverToMixer.Recv(p)
 		if b.boardDown(p, "display") {
@@ -178,7 +196,8 @@ func (b *Box) runDisplay(p *occam.Proc) {
 		// Decode the header in place; seg.Data aliases the wire until
 		// the Release at the end of this iteration.
 		err := msg.W.DecodeVideoInto(&seg)
-		lines, ok := unpackLines(seg.Data)
+		var ok bool
+		lines, ok = unpackLines(lines[:0], seg.Data)
 		if err != nil || !ok || len(lines) != int(seg.NumLines) {
 			b.displayStat.DecodeErrs++
 			rep.Report(p, "corrupt", "stream %d: corrupt segment discarded", msg.Stream)
@@ -187,10 +206,10 @@ func (b *Box) runDisplay(p *occam.Proc) {
 		}
 		// Decompress with the per-stream last-line continuity (§3.6).
 		b.interp.Begin(msg.Stream)
-		img := video.NewFrame(int(seg.Width), int(seg.NumLines))
+		img.Reuse(int(seg.Width), int(seg.NumLines))
 		bad := false
 		for i, wire := range lines {
-			line, err := video.DecompressLine(wire, int(seg.Width))
+			line, err := codec.DecompressLine(wire, int(seg.Width))
 			if err != nil {
 				bad = true
 				break
@@ -209,7 +228,7 @@ func (b *Box) runDisplay(p *occam.Proc) {
 			a = video.NewAssembler(b.cfg.CameraW, b.cfg.CameraH)
 			assemblers[msg.Stream] = a
 		}
-		frame := a.Add(&seg, img)
+		frame := a.Add(&seg, &img)
 		msg.W.Release() // img and the assembler hold their own copies
 		if frame == nil {
 			continue

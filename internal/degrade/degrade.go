@@ -164,6 +164,29 @@ type Controller struct {
 	ticks     *obs.Counter
 	pVideo    *obs.Gauge
 	pAudio    *obs.Gauge
+
+	// Pre-keyed pressure probes, one queue/limit pair per watched
+	// buffer, link and port (the name lists are fixed per target, so
+	// the instrument keys are built once, not every tick).
+	videoProbes []ratioProbe
+	audioProbes []ratioProbe
+}
+
+// ratioProbe reads one queue/limit gauge pair as an occupancy ratio.
+type ratioProbe struct {
+	q, lim *obs.Probe
+}
+
+func (pr ratioProbe) ratio() float64 {
+	q, ok := pr.q.Value()
+	if !ok {
+		return 0
+	}
+	lim, ok := pr.lim.Value()
+	if !ok || lim <= 0 {
+		return 0
+	}
+	return q / lim
 }
 
 // New starts a controller for target on rt. reg must be the registry
@@ -186,6 +209,34 @@ func New(rt *occam.Runtime, target Target, cfg Config, reg *obs.Registry) *Contr
 		pAudio:    reg.Gauge("degrade_pressure_audio", lb),
 	}
 	reg.GaugeFunc("degrade_active_sheds", func() float64 { return float64(len(c.shed)) }, lb)
+	for _, name := range target.DegradeVideoBuffers() {
+		blb := obs.L("buffer", name)
+		c.videoProbes = append(c.videoProbes, ratioProbe{
+			q:   reg.Probe("decouple_queued", blb),
+			lim: reg.Probe("decouple_limit", blb),
+		})
+	}
+	for _, link := range cfg.Links {
+		llb := obs.L("link", link)
+		c.videoProbes = append(c.videoProbes, ratioProbe{
+			q:   reg.Probe("atm_link_queue_depth", llb),
+			lim: reg.Probe("atm_link_queue_limit", llb),
+		})
+	}
+	for _, port := range cfg.Ports {
+		plb := obs.L("port", port)
+		c.videoProbes = append(c.videoProbes, ratioProbe{
+			q:   reg.Probe("fabric_port_queue_depth", plb),
+			lim: reg.Probe("fabric_port_queue_limit", plb),
+		})
+	}
+	for _, name := range target.DegradeAudioBuffers() {
+		blb := obs.L("buffer", name)
+		c.audioProbes = append(c.audioProbes, ratioProbe{
+			q:   reg.Probe("decouple_queued", blb),
+			lim: reg.Probe("decouple_limit", blb),
+		})
+	}
 	rt.Go(target.DegradeName()+".degrade", nil, occam.High, c.run)
 	return c
 }
@@ -219,62 +270,17 @@ func (c *Controller) run(p *occam.Proc) {
 	}
 }
 
-// pressure reads the registry: each class's pressure is the worst
-// ratio across its watched buffers; outbound link queues count toward
-// video, the class whose shedding relieves them.
+// pressure reads the pre-keyed probes: each class's pressure is the
+// worst ratio across its watched buffers; outbound link and port
+// queues count toward video, the class whose shedding relieves them.
 func (c *Controller) pressure() (video, audio float64) {
-	for _, name := range c.target.DegradeVideoBuffers() {
-		video = maxf(video, c.bufRatio(name))
+	for _, pr := range c.videoProbes {
+		video = maxf(video, pr.ratio())
 	}
-	for _, link := range c.cfg.Links {
-		video = maxf(video, c.linkRatio(link))
-	}
-	for _, port := range c.cfg.Ports {
-		video = maxf(video, c.portRatio(port))
-	}
-	for _, name := range c.target.DegradeAudioBuffers() {
-		audio = maxf(audio, c.bufRatio(name))
+	for _, pr := range c.audioProbes {
+		audio = maxf(audio, pr.ratio())
 	}
 	return video, audio
-}
-
-func (c *Controller) bufRatio(name string) float64 {
-	lb := obs.L("buffer", name)
-	q, ok := c.reg.Value("decouple_queued", lb)
-	if !ok {
-		return 0
-	}
-	lim, ok := c.reg.Value("decouple_limit", lb)
-	if !ok || lim <= 0 {
-		return 0
-	}
-	return q / lim
-}
-
-func (c *Controller) linkRatio(name string) float64 {
-	lb := obs.L("link", name)
-	q, ok := c.reg.Value("atm_link_queue_depth", lb)
-	if !ok {
-		return 0
-	}
-	lim, ok := c.reg.Value("atm_link_queue_limit", lb)
-	if !ok || lim <= 0 {
-		return 0
-	}
-	return q / lim
-}
-
-func (c *Controller) portRatio(name string) float64 {
-	lb := obs.L("port", name)
-	q, ok := c.reg.Value("fabric_port_queue_depth", lb)
-	if !ok {
-		return 0
-	}
-	lim, ok := c.reg.Value("fabric_port_queue_limit", lb)
-	if !ok || lim <= 0 {
-		return 0
-	}
-	return q / lim
 }
 
 // rank orders candidates by the paper's policy: video before audio

@@ -103,10 +103,16 @@ func e2LinkRun(n int) (offered, delivered int, utilisation float64) {
 	rt.Go("tx", nil, occam.Low, func(p *occam.Proc) {
 		tone := workload.NewTone(400, 8000)
 		pool := segment.NewWirePool()
+		var (
+			aseg  segment.Audio
+			adata = make([]byte, 2*segment.BlockSamples)
+		)
 		for tick := 0; tick < rounds; tick++ {
 			p.SleepUntil(occam.Time(int64(tick) * int64(4*time.Millisecond)))
 			for i := 0; i < n; i++ {
-				w := pool.Encode(segment.NewAudio(uint32(tick), p.Now(), [][]byte{tone.NextBlock(), tone.NextBlock()}))
+				tone.FillBlock(adata[:segment.BlockSamples])
+				tone.FillBlock(adata[segment.BlockSamples:])
+				w := pool.Encode(aseg.Reset(uint32(tick), p.Now(), adata))
 				link.Send(p, audioSegMsg{uint32(i), w}, w.Len()+segment.StreamNumberSize)
 			}
 		}

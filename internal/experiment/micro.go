@@ -1,0 +1,105 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/atm/udptrans"
+	"repro/internal/fabric"
+	"repro/internal/occam"
+	"repro/internal/segment"
+	"repro/internal/workload"
+)
+
+// The micro workloads isolate the two fast paths the end-to-end
+// experiments exercise in aggregate: the fabric's sharded crossbar and
+// the udptrans sendmmsg batcher. BenchmarkFabricCrossbar and
+// BenchmarkUDPTransBatch run them per-iteration; pandora-bench
+// -bench-json runs them at a fixed count and records per-op figures in
+// BENCH_e2e.json alongside the experiments.
+
+// MicroFabricCrossbar drives iters two-block audio segments from three
+// source ports through the sharded crossbar to a fourth port, one
+// segment per 20 µs of virtual time, and returns the number delivered.
+// Steady state must allocate nothing on the cell path: the wire pool,
+// the dense route table, the per-port batch buffer and the in-place
+// segment reset cover the whole journey.
+func MicroFabricCrossbar(iters int) (delivered uint64) {
+	rt := occam.NewRuntime()
+	defer rt.Shutdown()
+	net := atm.New(rt)
+	fab := fabric.New(rt, "micro", fabric.Config{})
+	hosts := make([]*atm.Host, 4)
+	for i := range hosts {
+		hosts[i] = net.AddHost(fmt.Sprintf("m%d", i))
+		fab.Attach(hosts[i])
+	}
+	sink := hosts[3]
+	rt.Go("drain", nil, occam.High, func(p *occam.Proc) {
+		for {
+			m := sink.Rx.Recv(p)
+			m.W.Release()
+			delivered++
+		}
+	})
+	for vci := uint32(1); vci <= 3; vci++ {
+		fab.Route(0, vci, fab.Port(3), false)
+	}
+	pool := segment.NewWirePool()
+	const pace = 20 * time.Microsecond
+	rt.Go("tx", nil, occam.Low, func(p *occam.Proc) {
+		tone := workload.NewTone(400, 8000)
+		var (
+			aseg  segment.Audio
+			adata = make([]byte, 2*segment.BlockSamples)
+		)
+		for i := 0; i < iters; i++ {
+			p.SleepUntil(occam.Time(int64(i) * int64(pace)))
+			tone.FillBlock(adata[:segment.BlockSamples])
+			tone.FillBlock(adata[segment.BlockSamples:])
+			w := pool.Encode(aseg.Reset(uint32(i), p.Now(), adata))
+			if hosts[i%3].Send(p, atm.Message{VCI: uint32(1 + i%3), Size: w.Len(), W: w}) != nil {
+				w.Release()
+			}
+		}
+	})
+	if err := rt.RunUntil(occam.Time(time.Duration(iters)*pace + 50*time.Millisecond)); err != nil {
+		panic(err)
+	}
+	return delivered
+}
+
+// MicroUDPTransBatch pushes iters datagrams (one reused two-block
+// audio segment each) through a sendmmsg Batcher over a loopback
+// socket pair and returns the datagram and syscall-batch counts. The
+// encode appends into the batch arena, so steady state is one syscall
+// per DefaultBatch datagrams and zero heap traffic.
+func MicroUDPTransBatch(iters int) (datagrams, batches uint64, err error) {
+	rx, err := udptrans.Listen("127.0.0.1:0")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer rx.Close()
+	t, err := udptrans.Dial(rx.Addr())
+	if err != nil {
+		return 0, 0, err
+	}
+	defer t.Close()
+	b := udptrans.NewBatcher(t, udptrans.DefaultBatch)
+	pool := segment.NewWirePool()
+	var aseg segment.Audio
+	w := pool.Encode(aseg.Reset(0, 0, make([]byte, 2*segment.BlockSamples)))
+	defer w.Release()
+	m := atm.Message{VCI: 7, Size: w.Len(), W: w}
+	for i := 0; i < iters; i++ {
+		if err := b.Add(m); err != nil {
+			return 0, 0, err
+		}
+	}
+	if err := b.Flush(); err != nil {
+		return 0, 0, err
+	}
+	batches, datagrams = b.Stats()
+	return datagrams, batches, nil
+}

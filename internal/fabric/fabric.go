@@ -24,6 +24,19 @@
 // *batches* of queued messages per timer event so a deep backlog costs
 // one scheduler wake-up per cell train, not per segment.
 //
+// Engine: the fabric is *passive* — it owns no processes except one
+// transmitter per port. Each port's crossbar shard is a self-
+// perpetuating occam.Timer chain: ingress admission runs inline in the
+// sending host's process, the crossing-end callback routes the message
+// (dense per-VCI table, no allocation) and applies the destination
+// port's admission pipeline, and only delivery — which must be able to
+// block on host backpressure — happens in the port's transmitter
+// process, woken by an occam.Signal when an arrival starts a new cell
+// train. Per message the fabric costs two timer events (one crossing,
+// amortised share of one train) instead of the eight-plus park/wake
+// handshakes of a process-per-stage pipeline, and the ports' shards
+// are independent: port A's backlog never wakes port B's code.
+//
 // Ownership: a message's wire reference rides the descriptor through
 // both queues; every drop point (ingress overflow, unrouted VCI, shed
 // VCI, injected fault, egress overflow) releases it, and delivery
@@ -115,15 +128,21 @@ type route struct {
 	opened occam.Time
 }
 
+// routeTabMax bounds the dense routing table: VCIs below this live in
+// a slice indexed directly by VCI (the allocation-free per-cell
+// lookup); pathological VCIs above it fall back to the map.
+const routeTabMax = 1 << 20
+
 // Fabric is an N-port cell-switched ATM fabric on one runtime.
 type Fabric struct {
-	rt     *occam.Runtime
-	nm     string
-	cfg    Config
-	ports  []*Port
-	routes map[uint32]*route
-	reg    *obs.Registry
-	trace  *obs.Tracer
+	rt       *occam.Runtime
+	nm       string
+	cfg      Config
+	ports    []*Port
+	routes   map[uint32]*route // full table: iteration + high-VCI fallback
+	routeTab []*route          // dense by VCI: the per-cell fast path
+	reg      *obs.Registry
+	trace    *obs.Tracer
 }
 
 // New returns an empty fabric named name. Attach ports, install
@@ -161,12 +180,6 @@ func (f *Fabric) Attach(h *atm.Host) *Port {
 		id:        id,
 		nm:        fmt.Sprintf("%s.p%02d", f.nm, id),
 		host:      h,
-		in:        occam.NewChan[atm.Message](f.rt, fmt.Sprintf("%s.p%02d.in", f.nm, id)),
-		xbarReq:   occam.NewChan[struct{}](f.rt, fmt.Sprintf("%s.p%02d.xreq", f.nm, id)),
-		xbarItem:  occam.NewChan[atm.Message](f.rt, fmt.Sprintf("%s.p%02d.xitem", f.nm, id)),
-		egIn:      occam.NewChan[atm.Message](f.rt, fmt.Sprintf("%s.p%02d.egin", f.nm, id)),
-		txReq:     occam.NewChan[struct{}](f.rt, fmt.Sprintf("%s.p%02d.txreq", f.nm, id)),
-		txItem:    occam.NewChan[[]atm.Message](f.rt, fmt.Sprintf("%s.p%02d.txitem", f.nm, id)),
 		shed:      make(map[uint32]bool),
 		perVCI:    make(map[uint32]*vciDigest),
 		forwarded: obs.NewCounter(),
@@ -182,14 +195,14 @@ func (f *Fabric) Attach(h *atm.Host) *Port {
 		faultDel:  obs.NewCounter(),
 		faultStal: obs.NewCounter(),
 	}
+	pt.crossTimer = occam.NewTimer(f.rt, pt.crossDone)
+	pt.txWake = occam.NewTimer(f.rt, func(s occam.Sched) { s.Raise(pt.txSig) })
+	pt.txSig = occam.NewSignal(f.rt, pt.nm+".txwake")
 	f.ports = append(f.ports, pt)
 	if f.reg != nil {
 		pt.observe(f.reg)
 	}
 	h.SetTransport(pt)
-	f.rt.Go(pt.nm+".ingress", nil, occam.High, pt.runIngress)
-	f.rt.Go(pt.nm+".xbar", nil, occam.High, pt.runXbar)
-	f.rt.Go(pt.nm+".egress", nil, occam.High, pt.runEgress)
 	f.rt.Go(pt.nm+".tx", nil, occam.High, pt.runTx)
 	return pt
 }
@@ -216,7 +229,16 @@ func (f *Fabric) Route(now occam.Time, vci uint32, to *Port, video bool) {
 		}
 		return
 	}
-	f.routes[vci] = &route{out: to, video: video, opened: now}
+	r := &route{out: to, video: video, opened: now}
+	f.routes[vci] = r
+	if vci < routeTabMax {
+		if int(vci) >= len(f.routeTab) {
+			tab := make([]*route, vci+1, (vci+1)*2)
+			copy(tab, f.routeTab)
+			f.routeTab = tab
+		}
+		f.routeTab[vci] = r
+	}
 	f.trace.Emit(obs.EvStreamOpen, f.nm, vci, "routed to "+to.nm)
 }
 
@@ -229,8 +251,23 @@ func (f *Fabric) Unroute(vci uint32) {
 		return
 	}
 	delete(f.routes, vci)
+	if int(vci) < len(f.routeTab) {
+		f.routeTab[vci] = nil
+	}
 	delete(r.out.shed, vci)
 	f.trace.Emit(obs.EvStreamClose, f.nm, vci, "unrouted from "+r.out.nm)
+}
+
+// lookup is the per-cell route lookup: a slice index for every VCI the
+// dense table covers, the map only for the pathological remainder.
+func (f *Fabric) lookup(vci uint32) *route {
+	if int(vci) < len(f.routeTab) {
+		return f.routeTab[vci]
+	}
+	if vci < routeTabMax {
+		return nil
+	}
+	return f.routes[vci]
 }
 
 // EnableDegradation starts one overload controller per port
@@ -287,25 +324,39 @@ func (f *Fabric) Stats() PortStats {
 }
 
 // Port is one fabric port: the attachment point of one host, with its
-// own bounded ingress and egress queues, crossbar process, batching
-// egress transmitter, optional fault hook and overload controller.
+// own bounded ingress and egress queues, crossbar timer chain, and
+// batching egress transmitter process, plus optional fault hook and
+// overload controller.
+//
+// Queue/engine state is touched from two contexts — attached
+// processes (Send, runTx, the degrade controller's gauge reads) and
+// crossing-end timer callbacks — which the occam runtime serialises;
+// see the occam scheduler-context rules.
 type Port struct {
 	fab  *Fabric
 	id   int
 	nm   string
 	host *atm.Host
 
-	in       *occam.Chan[atm.Message]
-	xbarReq  *occam.Chan[struct{}]
-	xbarItem *occam.Chan[atm.Message]
-	egIn     *occam.Chan[atm.Message]
-	txReq    *occam.Chan[struct{}]
-	txItem   *occam.Chan[[]atm.Message]
+	// Ingress shard: the queue of messages waiting for the crossbar,
+	// plus the one message in flight across it. crossTimer fires at the
+	// in-flight message's crossing end; the chain re-arms itself while
+	// the queue is non-empty.
+	inq        []atm.Message
+	crossing   atm.Message
+	crossBusy  bool
+	crossTimer *occam.Timer
 
-	inq     []atm.Message
+	// Egress shard: the bounded cell queue, the train being
+	// transmitted, and the transmitter process. txBusy covers the whole
+	// train lifecycle (pacing + delivery); txWake fires at train end
+	// and raises txSig to hand the sliced train to runTx for delivery.
 	egq     []atm.Message
 	egCells int
-	batch   []atm.Message // reusable egress batch buffer
+	batch   []atm.Message // current cell train (reused)
+	txBusy  bool
+	txWake  *occam.Timer
+	txSig   *occam.Signal
 
 	shed  map[uint32]bool
 	fault atm.FaultHook
@@ -425,95 +476,93 @@ func (pt *Port) observe(reg *obs.Registry) {
 // TransportName implements atm.Transport.
 func (pt *Port) TransportName() string { return "fabric:" + pt.nm }
 
-// Send implements atm.Transport: the attached host's outgoing messages
-// enter this port's ingress queue (which always accepts and drops on
-// overflow, so the sender never blocks on fabric congestion).
+// crossDur returns how long m occupies this port's crossbar shard.
+func (pt *Port) crossDur(m atm.Message) time.Duration {
+	bw := pt.fab.cfg.PortBandwidth * int64(pt.fab.cfg.XbarSpeedup)
+	return time.Duration(int64(cells(m.Size)) * cellWire * 8 * int64(time.Second) / bw)
+}
+
+// Send implements atm.Transport: ingress admission, run inline in the
+// sending host's process. If the crossbar shard is idle (which implies
+// the ingress queue is empty) the message starts crossing immediately;
+// otherwise it waits in the bounded queue, drop-tail on overflow. The
+// sender never blocks on fabric congestion.
 func (pt *Port) Send(p *occam.Proc, m atm.Message) error {
-	pt.in.Send(p, m)
+	if pt.crossBusy {
+		if len(pt.inq) >= pt.fab.cfg.IngressLimit {
+			pt.inDrops.Inc()
+			pt.fab.trace.EmitAt(p.Now(), obs.EvDrop, pt.nm, m.VCI, "ingress-overflow")
+			m.W.Release()
+			return nil
+		}
+		pt.inq = append(pt.inq, m)
+		return nil
+	}
+	pt.crossBusy = true
+	pt.crossing = m
+	pt.crossTimer.Schedule(p.Now() + occam.Time(pt.crossDur(m)))
 	return nil
 }
 
-// runIngress owns the bounded ingress queue: it always accepts from
-// the host side (drop-tail on overflow) and feeds the crossbar.
-func (pt *Port) runIngress(p *occam.Proc) {
-	var (
-		m   atm.Message
-		req struct{}
-	)
-	xbarReady := occam.NewCond(occam.Recv(pt.xbarReq, &req))
-	guards := []occam.Guard{xbarReady, occam.Recv(pt.in, &m)}
-	for {
-		xbarReady.Set(len(pt.inq) > 0)
-		switch p.Alt(guards...) {
-		case 0:
-			head := pt.inq[0]
-			copy(pt.inq, pt.inq[1:])
-			pt.inq[len(pt.inq)-1] = atm.Message{}
-			pt.inq = pt.inq[:len(pt.inq)-1]
-			pt.xbarItem.Send(p, head)
-		case 1:
-			if len(pt.inq) >= pt.fab.cfg.IngressLimit {
-				pt.inDrops.Inc()
-				pt.fab.trace.Emit(obs.EvDrop, pt.nm, m.VCI, "ingress-overflow")
-				m.W.Release()
-				continue
-			}
-			pt.inq = append(pt.inq, m)
-		}
+// crossDone is the crossing-end timer callback (scheduler context): it
+// routes the message that just finished crossing — the VCI is looked
+// up at crossing *end*, so a mid-stream reroute or teardown applies
+// per message — hands it to the destination port's egress, and starts
+// the next crossing if the ingress queue is non-empty.
+func (pt *Port) crossDone(s occam.Sched) {
+	m := pt.crossing
+	pt.crossing = atm.Message{}
+	if r := pt.fab.lookup(m.VCI); r == nil {
+		pt.unrouted.Inc()
+		pt.fab.trace.EmitAt(s.Now(), obs.EvDrop, pt.nm, m.VCI, "unrouted")
+		m.W.Release()
+	} else {
+		r.out.egArrive(s, m)
+	}
+	if len(pt.inq) > 0 {
+		next := pt.inq[0]
+		copy(pt.inq, pt.inq[1:])
+		pt.inq[len(pt.inq)-1] = atm.Message{}
+		pt.inq = pt.inq[:len(pt.inq)-1]
+		pt.crossing = next
+		s.Schedule(pt.crossTimer, s.Now()+occam.Time(pt.crossDur(next)))
+	} else {
+		pt.crossBusy = false
 	}
 }
 
-// runXbar crosses one message at a time at the backplane rate, looks
-// its VCI up in the fabric routing table and hands it to the
-// destination port's egress queue (which always accepts).
-func (pt *Port) runXbar(p *occam.Proc) {
-	var token struct{}
-	bw := pt.fab.cfg.PortBandwidth * int64(pt.fab.cfg.XbarSpeedup)
-	for {
-		pt.xbarReq.Send(p, token)
-		m := pt.xbarItem.Recv(p)
-		n := cells(m.Size)
-		p.Sleep(time.Duration(int64(n) * cellWire * 8 * int64(time.Second) / bw))
-		r, ok := pt.fab.routes[m.VCI]
-		if !ok {
-			pt.unrouted.Inc()
-			pt.fab.trace.Emit(obs.EvDrop, pt.nm, m.VCI, "unrouted")
-			m.W.Release()
-			continue
-		}
-		r.out.egIn.Send(p, m)
-	}
-}
-
-// egAccept applies the egress-side admission pipeline to one arriving
-// message: the port's shed bar first (the overload controller stops a
-// stream before it consumes fault RNG or queue space), then the fault
-// hook, then the cell bound. It returns with the message either queued
-// (possibly twice, for an injected duplicate) or released.
-func (pt *Port) egAccept(p *occam.Proc, m atm.Message) {
+// egArrive applies the egress-side admission pipeline to one message
+// arriving off the crossbar (scheduler context): the port's shed bar
+// first (the overload controller stops a stream before it consumes
+// fault RNG or queue space), then the fault hook, then the cell bound.
+// The message ends up either queued (possibly twice, for an injected
+// duplicate) or released. If the transmitter is idle, the arrival
+// starts a new cell train immediately.
+func (pt *Port) egArrive(s occam.Sched, m atm.Message) {
+	now := s.Now()
 	if pt.shed[m.VCI] {
 		pt.shedDrops.Inc()
-		pt.fab.trace.Emit(obs.EvDrop, pt.nm, m.VCI, "degrade-shed")
+		pt.fab.trace.EmitAt(now, obs.EvDrop, pt.nm, m.VCI, "degrade-shed")
 		m.W.Release()
 		return
 	}
 	dup := false
 	if pt.fault != nil {
-		act := pt.fault.OnMessage(p.Now(), m.VCI, m.Size)
+		act := pt.fault.OnMessage(now, m.VCI, m.Size)
 		if act.Drop {
 			reason := act.Reason
 			if reason == "" {
 				reason = "injected-loss"
 			}
 			pt.faultDrop.Inc()
-			pt.fab.trace.Emit(obs.EvFault, pt.nm, m.VCI, reason)
+			pt.fab.trace.EmitAt(now, obs.EvFault, pt.nm, m.VCI, reason)
 			m.W.Release()
 			return
 		}
 		if act.Corrupt {
 			m.Corrupt = true
 			pt.faultCorr.Inc()
-			pt.fab.trace.Emit(obs.EvFault, pt.nm, m.VCI, "injected-corruption")
+			pt.fab.trace.EmitAt(now, obs.EvFault, pt.nm, m.VCI, "injected-corruption")
 		}
 		if act.Delay > 0 {
 			m.FaultDelay += act.Delay
@@ -524,7 +573,7 @@ func (pt *Port) egAccept(p *occam.Proc, m atm.Message) {
 	n := cells(m.Size)
 	if pt.egCells+n > pt.fab.cfg.EgressCellLimit {
 		pt.egDrops.Inc()
-		pt.fab.trace.Emit(obs.EvDrop, pt.nm, m.VCI, "egress-overflow")
+		pt.fab.trace.EmitAt(now, obs.EvDrop, pt.nm, m.VCI, "egress-overflow")
 		m.W.Release()
 		return
 	}
@@ -537,87 +586,92 @@ func (pt *Port) egAccept(p *occam.Proc, m atm.Message) {
 		pt.egq = append(pt.egq, m)
 		pt.egCells += n
 		pt.faultDup.Inc()
-		pt.fab.trace.Emit(obs.EvFault, pt.nm, m.VCI, "injected-duplicate")
+		pt.fab.trace.EmitAt(now, obs.EvFault, pt.nm, m.VCI, "injected-duplicate")
+	}
+	if !pt.txBusy && len(pt.egq) > 0 {
+		// Idle transmitter: this arrival starts a cell train now. Slice
+		// it, pace it, and wake runTx at train end to deliver.
+		pt.txBusy = true
+		pt.slice()
+		s.Schedule(pt.txWake, pt.trainEnd(now))
 	}
 }
 
-// runEgress owns the bounded egress queue: it always accepts from the
-// crossbars and feeds the transmitter one batch (cell train) at a
-// time.
-func (pt *Port) runEgress(p *occam.Proc) {
-	var (
-		m   atm.Message
-		req struct{}
-	)
-	txReady := occam.NewCond(occam.Recv(pt.txReq, &req))
-	guards := []occam.Guard{txReady, occam.Recv(pt.egIn, &m)}
-	for {
-		txReady.Set(len(pt.egq) > 0)
-		switch p.Alt(guards...) {
-		case 0:
-			// Slice a cell train off the head of the queue: at least one
-			// message, then as many more as fit in BatchCells. The batch
-			// buffer is reused — the transmitter finishes with it before
-			// its next request.
-			pt.batch = pt.batch[:0]
-			got := 0
-			for len(pt.egq) > 0 {
-				n := cells(pt.egq[0].Size)
-				if got > 0 && got+n > pt.fab.cfg.BatchCells {
-					break
-				}
-				got += n
-				pt.batch = append(pt.batch, pt.egq[0])
-				copy(pt.egq, pt.egq[1:])
-				pt.egq[len(pt.egq)-1] = atm.Message{}
-				pt.egq = pt.egq[:len(pt.egq)-1]
-			}
-			pt.egCells -= got
-			pt.txItem.Send(p, pt.batch)
-		case 1:
-			pt.egAccept(p, m)
+// slice cuts the next cell train off the head of the egress queue into
+// pt.batch: at least one message, then as many more as fit in
+// BatchCells. The batch buffer is reused train to train.
+func (pt *Port) slice() {
+	pt.batch = pt.batch[:0]
+	got := 0
+	for len(pt.egq) > 0 {
+		n := cells(pt.egq[0].Size)
+		if got > 0 && got+n > pt.fab.cfg.BatchCells {
+			break
 		}
+		got += n
+		pt.batch = append(pt.batch, pt.egq[0])
+		copy(pt.egq, pt.egq[1:])
+		pt.egq[len(pt.egq)-1] = atm.Message{}
+		pt.egq = pt.egq[:len(pt.egq)-1]
 	}
+	pt.egCells -= got
 }
 
-// runTx transmits cell trains at the port line rate and delivers to
-// the attached host. One sleep covers the whole train — the batching
-// that keeps a congested port at one scheduler wake-up per train.
-func (pt *Port) runTx(p *occam.Proc) {
-	var token struct{}
+// trainEnd returns when the train in pt.batch, started at now,
+// finishes transmitting: the port stall window (if the fault hook has
+// the transmitter wedged, queued cells wait out the outage on this
+// port alone), then one line-rate transmission covering the whole
+// train, plus propagation and the largest injected per-message delay.
+func (pt *Port) trainEnd(now occam.Time) occam.Time {
 	cfg := pt.fab.cfg
+	if pt.fault != nil {
+		if until := pt.fault.StallUntil(now); until > now {
+			pt.faultStal.Inc()
+			pt.fab.trace.EmitAt(now, obs.EvFault, pt.nm, 0, "port-stall")
+			now = until
+		}
+	}
+	var (
+		totalCells int
+		maxDelay   time.Duration
+	)
+	for i := range pt.batch {
+		totalCells += cells(pt.batch[i].Size)
+		if pt.batch[i].FaultDelay > maxDelay {
+			maxDelay = pt.batch[i].FaultDelay
+		}
+	}
+	tx := time.Duration(int64(totalCells) * cellWire * 8 * int64(time.Second) / cfg.PortBandwidth)
+	return now + occam.Time(tx+cfg.Propagation+maxDelay)
+}
+
+// runTx is the port's one process: it delivers finished cell trains to
+// the attached host — the only fabric step that may block (host
+// backpressure) — and paces follow-on trains while backlog remains.
+// It sleeps on txSig whenever the port goes idle; egArrive slices the
+// train that wakes it.
+func (pt *Port) runTx(p *occam.Proc) {
 	for {
-		pt.txReq.Send(p, token)
-		batch := pt.txItem.Recv(p)
-		if pt.fault != nil {
-			if until := pt.fault.StallUntil(p.Now()); until > p.Now() {
-				// The port transmitter is wedged: queued cells wait out
-				// the outage on this port alone.
-				pt.faultStal.Inc()
-				pt.fab.trace.Emit(obs.EvFault, pt.nm, 0, "port-stall")
-				p.SleepUntil(until)
+		pt.txSig.Wait(p)
+		for {
+			for i := range pt.batch {
+				m := pt.batch[i]
+				pt.forwarded.Inc()
+				pt.bytes.Add(uint64(m.Size))
+				pt.cellsTx.Add(uint64(cells(m.Size)))
+				pt.fold(m)
+				pt.host.Deliver(p, m)
+				pt.batch[i] = atm.Message{}
 			}
-		}
-		var (
-			totalCells int
-			maxDelay   time.Duration
-		)
-		for i := range batch {
-			totalCells += cells(batch[i].Size)
-			if batch[i].FaultDelay > maxDelay {
-				maxDelay = batch[i].FaultDelay
+			if len(pt.egq) == 0 {
+				pt.txBusy = false
+				break
 			}
-		}
-		tx := time.Duration(int64(totalCells) * cellWire * 8 * int64(time.Second) / cfg.PortBandwidth)
-		p.Sleep(tx + cfg.Propagation + maxDelay)
-		for i := range batch {
-			m := batch[i]
-			pt.forwarded.Inc()
-			pt.bytes.Add(uint64(m.Size))
-			pt.cellsTx.Add(uint64(cells(m.Size)))
-			pt.fold(m)
-			pt.host.Deliver(p, m)
-			batch[i] = atm.Message{}
+			// Backlog: slice the next train at delivery-complete time
+			// and sleep out its transmission.
+			now := p.Now()
+			pt.slice()
+			p.SleepUntil(pt.trainEnd(now))
 		}
 	}
 }

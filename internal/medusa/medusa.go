@@ -70,11 +70,14 @@ func (m *MicUnit) Start(p *occam.Proc, vcis ...uint32) {
 func (m *MicUnit) Stop(p *occam.Proc) { m.ctl.Send(p, micCtl{}) }
 
 func (m *MicUnit) run(p *occam.Proc) {
+	filler, _ := m.source.(workload.BlockFiller)
 	var (
-		blocks [][]byte
-		stamp  occam.Time
-		seq    uint32
-		perSeg = segment.DefaultBlocksPerSegment
+		adata   []byte // accumulated samples of the segment being built
+		nblocks int
+		aseg    segment.Audio
+		stamp   occam.Time
+		seq     uint32
+		perSeg  = segment.DefaultBlocksPerSegment
 	)
 	for n := int64(0); ; n++ {
 		p.SleepUntil(occam.Time(n * int64(segment.BlockDuration)))
@@ -87,21 +90,32 @@ func (m *MicUnit) run(p *occam.Proc) {
 			if c.blocksPer > 0 {
 				perSeg = c.blocksPer
 			}
-			seq, blocks = 0, nil
+			seq, nblocks = 0, 0
 		}
 		if len(m.vcis) == 0 {
 			continue
 		}
-		if len(blocks) == 0 {
+		if nblocks == 0 {
 			stamp = p.Now() - occam.Time(segment.BlockDuration)
+			adata = adata[:0]
 		}
-		blocks = append(blocks, m.source.NextBlock())
-		if len(blocks) >= perSeg {
+		if filler != nil {
+			if cap(adata) < len(adata)+segment.BlockSamples {
+				adata = append(adata, make([]byte, segment.BlockSamples)...)
+			} else {
+				adata = adata[:len(adata)+segment.BlockSamples]
+			}
+			filler.FillBlock(adata[len(adata)-segment.BlockSamples:])
+		} else {
+			adata = append(adata, m.source.NextBlock()...)
+		}
+		nblocks++
+		if nblocks >= perSeg {
 			// Encode once; every destination circuit shares the wire
 			// under its own reference.
-			w := m.pool.Encode(segment.NewAudio(seq, stamp, blocks))
+			w := m.pool.Encode(aseg.Reset(seq, stamp, adata))
 			seq++
-			blocks = blocks[:0]
+			nblocks = 0
 			w.Retain(len(m.vcis) - 1)
 			for _, vci := range m.vcis {
 				if m.host.Send(p, atm.Message{VCI: vci, Size: w.Len(), W: w}) != nil {
@@ -220,6 +234,8 @@ func (c *CameraUnit) Start(p *occam.Proc, vcis ...uint32) { c.ctl.Send(p, vcis) 
 func (c *CameraUnit) run(p *occam.Proc) {
 	lp := video.LineParams{Shift: 1}
 	var seq, frameNo uint32
+	var codec video.Codec
+	var data []byte // packed segment scratch, copied on by Encode
 	for frame := 0; ; frame++ {
 		p.SleepUntil(occam.Time(int64(frame) * int64(video.FramePeriod)))
 		for {
@@ -236,9 +252,10 @@ func (c *CameraUnit) run(p *occam.Proc) {
 		// One segment per half frame, despatched as soon as ready.
 		half := c.h / 2
 		for s := 0; s < 2; s++ {
-			var data []byte
+			data = data[:0]
+			codec.Reset()
 			for y := s * half; y < (s+1)*half; y++ {
-				wire, _ := video.CompressLine(img.Row(y), lp)
+				wire := codec.CompressLine(img.Row(y), lp)
 				var hdr [2]byte
 				hdr[0] = byte(len(wire) >> 8)
 				hdr[1] = byte(len(wire))
@@ -274,6 +291,11 @@ type DisplayUnit struct {
 	Frames     uint64
 	DecodeErrs uint64
 	FrameLat   *metrics.Tracker
+
+	// Per-unit decode scratch: the line codec and the segment image
+	// (blitted into the assembler's own frame by Add).
+	codec   video.Codec
+	scratch video.Frame
 }
 
 // NewDisplayUnit creates a display unit named name on net.
@@ -328,7 +350,8 @@ func (d *DisplayUnit) run(p *occam.Proc) {
 
 func (d *DisplayUnit) decode(stream uint32, seg *segment.Video) (*video.Frame, bool) {
 	d.interp.Begin(stream)
-	img := video.NewFrame(int(seg.Width), int(seg.NumLines))
+	img := &d.scratch
+	img.Reuse(int(seg.Width), int(seg.NumLines))
 	data := seg.Data
 	for y := 0; y < int(seg.NumLines); y++ {
 		if len(data) < 2 {
@@ -339,7 +362,7 @@ func (d *DisplayUnit) decode(stream uint32, seg *segment.Video) (*video.Frame, b
 		if len(data) < n {
 			return nil, false
 		}
-		line, err := video.DecompressLine(data[:n], int(seg.Width))
+		line, err := d.codec.DecompressLine(data[:n], int(seg.Width))
 		if err != nil {
 			return nil, false
 		}

@@ -332,6 +332,10 @@ func (r *Registry) Value(name string, labels ...Label) (float64, bool) {
 	if !ok {
 		return 0, false
 	}
+	return e.sampleValue()
+}
+
+func (e *entry) sampleValue() (float64, bool) {
 	switch e.kind {
 	case KindCounter:
 		if e.counterFn != nil {
@@ -345,6 +349,41 @@ func (r *Registry) Value(name string, labels ...Label) (float64, bool) {
 		return e.gauge.Value(), true
 	}
 	return 0, false
+}
+
+// Probe is a pre-keyed Value: the instrument key is built once and the
+// registry entry cached on first successful read, so polling it every
+// few milliseconds costs no allocation. An instrument registered after
+// the probe was made is picked up on the next read (entries are never
+// replaced, so the cache cannot go stale). The zero Probe (and any
+// probe from a nil registry) always reads false.
+type Probe struct {
+	r *Registry
+	k string
+	e *entry
+}
+
+// Probe returns a probe for the named counter or gauge.
+func (r *Registry) Probe(name string, labels ...Label) *Probe {
+	if r == nil {
+		return &Probe{}
+	}
+	return &Probe{r: r, k: key(name, labels)}
+}
+
+// Value reads the probed instrument, resolving it if needed.
+func (p *Probe) Value() (float64, bool) {
+	if p.e == nil {
+		if p.r == nil {
+			return 0, false
+		}
+		e, ok := p.r.byKey[p.k]
+		if !ok {
+			return 0, false
+		}
+		p.e = e
+	}
+	return p.e.sampleValue()
 }
 
 // Sample is one instrument's state at snapshot time.

@@ -112,6 +112,17 @@ func (t *Tracer) Emit(kind EventKind, source string, stream uint32, detail strin
 	if t.clock != nil {
 		at = t.clock.Now()
 	}
+	t.EmitAt(at, kind, source, stream, detail)
+}
+
+// EmitAt records one event stamped with the given time. It is for
+// callers already inside the scheduler (occam.Timer callbacks), where
+// Emit's clock read would deadlock on the runtime lock; they pass
+// their Sched.Now instead.
+func (t *Tracer) EmitAt(at occam.Time, kind EventKind, source string, stream uint32, detail string) {
+	if t == nil {
+		return
+	}
 	t.buf[t.next] = Event{At: at, Kind: kind, Source: source, Stream: stream, Detail: detail}
 	t.next = (t.next + 1) % len(t.buf)
 	if t.n < len(t.buf) {

@@ -336,52 +336,64 @@ func (rt *Runtime) schedule() {
 			p.wake <- struct{}{}
 			return
 		}
-		// Nothing runnable: advance the clock.
-		for rt.timers.Len() > 0 && rt.timers[0].cancelled {
-			rt.freeTimerEv(heap.Pop(&rt.timers).(*timerEv))
-		}
-		if rt.timers.Len() == 0 {
-			// Quiescent with no future event: completion, or the end
-			// of a bounded run, or deadlock.
-			if rt.limit != Forever && rt.limit > rt.now {
-				rt.now = rt.limit
-			}
-			rt.wakeRoot()
+		if !rt.advanceClock() {
 			return
-		}
-		next := rt.timers[0]
-		if next.at > rt.limit {
-			rt.now = rt.limit
-			rt.wakeRoot()
-			return
-		}
-		if next.at > rt.now {
-			rt.now = next.at
-		}
-		// Fire every timer due at this instant, in insertion order.
-		for rt.timers.Len() > 0 && rt.timers[0].at <= rt.now {
-			ev := heap.Pop(&rt.timers).(*timerEv)
-			if ev.cancelled {
-				rt.freeTimerEv(ev)
-				continue
-			}
-			switch {
-			case ev.grant != nil:
-				n := ev.grant
-				n.busy = false
-				rt.ready(ev.p)
-				n.grantNext()
-			case ev.fn != nil:
-				ev.fn()
-			case ev.p != nil:
-				if rt.Trace != nil {
-					rt.trace("timer wakes %s", ev.p.name)
-				}
-				rt.ready(ev.p)
-			}
-			rt.freeTimerEv(ev)
 		}
 	}
+}
+
+// advanceClock is schedule's nothing-runnable step: it discards
+// cancelled timers, advances the clock to the next event and fires
+// everything due at that instant. It returns false when there is
+// nothing left to run before the limit (the root has been woken) and
+// true when timers fired, so the caller should re-check the run queue.
+// Caller holds mu.
+func (rt *Runtime) advanceClock() bool {
+	for rt.timers.Len() > 0 && rt.timers[0].cancelled {
+		rt.freeTimerEv(heap.Pop(&rt.timers).(*timerEv))
+	}
+	if rt.timers.Len() == 0 {
+		// Quiescent with no future event: completion, or the end
+		// of a bounded run, or deadlock.
+		if rt.limit != Forever && rt.limit > rt.now {
+			rt.now = rt.limit
+		}
+		rt.wakeRoot()
+		return false
+	}
+	next := rt.timers[0]
+	if next.at > rt.limit {
+		rt.now = rt.limit
+		rt.wakeRoot()
+		return false
+	}
+	if next.at > rt.now {
+		rt.now = next.at
+	}
+	// Fire every timer due at this instant, in insertion order.
+	for rt.timers.Len() > 0 && rt.timers[0].at <= rt.now {
+		ev := heap.Pop(&rt.timers).(*timerEv)
+		if ev.cancelled {
+			rt.freeTimerEv(ev)
+			continue
+		}
+		switch {
+		case ev.grant != nil:
+			n := ev.grant
+			n.busy = false
+			rt.ready(ev.p)
+			n.grantNext()
+		case ev.fn != nil:
+			ev.fn()
+		case ev.p != nil:
+			if rt.Trace != nil {
+				rt.trace("timer wakes %s", ev.p.name)
+			}
+			rt.ready(ev.p)
+		}
+		rt.freeTimerEv(ev)
+	}
+	return true
 }
 
 func (rt *Runtime) wakeRoot() {
@@ -437,7 +449,33 @@ func (rt *Runtime) park(p *Proc, kind statusKind, name string) {
 	if rt.Trace != nil {
 		rt.trace("park %s: %s", p.name, p.statusText())
 	}
-	rt.schedule()
+	// Inline schedule() with a self-handoff fast path: when the next
+	// process to run is the one parking (its own timer fired during the
+	// clock advance, or it was readied before parking), skip the wake
+	// channel round-trip entirely — the paced-loop case (sleep, wake,
+	// sleep...) costs two heap operations and no channel traffic.
+	for {
+		next := rt.popRunnable()
+		if next == nil {
+			if rt.advanceClock() {
+				continue
+			}
+			break // nothing to run before the limit; root woken
+		}
+		rt.switches++
+		next.stKind = stRunning
+		if rt.Trace != nil {
+			rt.trace("run %s", next.name)
+		}
+		if next == p {
+			if rt.killed {
+				panic(errKilled)
+			}
+			return
+		}
+		next.wake <- struct{}{}
+		break
+	}
 	rt.mu.Unlock()
 	<-p.wake
 	rt.mu.Lock()

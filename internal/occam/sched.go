@@ -1,0 +1,148 @@
+package occam
+
+import "container/heap"
+
+// Scheduler-context primitives: the machinery that lets a subsystem be
+// *passive* — driven by timer callbacks and woken processes instead of
+// by dedicated processes of its own. A message pipeline built from
+// processes pays one park/wake cycle per rendezvous; built from a
+// Timer chain it pays one heap operation per paced step and nothing at
+// all for the zero-time bookkeeping in between. The fabric's crossbar
+// and the ATM link transmitters use these to keep their virtual-time
+// behaviour while shedding almost all of their scheduling cost.
+//
+// Two execution contexts exist and must not be confused:
+//
+//   - process context: ordinary user code, running without the
+//     scheduler lock. It may call every blocking primitive, and arms
+//     Timers with Timer.Schedule and raises Signals with Signal.Raise.
+//   - scheduler context: a Timer callback, running *inside* the
+//     scheduler with the runtime lock held. It must not block and must
+//     not call anything that re-enters the runtime (Proc methods,
+//     channel operations, Runtime.Now). It receives a Sched capability
+//     and goes through that for everything: Sched.Now, Sched.Schedule,
+//     Sched.Raise.
+//
+// Both contexts are serialised with all process code by the runtime
+// lock, so callback code may touch the same plain data structures
+// processes touch, with no extra locking.
+
+// Sched is the capability handle passed to Timer callbacks. It proves
+// the caller is in scheduler context (runtime lock held) and exposes
+// the only operations legal there.
+type Sched struct{ rt *Runtime }
+
+// Now returns the current virtual time.
+func (s Sched) Now() Time { return s.rt.now }
+
+// Schedule arms tm to fire at time t (clamped to now). Panics if tm is
+// already armed.
+func (s Sched) Schedule(tm *Timer, t Time) { tm.scheduleLocked(t) }
+
+// Raise raises sig from scheduler context.
+func (s Sched) Raise(sig *Signal) { sig.raiseLocked() }
+
+// Timer is a reusable scheduler-context callback: when armed, its
+// function runs at the scheduled virtual instant, interleaved with
+// process wake-ups in (time, arming-order) sequence. A Timer owns its
+// heap event, so re-arming allocates nothing. One Timer is one pending
+// event: it must not be armed again until it has fired (the callback
+// itself may re-arm, which is how paced chains self-perpetuate).
+type Timer struct {
+	rt     *Runtime
+	ev     timerEv
+	active bool
+}
+
+// NewTimer returns an unarmed timer whose callback is fn. fn runs in
+// scheduler context — see the package rules above.
+func NewTimer(rt *Runtime, fn func(s Sched)) *Timer {
+	tm := &Timer{rt: rt}
+	tm.ev.pinned = true // owned here; never recycled onto the free list
+	tm.ev.fn = func() {
+		tm.active = false
+		fn(Sched{rt})
+	}
+	return tm
+}
+
+// Schedule arms the timer to fire at time t (clamped to now). Call
+// from process context; callbacks use Sched.Schedule. Panics if the
+// timer is already armed.
+func (tm *Timer) Schedule(t Time) {
+	rt := tm.rt
+	rt.mu.Lock()
+	tm.scheduleLocked(t)
+	rt.mu.Unlock()
+}
+
+// Active reports whether the timer is armed. Call from process
+// context, or on scheduler-context state the caller already owns.
+func (tm *Timer) Active() bool { return tm.active }
+
+func (tm *Timer) scheduleLocked(t Time) {
+	rt := tm.rt
+	if tm.active {
+		panic("occam: Timer scheduled while already armed")
+	}
+	if t < rt.now {
+		t = rt.now
+	}
+	rt.seq++
+	tm.ev.at, tm.ev.seq = t, rt.seq
+	tm.ev.cancelled = false
+	tm.active = true
+	heap.Push(&rt.timers, &tm.ev)
+}
+
+// Signal is a single-waiter level-triggered wakeup: the bridge from
+// scheduler context back to a blocked process. Raise while a process
+// waits makes it runnable; Raise with no waiter is remembered, so the
+// next Wait returns immediately (raises do not accumulate past one).
+// Exactly one process may wait at a time.
+type Signal struct {
+	rt   *Runtime
+	nm   string
+	p    *Proc
+	set  bool
+}
+
+// NewSignal returns a signal. The name shows up in deadlock dumps as
+// what the waiting process is blocked on.
+func NewSignal(rt *Runtime, name string) *Signal {
+	return &Signal{rt: rt, nm: name}
+}
+
+// Wait blocks the process until the signal is raised, consuming the
+// raise. Returns immediately if a raise is already pending.
+func (s *Signal) Wait(p *Proc) {
+	rt := s.rt
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if s.set {
+		s.set = false
+		return
+	}
+	if s.p != nil {
+		panic("occam: Signal already has a waiter: " + s.nm)
+	}
+	s.p = p
+	rt.park(p, stRecv, s.nm)
+}
+
+// Raise wakes the waiting process, or latches if none is waiting. Call
+// from process context; callbacks use Sched.Raise.
+func (s *Signal) Raise() {
+	s.rt.mu.Lock()
+	s.raiseLocked()
+	s.rt.mu.Unlock()
+}
+
+func (s *Signal) raiseLocked() {
+	if p := s.p; p != nil {
+		s.p = nil
+		s.rt.ready(p)
+		return
+	}
+	s.set = true
+}

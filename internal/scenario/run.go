@@ -221,10 +221,16 @@ func (r *Runner) startFeed(name string, fd Feed) {
 		tone := workload.NewTone(400, 8000)
 		pool := segment.NewWirePool()
 		seqs := make([]uint32, n)
+		var (
+			aseg  segment.Audio
+			adata = make([]byte, 2*segment.BlockSamples)
+		)
 		for tick := 0; ; tick++ {
 			p.SleepUntil(occam.Time(int64(tick) * int64(2*segment.BlockDuration)))
 			for i := 0; i < n; i++ {
-				w := pool.Encode(segment.NewAudio(seqs[i], p.Now(), [][]byte{tone.NextBlock(), tone.NextBlock()}))
+				tone.FillBlock(adata[:segment.BlockSamples])
+				tone.FillBlock(adata[segment.BlockSamples:])
+				w := pool.Encode(aseg.Reset(seqs[i], p.Now(), adata))
 				seqs[i]++
 				if gen.Send(p, atm.Message{VCI: base + uint32(i), Size: w.Len(), W: w}) != nil {
 					w.Release()
@@ -248,11 +254,18 @@ func (r *Runner) startCross(txName, sinkName string, c Cross) {
 		}
 	})
 	vci, seed, gap, szMin, szJit := c.VCI, c.Seed, c.Gap, c.SizeMin, c.SizeJitter
+	if gap <= 0 {
+		gap = 10 * time.Millisecond // default inter-message gap when the spec omits gap=
+	}
 	s.RT.Go(txName+".tx", nil, occam.Low, func(p *occam.Proc) {
 		rng := workload.NewRNG(seed)
 		for {
 			p.Sleep(time.Duration(rng.Intn(int(gap))))
-			tx.Send(p, atm.Message{VCI: vci, Size: szMin + rng.Intn(szJit)})
+			size := szMin
+			if szJit > 0 {
+				size += rng.Intn(szJit)
+			}
+			tx.Send(p, atm.Message{VCI: vci, Size: size})
 		}
 	})
 }
@@ -294,7 +307,19 @@ func (r *Runner) apply(p *occam.Proc, ev Event) {
 	case "drop":
 		s.RemoveDestination(p, r.Streams[ev.Ref], ev.To[0])
 	case "close":
-		s.Close(p, r.Streams[ev.Ref])
+		if st, ok := r.Streams[ev.Ref]; ok {
+			s.Close(p, st)
+			break
+		}
+		// A call or conference ref names a bundle of streams stored as
+		// ref[0..n-1]: close every member.
+		for i := 0; ; i++ {
+			st, ok := r.Streams[fmt.Sprintf("%s[%d]", ev.Ref, i)]
+			if !ok {
+				break
+			}
+			s.Close(p, st)
+		}
 	case "netsend":
 		// Raw route: the E1 "outgoing stream" — a mic stream pushed onto
 		// an explicit VCI with no speaker route installed at the far end.

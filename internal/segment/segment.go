@@ -187,6 +187,32 @@ func NewAudio(seq uint32, at occam.Time, blocks [][]byte) *Audio {
 	return a
 }
 
+// Reset re-initialises a (reused) Audio segment in place around data,
+// which must be whole 2 ms blocks. The segment aliases data, so the
+// caller may only recycle the buffer after the segment has been
+// encoded (or otherwise copied). It is NewAudio without the per-
+// segment allocations, for hot capture loops that keep one Audio and
+// one sample buffer and re-fill both.
+func (a *Audio) Reset(seq uint32, at occam.Time, data []byte) *Audio {
+	if len(data)%BlockSamples != 0 {
+		panic(fmt.Sprintf("segment: %d samples, not whole blocks", len(data)))
+	}
+	*a = Audio{
+		Common: Common{
+			Version:   Version,
+			Seq:       seq,
+			Timestamp: Timestamp(at),
+			Type:      TypeAudio,
+		},
+		SamplingRate: SampleRate,
+		Format:       FormatMuLaw8,
+		Compression:  CompressionNone,
+		Data:         data,
+	}
+	a.Length = uint32(a.WireSize())
+	return a
+}
+
 // Encode appends the wire form of the segment to dst.
 func (a *Audio) Encode(dst []byte) []byte {
 	dst = a.Common.encode(dst)

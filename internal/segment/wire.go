@@ -278,8 +278,17 @@ func (pl *WirePool) get(size int) *wireCtl {
 		pl.Ctls++
 	}
 	if cap(c.arr) < size {
+		// Round storage up to a power-of-two size class: wire sizes
+		// vary segment to segment (compressed video especially), and
+		// exact-fit growth would re-allocate every time a small record
+		// is popped for a larger request. With classes the pool
+		// converges: each record grows O(log maxSize) times, ever.
 		pl.News++
-		c.arr = make([]byte, size)
+		n := 64
+		for n < size {
+			n <<= 1
+		}
+		c.arr = make([]byte, size, n)
 	}
 	c.arr = c.arr[:size]
 	c.refs = 1

@@ -49,24 +49,41 @@ func paramsFromHeader(b byte) LineParams {
 // returning header byte + packed deltas. The reconstruction the
 // decoder will produce is also returned, since DPCM prediction must
 // run against reconstructed values at both ends.
+//
+// CompressLine allocates fresh slices on every call; the per-line hot
+// paths (capture boards, slicers) use a Codec, which reuses storage.
 func CompressLine(line []byte, lp LineParams) (wire []byte, recon []byte) {
 	src := line
 	if lp.Subsample {
-		sub := make([]byte, (len(line)+1)/2)
-		for i := range sub {
-			sub[i] = line[2*i]
-		}
-		src = sub
+		src = subsampleInto(nil, line)
 	}
-	if lp.Raw {
-		wire = append([]byte{lp.headerByte()}, src...)
-		return wire, expand(src, lp.Subsample, len(line))
-	}
-	wire = make([]byte, 1, 1+(len(src)+1)/2)
-	wire[0] = lp.headerByte()
 	reconSub := make([]byte, len(src))
+	wire = compressTo(make([]byte, 0, 1+len(src)), reconSub, src, lp)
+	return wire, expandInto(nil, reconSub, lp.Subsample, len(line))
+}
+
+// subsampleInto writes line's 2:1 horizontal sub-sampling over dst's
+// storage (grown as needed) and returns it.
+func subsampleInto(dst, line []byte) []byte {
+	n := (len(line) + 1) / 2
+	dst = growBytes(dst, n)
+	for i := 0; i < n; i++ {
+		dst[i] = line[2*i]
+	}
+	return dst
+}
+
+// compressTo appends src's header byte + packed deltas to wire and
+// writes the decoder's reconstruction of src into recon (len(src)
+// bytes, pre-sized by the caller).
+func compressTo(wire, recon, src []byte, lp LineParams) []byte {
+	wire = append(wire, lp.headerByte())
+	if lp.Raw {
+		copy(recon, src)
+		return append(wire, src...)
+	}
 	pred := 128
-	var nibbles []byte
+	var hi byte
 	for i, px := range src {
 		delta := int(px) - pred
 		q := delta >> lp.Shift
@@ -76,7 +93,15 @@ func CompressLine(line []byte, lp LineParams) (wire []byte, recon []byte) {
 		if q < -8 {
 			q = -8
 		}
-		nibbles = append(nibbles, byte(q&0x0F))
+		nib := byte(q & 0x0F)
+		if i%2 == 0 {
+			hi = nib << 4
+			if i == len(src)-1 {
+				wire = append(wire, hi)
+			}
+		} else {
+			wire = append(wire, hi|nib)
+		}
 		pred += q << lp.Shift
 		if pred > 255 {
 			pred = 255
@@ -84,26 +109,29 @@ func CompressLine(line []byte, lp LineParams) (wire []byte, recon []byte) {
 		if pred < 0 {
 			pred = 0
 		}
-		reconSub[i] = byte(pred)
+		recon[i] = byte(pred)
 	}
-	for i := 0; i < len(nibbles); i += 2 {
-		b := nibbles[i] << 4
-		if i+1 < len(nibbles) {
-			b |= nibbles[i+1]
-		}
-		wire = append(wire, b)
-	}
-	return wire, expand(reconSub, lp.Subsample, len(line))
+	return wire
 }
 
-// expand undoes horizontal sub-sampling by linear interpolation.
-func expand(sub []byte, subsampled bool, width int) []byte {
+// growBytes returns b resized to n bytes, reusing its storage where
+// capacity allows. Contents are unspecified.
+func growBytes(b []byte, n int) []byte {
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}
+
+// expandInto undoes horizontal sub-sampling by linear interpolation,
+// writing over out's storage (grown as needed).
+func expandInto(out, sub []byte, subsampled bool, width int) []byte {
 	if !subsampled {
-		out := make([]byte, len(sub))
+		out = growBytes(out, len(sub))
 		copy(out, sub)
 		return out
 	}
-	out := make([]byte, width)
+	out = growBytes(out, width)
 	for i := 0; i < width; i++ {
 		j := i / 2
 		if i%2 == 0 || j+1 >= len(sub) {
@@ -121,7 +149,61 @@ var (
 )
 
 // DecompressLine decodes one compressed line back to width pixels.
+// Allocates per call; hot paths use Codec.DecompressLine.
 func DecompressLine(wire []byte, width int) ([]byte, error) {
+	var c Codec
+	line, err := c.DecompressLine(wire, width)
+	if err != nil {
+		return nil, err
+	}
+	return line, nil
+}
+
+// Codec holds the reusable line buffers of one compression or
+// decompression pipeline — the per-line scratch the hardware would
+// keep in registers. Not safe for concurrent use; one Codec per
+// process.
+//
+// Ownership: CompressLine results stay valid until the Reset that
+// recycles them (each call hands out a distinct buffer, so a whole
+// frame of lines can be held at once, e.g. until packing).
+// DecompressLine results are valid only until the next call — callers
+// copy out immediately, as the display path does anyway.
+type Codec struct {
+	sub   []byte   // sub-sampling scratch
+	recon []byte   // reconstruction scratch (compress)
+	line  []byte   // decompressed line (decompress)
+	wires [][]byte // compressed-line buffers handed out since Reset
+	n     int
+}
+
+// Reset recycles every buffer handed out by CompressLine since the
+// last Reset. Call once per frame/segment, after the compressed lines
+// have been packed or sent.
+func (c *Codec) Reset() { c.n = 0 }
+
+// CompressLine is CompressLine with reused storage, for callers that
+// do not need the reconstruction. The returned wire is valid until
+// Reset.
+func (c *Codec) CompressLine(line []byte, lp LineParams) []byte {
+	src := line
+	if lp.Subsample {
+		c.sub = subsampleInto(c.sub, line)
+		src = c.sub
+	}
+	c.recon = growBytes(c.recon, len(src))
+	if c.n == len(c.wires) {
+		c.wires = append(c.wires, nil)
+	}
+	w := compressTo(c.wires[c.n][:0], c.recon, src, lp)
+	c.wires[c.n] = w
+	c.n++
+	return w
+}
+
+// DecompressLine decodes one compressed line back to width pixels.
+// The returned line is valid until the next call.
+func (c *Codec) DecompressLine(wire []byte, width int) ([]byte, error) {
 	if len(wire) < 1 {
 		return nil, ErrLineTooShort
 	}
@@ -135,12 +217,14 @@ func DecompressLine(wire []byte, width int) ([]byte, error) {
 		if len(body) < subWidth {
 			return nil, ErrLineTooShort
 		}
-		return expand(body[:subWidth], lp.Subsample, width), nil
+		c.line = expandInto(c.line, body[:subWidth], lp.Subsample, width)
+		return c.line, nil
 	}
 	if len(body) < (subWidth+1)/2 {
 		return nil, ErrLineTooShort
 	}
-	sub := make([]byte, subWidth)
+	c.sub = growBytes(c.sub, subWidth)
+	sub := c.sub
 	pred := 128
 	for i := 0; i < subWidth; i++ {
 		nib := body[i/2]
@@ -157,7 +241,8 @@ func DecompressLine(wire []byte, width int) ([]byte, error) {
 		}
 		sub[i] = byte(pred)
 	}
-	return expand(sub, lp.Subsample, width), nil
+	c.line = expandInto(c.line, sub, lp.Subsample, width)
+	return c.line, nil
 }
 
 // CompressedLineSize returns the wire size of one line.
@@ -224,7 +309,7 @@ func (ip *Interpolator) Advance(stream uint32, line []byte) {
 	if !ip.hasLoaded || ip.loaded != stream {
 		panic(fmt.Sprintf("video: Advance for stream %d without Begin", stream))
 	}
-	ip.cache[stream] = append([]byte(nil), line...)
+	ip.cache[stream] = append(ip.cache[stream][:0], line...)
 }
 
 // Forget drops a stream's cached line (stream closed).

@@ -43,13 +43,29 @@ func (f *Frame) Set(x, y int, v byte) { f.Pix[y*f.W+x] = v }
 // Row returns row y (aliasing Pix).
 func (f *Frame) Row(y int) []byte { return f.Pix[y*f.W : (y+1)*f.W] }
 
+// Reuse resizes the frame in place, keeping its pixel storage where
+// capacity allows. Pixel contents are unspecified afterwards — for
+// scratch frames whose every pixel the caller overwrites.
+func (f *Frame) Reuse(w, h int) {
+	n := w * h
+	if cap(f.Pix) < n {
+		f.Pix = make([]byte, n)
+	}
+	f.Pix = f.Pix[:n]
+	f.W, f.H = w, h
+}
+
 // SubImage copies rectangle r out of the frame.
 func (f *Frame) SubImage(r Rect) *Frame {
 	out := NewFrame(r.W, r.H)
+	f.subImageInto(out, r)
+	return out
+}
+
+func (f *Frame) subImageInto(out *Frame, r Rect) {
 	for y := 0; y < r.H; y++ {
 		copy(out.Row(y), f.Pix[(r.Y+y)*f.W+r.X:(r.Y+y)*f.W+r.X+r.W])
 	}
-	return out
 }
 
 // Blit copies src into the frame with its top-left corner at (x, y).
@@ -120,4 +136,12 @@ func (fs *Framestore) WriteLines(src *Frame, y0, y1 int) {
 // ReadRect copies rectangle r out of the store (the capture port).
 func (fs *Framestore) ReadRect(r Rect) *Frame {
 	return fs.frame.SubImage(r)
+}
+
+// ReadRectInto is ReadRect into a reused scratch frame — the capture
+// board's read path, which reads a band per segment and never keeps
+// it.
+func (fs *Framestore) ReadRectInto(dst *Frame, r Rect) {
+	dst.Reuse(r.W, r.H)
+	fs.frame.subImageInto(dst, r)
 }

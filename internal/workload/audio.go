@@ -23,6 +23,16 @@ type AudioSource interface {
 	NextBlock() []byte
 }
 
+// BlockFiller is the allocation-free variant of AudioSource: the
+// source writes the next block into caller-owned storage. All the
+// built-in sources implement it; hot paths type-assert once and fall
+// back to NextBlock for sources that don't.
+type BlockFiller interface {
+	// FillBlock overwrites dst (BlockSamples bytes) with the next
+	// 16-sample µ-law block.
+	FillBlock(dst []byte)
+}
+
 // Tone is a steady sine tone, useful for loss-audibility experiments
 // ("undetectable except during solo violin pieces").
 type Tone struct {
@@ -45,13 +55,18 @@ func NewTone(freqHz int, amplitude int32) *Tone {
 // NextBlock returns the next 2 ms of the tone.
 func (t *Tone) NextBlock() []byte {
 	b := make([]byte, segment.BlockSamples)
-	for i := range b {
+	t.FillBlock(b)
+	return b
+}
+
+// FillBlock writes the next 2 ms of the tone into dst.
+func (t *Tone) FillBlock(dst []byte) {
+	for i := range dst {
 		idx := (t.phase >> 8) & 0xFF
 		v := sineTable[idx] * t.amplitude / 16384
-		b[i] = mulaw.Encode(int16(clamp(v)))
+		dst[i] = mulaw.Encode(int16(clamp(v)))
 		t.phase += t.step
 	}
-	return b
 }
 
 // Speech is a speech-like source: alternating talk spurts and
@@ -80,6 +95,13 @@ func NewSpeech(seed uint64, amplitude int32) *Speech {
 
 // NextBlock returns the next 2 ms of speech-like audio.
 func (s *Speech) NextBlock() []byte {
+	b := make([]byte, segment.BlockSamples)
+	s.FillBlock(b)
+	return b
+}
+
+// FillBlock writes the next 2 ms of speech-like audio into dst.
+func (s *Speech) FillBlock(dst []byte) {
 	if s.blocksLeft <= 0 {
 		s.talking = !s.talking
 		mean := s.meanSilent
@@ -90,13 +112,12 @@ func (s *Speech) NextBlock() []byte {
 	}
 	s.blocksLeft--
 	if !s.talking {
-		b := make([]byte, segment.BlockSamples)
-		for i := range b {
-			b[i] = mulaw.Silence
+		for i := range dst {
+			dst[i] = mulaw.Silence
 		}
-		return b
+		return
 	}
-	return s.tone.NextBlock()
+	s.tone.FillBlock(dst)
 }
 
 // Talking reports whether the source is inside a talk spurt.
@@ -108,10 +129,15 @@ type Silence struct{}
 // NextBlock returns 2 ms of silence.
 func (Silence) NextBlock() []byte {
 	b := make([]byte, segment.BlockSamples)
-	for i := range b {
-		b[i] = mulaw.Silence
-	}
+	Silence{}.FillBlock(b)
 	return b
+}
+
+// FillBlock writes 2 ms of silence into dst.
+func (Silence) FillBlock(dst []byte) {
+	for i := range dst {
+		dst[i] = mulaw.Silence
+	}
 }
 
 // Ramp is a deterministic sawtooth marking each sample with its
@@ -121,11 +147,16 @@ type Ramp struct{ n uint32 }
 // NextBlock returns the next 16 samples of the ramp.
 func (r *Ramp) NextBlock() []byte {
 	b := make([]byte, segment.BlockSamples)
-	for i := range b {
-		b[i] = mulaw.Encode(int16(r.n % 8000))
+	r.FillBlock(b)
+	return b
+}
+
+// FillBlock writes the next 16 samples of the ramp into dst.
+func (r *Ramp) FillBlock(dst []byte) {
+	for i := range dst {
+		dst[i] = mulaw.Encode(int16(r.n % 8000))
 		r.n++
 	}
-	return b
 }
 
 func clamp(v int32) int32 {

@@ -1,10 +1,29 @@
 //go:build ignore
 
-// bench_guard runs the E2/E3/E21/E22 benchmarks once and fails if
-// allocs/op regresses more than 20% against the committed
-// BENCH_e2e.json baseline (the single-copy data path's headline
-// numbers plus the overload and fabric-isolation paths). Run from
-// the repository root:
+// bench_guard runs the E2/E3/E21/E22 benchmarks once and ratchets
+// them against the committed BENCH_e2e.json baseline (the single-copy
+// data path's headline numbers plus the overload and fabric-isolation
+// paths).
+//
+// Ratchet policy:
+//
+//   - allocs/op may not exceed 1.20× baseline. Allocation counts are
+//     deterministic for these virtual-time simulations, so the band
+//     only absorbs Go-version accounting drift, not noise.
+//   - ns/op may not exceed 1.15× baseline. Wall time of a
+//     deterministic simulation is stable in shape but runs on shared
+//     CI hardware, so the band absorbs machine-to-machine noise; a
+//     real regression (a new per-cell allocation, a lost fast path)
+//     shows up far above 15%.
+//   - Baselines only move by regenerating the file:
+//     `go run ./cmd/pandora-bench -bench-json BENCH_e2e.json`.
+//     Committing a regenerated file after an optimisation *tightens*
+//     the ratchet — future regressions are measured from the better
+//     number. Never hand-edit baselines upward to silence the guard;
+//     if a deliberate slowdown is accepted (e.g. modelling more of the
+//     paper), regenerate and say so in the commit message.
+//
+// Run from the repository root:
 //
 //	go run scripts/bench_guard.go
 package main
@@ -19,7 +38,7 @@ import (
 )
 
 // guarded maps benchmark names to the BENCH_e2e.json experiment IDs
-// holding their baseline allocs/op.
+// holding their baselines.
 var guarded = map[string]string{
 	"BenchmarkE2LinkCapacity":         "E2",
 	"BenchmarkE3OneWayLatency":        "E3",
@@ -27,13 +46,22 @@ var guarded = map[string]string{
 	"BenchmarkE22FabricIsolation":     "E22",
 }
 
-const regressionLimit = 1.20
+const (
+	allocLimit = 1.20 // allocs/op ratchet band
+	nsLimit    = 1.15 // ns/op ratchet band
+)
 
 type benchFile struct {
 	Experiments []struct {
 		ID          string `json:"id"`
+		NsPerOp     int64  `json:"ns_per_op"`
 		AllocsPerOp uint64 `json:"allocs_per_op"`
 	} `json:"experiments"`
+}
+
+type baseline struct {
+	ns     int64
+	allocs uint64
 }
 
 func main() {
@@ -45,9 +73,9 @@ func main() {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		fatal("parsing baseline: %v", err)
 	}
-	baseline := map[string]uint64{}
+	baselines := map[string]baseline{}
 	for _, e := range base.Experiments {
-		baseline[e.ID] = e.AllocsPerOp
+		baselines[e.ID] = baseline{ns: e.NsPerOp, allocs: e.AllocsPerOp}
 	}
 
 	cmd := exec.Command("go", "test",
@@ -60,34 +88,40 @@ func main() {
 	}
 
 	// e.g. "BenchmarkE2LinkCapacity  1  94400697 ns/op  10143960 B/op  316848 allocs/op"
-	line := regexp.MustCompile(`(?m)^(Benchmark\w+)\S*\s+\d+\s+\d+ ns/op\s+\d+ B/op\s+(\d+) allocs/op`)
+	line := regexp.MustCompile(`(?m)^(Benchmark\w+)\S*\s+\d+\s+(\d+) ns/op\s+\d+ B/op\s+(\d+) allocs/op`)
 	checked := 0
 	failed := false
+	check := func(name, metric string, now, want float64, limit float64) {
+		ratio := now / want
+		status := "ok"
+		if ratio > limit {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%s: %.0f %s vs baseline %.0f (%.2fx, limit %.2fx) %s\n",
+			name, now, metric, want, ratio, limit, status)
+	}
 	for _, m := range line.FindAllStringSubmatch(string(out), -1) {
 		id, ok := guarded[m[1]]
 		if !ok {
 			continue
 		}
-		now, _ := strconv.ParseUint(m[2], 10, 64)
-		want, ok := baseline[id]
-		if !ok || want == 0 {
+		b, ok := baselines[id]
+		if !ok || b.allocs == 0 || b.ns == 0 {
 			fatal("no %s baseline in BENCH_e2e.json", id)
 		}
-		ratio := float64(now) / float64(want)
-		status := "ok"
-		if ratio > regressionLimit {
-			status = "REGRESSION"
-			failed = true
-		}
-		fmt.Printf("%s: %d allocs/op vs baseline %d (%.2fx, limit %.2fx) %s\n",
-			m[1], now, want, ratio, regressionLimit, status)
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		allocs, _ := strconv.ParseFloat(m[3], 64)
+		check(m[1], "ns/op", ns, float64(b.ns), nsLimit)
+		check(m[1], "allocs/op", allocs, float64(b.allocs), allocLimit)
 		checked++
 	}
 	if checked != len(guarded) {
 		fatal("only %d of %d guarded benchmarks found in output", checked, len(guarded))
 	}
 	if failed {
-		fatal("allocs/op regressed beyond %.0f%%", (regressionLimit-1)*100)
+		fatal("regression beyond the ratchet band (allocs %.0f%%, ns %.0f%%)",
+			(allocLimit-1)*100, (nsLimit-1)*100)
 	}
 }
 
