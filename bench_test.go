@@ -166,6 +166,13 @@ func BenchmarkE22FabricIsolation(b *testing.B) {
 	}
 }
 
+func BenchmarkE23ReplicationTree(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiment.E23()
+	}
+}
+
 // BenchmarkFabricCrossbar isolates the fabric fast path: segments
 // crossing the sharded crossbar into a batched egress, one per 20 µs
 // of virtual time. allocs/op is the headline — the cell path must not

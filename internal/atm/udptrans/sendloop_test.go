@@ -1,0 +1,176 @@
+package udptrans
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/atm"
+)
+
+// arenaOf encodes messages for the given seqs back to back, the way
+// Batcher.Add lays out its arena.
+func arenaOf(t *testing.T, seqs ...uint32) ([]byte, []int) {
+	t.Helper()
+	var arena []byte
+	var ends []int
+	for _, seq := range seqs {
+		w := testWire(t, seq)
+		out, err := Encode(arena, atm.Message{VCI: 100 + seq, Size: len(w.Bytes()), W: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		arena = out
+		ends = append(ends, len(arena))
+	}
+	return arena, ends
+}
+
+// TestSendLoopDelivery exercises the portable batch submission — the
+// path every non-linux platform takes through batch_generic.go — over
+// a real loopback socket: one Write per datagram, every datagram
+// delivered intact and in order.
+func TestSendLoopDelivery(t *testing.T) {
+	rx, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback UDP: %v", err)
+	}
+	defer rx.Close()
+	tr, err := Dial(rx.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	arena, ends := arenaOf(t, 1, 2, 3, 4, 5)
+	if err := sendLoop(tr, arena, ends); err != nil {
+		t.Fatal(err)
+	}
+	var got []atm.Message
+	deadline := time.Now().Add(2 * time.Second)
+	for len(got) < len(ends) && time.Now().Before(deadline) {
+		got = append(got, rx.Drain()...)
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(got) != len(ends) {
+		t.Fatalf("delivered %d of %d datagrams", len(got), len(ends))
+	}
+	for i, m := range got {
+		if m.W.Seq() != uint32(i+1) || m.VCI != uint32(101+i) {
+			t.Fatalf("datagram %d out of order: seq %d vci %d", i, m.W.Seq(), m.VCI)
+		}
+	}
+	if n := rx.DecodeErrs(); n != 0 {
+		t.Fatalf("%d decode errors", n)
+	}
+}
+
+// TestSendLoopEmptyAndSlicing: an empty batch writes nothing, and the
+// loop slices the arena strictly by the ends offsets — a stale offset
+// list must not smear datagrams together.
+func TestSendLoopEmptyAndSlicing(t *testing.T) {
+	rx, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback UDP: %v", err)
+	}
+	defer rx.Close()
+	tr, err := Dial(rx.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	if err := sendLoop(tr, nil, nil); err != nil {
+		t.Fatalf("empty batch errored: %v", err)
+	}
+	// Two datagrams in the arena, but ends lists only the first: the
+	// second must not be sent.
+	arena, ends := arenaOf(t, 8, 9)
+	if err := sendLoop(tr, arena, ends[:1]); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	got := rx.Drain()
+	if len(got) != 1 || got[0].W.Seq() != 8 {
+		t.Fatalf("expected exactly the first datagram, got %d messages", len(got))
+	}
+}
+
+// TestSendLoopErrorStops: a dead socket fails the loop with the peer
+// address in the error, matching Flush's loss-reporting contract.
+func TestSendLoopErrorStops(t *testing.T) {
+	rx, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback UDP: %v", err)
+	}
+	addr := rx.Addr()
+	rx.Close()
+	tr, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Close() // closed socket: every Write fails
+	arena, ends := arenaOf(t, 1, 2)
+	err = sendLoop(tr, arena, ends)
+	if err == nil {
+		t.Fatal("sendLoop on a closed socket succeeded")
+	}
+	if !strings.Contains(err.Error(), addr) {
+		t.Fatalf("error does not name the peer: %v", err)
+	}
+}
+
+// TestBatchSenderUsesLoopSemantics pins that a Batcher flush and a
+// direct sendLoop over the same arena deliver identical datagrams —
+// the linux sendmmsg path and the portable loop must be
+// interchangeable.
+func TestBatchSenderUsesLoopSemantics(t *testing.T) {
+	run := func(via string) [][]byte {
+		rx, err := Listen("127.0.0.1:0")
+		if err != nil {
+			t.Skipf("no loopback UDP: %v", err)
+		}
+		defer rx.Close()
+		tr, err := Dial(rx.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		arena, ends := arenaOf(t, 21, 22, 23)
+		switch via {
+		case "loop":
+			err = sendLoop(tr, arena, ends)
+		case "batcher":
+			b := NewBatcher(tr, 8)
+			start := 0
+			for _, end := range ends {
+				if err := b.AddRaw(arena[start:end]); err != nil {
+					t.Fatal(err)
+				}
+				start = end
+			}
+			err = b.Flush()
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out [][]byte
+		deadline := time.Now().Add(2 * time.Second)
+		for len(out) < len(ends) && time.Now().Before(deadline) {
+			for _, m := range rx.Drain() {
+				out = append(out, append([]byte{}, m.W.Bytes()...))
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if len(out) != len(ends) {
+			t.Fatalf("%s delivered %d of %d", via, len(out), len(ends))
+		}
+		return out
+	}
+	loop, batched := run("loop"), run("batcher")
+	for i := range loop {
+		if string(loop[i]) != string(batched[i]) {
+			t.Fatalf("datagram %d differs between sendLoop and Batcher flush", i)
+		}
+	}
+}

@@ -84,6 +84,11 @@ type Route struct {
 	// are video regardless; outgoing camera routes (OutNetwork only)
 	// must set it.
 	Video bool
+	// Relay marks an interior distribution-tree route: the stream both
+	// plays locally and fans copies to downstream boxes. The overload
+	// controller sheds such a stream per-subtree — the forwarded
+	// copies stop, the local playout survives.
+	Relay bool
 }
 
 // SwitchCommand updates the switch tables or requests a report.
@@ -243,6 +248,13 @@ type Box struct {
 	outBufs   [numOutputs + 1]*decouple.Process[*allocator.Buffer]
 	swStats   SwitchStats
 	netVCI    map[uint32][]uint32 // stream → outgoing VCIs
+	// shedNet parks a relay stream's forwarded fan-out while the
+	// overload controller has it shed: the subtree's copies stop, the
+	// local playout keeps running (the per-subtree shed target).
+	shedNet map[uint32][]uint32
+	// copiesHi is the high-water mark of outgoing copies any single
+	// stream fanned to — the per-hop copy invariant's witness.
+	copiesHi int
 
 	// streamDir mirrors the routes the host has installed, as the
 	// overload controller's view: media class, direction and age of
@@ -305,6 +317,7 @@ type SwitchStats struct {
 type routeInfo struct {
 	video    bool
 	incoming bool // delivered locally, no network output
+	relay    bool // interior tree node: local playout + forwarded copies
 	opened   occam.Time
 }
 
@@ -341,6 +354,7 @@ func New(rt *occam.Runtime, net *atm.Network, cfg Config) *Box {
 		toSwitch:    occam.NewChan[*allocator.Buffer](rt, cfg.Name+".toswitch"),
 		switchCmd:   occam.NewChan[SwitchCommand](rt, cfg.Name+".switchcmd"),
 		netVCI:      make(map[uint32][]uint32),
+		shedNet:     make(map[uint32][]uint32),
 		streamDir:   make(map[uint32]routeInfo),
 		crashTraced: make(map[string]bool),
 		audioCmds:   occam.NewChan[audioCmd](rt, cfg.Name+".audiocmd"),
@@ -406,6 +420,7 @@ func (b *Box) observe() {
 	reg.CounterFunc("audio_mic_drops_total", func() uint64 { return b.audioStat.MicDrops }, lb)
 	b.playoutHist = reg.Histogram("audio_playout_latency_ms", nil, lb)
 
+	reg.GaugeFunc("net_copies_max", func() float64 { return float64(b.copiesHi) }, lb)
 	reg.CounterFunc("switch_shed_drops_total", func() uint64 { return b.swStats.ShedDrops }, lb)
 	reg.CounterFunc("server_corrupt_drops_total", func() uint64 { return b.swStats.CorruptDrops }, lb)
 
@@ -492,8 +507,12 @@ func (b *Box) SetRoute(p *occam.Proc, r Route) {
 	}
 	if len(r.NetVCIs) > 0 {
 		b.netVCI[r.Stream] = append([]uint32(nil), r.NetVCIs...)
+		delete(b.shedNet, r.Stream) // a new fan-out supersedes a parked one
+		if len(r.NetVCIs) > b.copiesHi {
+			b.copiesHi = len(r.NetVCIs)
+		}
 	}
-	info := routeInfo{video: r.Video, incoming: true, opened: r.Opened}
+	info := routeInfo{video: r.Video, incoming: true, relay: r.Relay, opened: r.Opened}
 	for _, o := range r.Outputs {
 		if o == OutNetwork {
 			info.incoming = false
@@ -510,8 +529,28 @@ func (b *Box) SetRoute(p *occam.Proc, r Route) {
 // (principle 6).
 func (b *Box) CloseRoute(p *occam.Proc, stream uint32) {
 	delete(b.streamDir, stream)
+	delete(b.shedNet, stream)
 	b.switchCmd.Send(p, SwitchCommand{Close: stream, HasClose: true})
 }
+
+// SetNetCopies replaces a stream's outgoing fan-out list without
+// touching its switch route — the tree planner's lever for mid-stream
+// reparenting (principle 6: the change applies between segments). An
+// empty list stops the stream's forwarded copies entirely; it does NOT
+// fall back to the VCI-identity default the way a never-routed stream
+// does.
+func (b *Box) SetNetCopies(p *occam.Proc, stream uint32, vcis []uint32) {
+	b.netVCI[stream] = append([]uint32{}, vcis...)
+	delete(b.shedNet, stream)
+	if len(vcis) > b.copiesHi {
+		b.copiesHi = len(vcis)
+	}
+}
+
+// MaxNetCopies returns the most outgoing copies any single stream ever
+// fanned to at this box — the witness for the per-hop copy invariant
+// (an interior tree box carries at most K copies).
+func (b *Box) MaxNetCopies() int { return b.copiesHi }
 
 // StartMic begins the outgoing microphone stream with the given
 // stream number. Its route must be installed with SetRoute.
@@ -594,6 +633,17 @@ func (b *Box) DegradeAudioBuffers() []string {
 // barred at the mixer so its clawback buffer drains instead of
 // starving into concealment noise.
 func (b *Box) DegradeShed(p *occam.Proc, id uint32) {
+	if ri, ok := b.streamDir[id]; ok && ri.relay {
+		// Per-subtree shed: an overloaded interior tree box stops its
+		// forwarded copies (its downstream subtree degrades) but keeps
+		// its own playout — shedding at the switch would kill both.
+		if _, parked := b.shedNet[id]; !parked {
+			b.shedNet[id] = b.netVCI[id]
+			b.netVCI[id] = []uint32{}
+			b.trace.Emit(obs.EvReconfig, b.cfg.Name+".switch", id, "subtree shed")
+		}
+		return
+	}
 	b.switchCmd.Send(p, SwitchCommand{Shed: id, HasShed: true})
 	if ri, ok := b.streamDir[id]; ok && ri.incoming && !ri.video {
 		b.mix.SetShed(id, true)
@@ -602,6 +652,12 @@ func (b *Box) DegradeShed(p *occam.Proc, id uint32) {
 
 // DegradeRestore resumes a shed stream.
 func (b *Box) DegradeRestore(p *occam.Proc, id uint32) {
+	if parked, ok := b.shedNet[id]; ok {
+		b.netVCI[id] = parked
+		delete(b.shedNet, id)
+		b.trace.Emit(obs.EvReconfig, b.cfg.Name+".switch", id, "subtree restored")
+		return
+	}
 	b.switchCmd.Send(p, SwitchCommand{Restore: id, HasRestore: true})
 	b.mix.SetShed(id, false)
 }

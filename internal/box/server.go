@@ -475,6 +475,13 @@ func (b *Box) runNetOut(p *occam.Proc) {
 		if !ok {
 			vcis = []uint32{buf.Stream}
 		}
+		if len(vcis) == 0 {
+			// A reparented or subtree-shed relay with nothing downstream:
+			// an explicitly empty fan-out means send nowhere (distinct
+			// from the never-routed VCI-identity default above).
+			b.pool.Release(p, buf)
+			continue
+		}
 		// Splitting to several network destinations sends one descriptor
 		// per VCI; a slow destination only affects its own circuit
 		// (principle 5 — drops happen inside the network, never here).
@@ -527,6 +534,10 @@ func (b *Box) sendChunked(p *occam.Proc, rep *Reporter, vci uint32, w segment.Wi
 			avcis, ok := b.netVCI[abuf.Stream]
 			if !ok {
 				avcis = []uint32{abuf.Stream}
+			}
+			if len(avcis) == 0 {
+				b.pool.Release(p, abuf)
+				continue
 			}
 			aw := b.wires.Copy(abuf.Payload.Bytes())
 			aw.Retain(len(avcis) - 1)

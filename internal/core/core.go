@@ -47,6 +47,11 @@ type Stream struct {
 	Local uint32            // stream number at the source box
 	VCIs  map[string]uint32 // destination name → VCI (= stream number there)
 	Video bool
+	// Tree is the stream's distribution plan: who feeds whom. Streams
+	// opened by SendAudio/SendVideo carry the flat plan (every
+	// destination fed by the source); SendAudioTree carries real
+	// replication trees. Repository streams (RecordAudio) have none.
+	Tree *TreePlan
 }
 
 // System is a collection of boxes and repositories on one network.
@@ -65,6 +70,7 @@ type System struct {
 	fabrics  map[string]*fabric.Fabric
 	fabPorts map[string]*fabric.Port   // node name → its fabric port
 	fabOf    map[string]*fabric.Fabric // node name → its fabric
+	fabMux   map[string]*bridgeMux     // node name → bridge transport mux
 
 	nextVCI    uint32
 	nextStream map[string]uint32
@@ -83,6 +89,7 @@ func NewSystem() *System {
 		fabrics:    make(map[string]*fabric.Fabric),
 		fabPorts:   make(map[string]*fabric.Port),
 		fabOf:      make(map[string]*fabric.Fabric),
+		fabMux:     make(map[string]*bridgeMux),
 		nextVCI:    1000,
 		nextStream: make(map[string]uint32),
 	}
@@ -165,7 +172,10 @@ func (s *System) AddFabric(name string, cfg fabric.Config) *fabric.Fabric {
 
 // AttachFabric connects an existing node to a fabric: the node's host
 // sends through its own fabric port from now on. A node attaches to at
-// most one fabric. Returns the node's port.
+// most one fabric. Circuits opened over declared links (ConnectPath) —
+// the bridges that stitch fabrics together — keep working: a bridge
+// mux in front of the port steers bridge VCIs onto the links and
+// everything else into the fabric. Returns the node's port.
 func (s *System) AttachFabric(fabricName, node string) *fabric.Port {
 	f, ok := s.fabrics[fabricName]
 	if !ok {
@@ -174,10 +184,42 @@ func (s *System) AttachFabric(fabricName, node string) *fabric.Port {
 	if _, dup := s.fabOf[node]; dup {
 		panic("core: node " + node + " already fabric-attached")
 	}
-	pt := f.Attach(s.hostOf(node))
+	h := s.hostOf(node)
+	prev := h.Transport()
+	pt := f.Attach(h)
+	mux := &bridgeMux{port: pt, links: prev, bridge: make(map[uint32]bool)}
+	h.SetTransport(mux)
+	s.fabMux[node] = mux
 	s.fabPorts[node] = pt
 	s.fabOf[node] = f
 	return pt
+}
+
+// bridgeMux lets a fabric-attached node also drive point-to-point
+// bridge links toward other fabrics: VCIs registered as bridges go out
+// over the network's circuit table, everything else through the
+// fabric port. Registration happens in openCircuit/closeCircuit, on
+// the control plane; the data path is one map lookup.
+type bridgeMux struct {
+	port   atm.Transport
+	links  atm.Transport
+	bridge map[uint32]bool
+}
+
+func (m *bridgeMux) TransportName() string { return "bridge+" + m.port.TransportName() }
+
+func (m *bridgeMux) Send(p *occam.Proc, msg atm.Message) error {
+	if m.bridge[msg.VCI] {
+		return m.links.Send(p, msg)
+	}
+	return m.port.Send(p, msg)
+}
+
+// sameFabric reports whether both nodes hang off one fabric.
+func (s *System) sameFabric(a, b string) bool {
+	fa, oka := s.fabOf[a]
+	fb, okb := s.fabOf[b]
+	return oka && okb && fa == fb
 }
 
 // FabricPort returns node's fabric port (nil if not attached).
@@ -210,44 +252,25 @@ func (s *System) allocStream(boxName string) uint32 {
 
 // SendAudio opens a one-way audio stream (the "shout" of §4.1) from
 // one box's microphone to each named destination's speaker (several
-// destinations make it a "tannoy"). Returns the stream handle.
+// destinations make it a "tannoy"). It routes through the tree
+// planner's flat plan — every destination fed by one circuit from the
+// source, the paper's original configuration. SendAudioTree replaces
+// the flat plan with replication trees when the fan-out outgrows the
+// source port. Returns the stream handle.
 func (s *System) SendAudio(p *occam.Proc, from string, to ...string) *Stream {
-	src := s.boxes[from]
-	st := &Stream{From: from, Local: s.allocStream(from), VCIs: make(map[string]uint32)}
-	var vcis []uint32
-	for _, dst := range to {
-		vci := s.allocVCI()
-		st.VCIs[dst] = vci
-		vcis = append(vcis, vci)
-		s.openCircuit(p, vci, from, dst, false)
-		if db, ok := s.boxes[dst]; ok {
-			db.SetRoute(p, box.Route{Stream: vci, Outputs: []box.Output{box.OutSpeaker}})
-		}
-	}
-	src.SetRoute(p, box.Route{Stream: st.Local, Outputs: []box.Output{box.OutNetwork}, NetVCIs: vcis})
-	src.StartMic(p, st.Local)
-	return st
+	return s.sendTree(p, TreeConfig{}, from, box.CameraStream{}, false, to)
 }
 
 // SendVideo opens a one-way video stream to each destination's
-// display.
+// display (flat plan, as SendAudio).
 func (s *System) SendVideo(p *occam.Proc, from string, cs box.CameraStream, to ...string) *Stream {
-	src := s.boxes[from]
-	st := &Stream{From: from, Local: s.allocStream(from), Video: true, VCIs: make(map[string]uint32)}
-	var vcis []uint32
-	for _, dst := range to {
-		vci := s.allocVCI()
-		st.VCIs[dst] = vci
-		vcis = append(vcis, vci)
-		s.openCircuit(p, vci, from, dst, true)
-		if db, ok := s.boxes[dst]; ok {
-			db.SetRoute(p, box.Route{Stream: vci, Outputs: []box.Output{box.OutDisplay}})
-		}
-	}
-	cs.Stream = st.Local
-	src.SetRoute(p, box.Route{Stream: st.Local, Outputs: []box.Output{box.OutNetwork}, NetVCIs: vcis, Video: true})
-	src.StartCamera(p, cs)
-	return st
+	return s.sendTree(p, TreeConfig{}, from, cs, true, to)
+}
+
+// SendVideoTree opens a one-way video stream distributed over
+// replication trees (see SendAudioTree).
+func (s *System) SendVideoTree(p *occam.Proc, cfg TreeConfig, from string, cs box.CameraStream, to ...string) *Stream {
+	return s.sendTree(p, cfg, from, cs, true, to)
 }
 
 // AudioCall opens audio in both directions — the video phone's audio
@@ -275,8 +298,14 @@ func (s *System) Conference(p *occam.Proc, members ...string) []*Stream {
 }
 
 // AddAudioDestination splits an open stream to one more destination
-// without disturbing the existing copies (principle 6).
+// without disturbing the existing copies (principle 6). Tree-planned
+// streams graft the newcomer via Pull; plan-less repository streams
+// keep the historical source-side split.
 func (s *System) AddAudioDestination(p *occam.Proc, st *Stream, dst string) {
+	if st.Tree != nil {
+		s.Pull(p, st, dst)
+		return
+	}
 	vci := s.allocVCI()
 	st.VCIs[dst] = vci
 	s.openCircuit(p, vci, st.From, dst, st.Video)
@@ -291,10 +320,15 @@ func (s *System) AddAudioDestination(p *occam.Proc, st *Stream, dst string) {
 }
 
 // RemoveDestination drops one destination from a stream; the other
-// copies are unaffected (principle 6).
+// copies are unaffected (principle 6). On a tree plan an interior
+// box's subtree is re-homed first, so its descendants keep playing.
 func (s *System) RemoveDestination(p *occam.Proc, st *Stream, dst string) {
 	vci, ok := st.VCIs[dst]
 	if !ok {
+		return
+	}
+	if st.Tree != nil {
+		s.removeTreeDestination(p, st, dst)
 		return
 	}
 	delete(st.VCIs, dst)
@@ -322,6 +356,10 @@ func (s *System) reRoute(p *occam.Proc, st *Stream) {
 
 // Close shuts a stream down entirely.
 func (s *System) Close(p *occam.Proc, st *Stream) {
+	if st.Tree != nil {
+		s.closeTree(p, st)
+		return
+	}
 	src := s.boxes[st.From]
 	if st.Video {
 		src.StopCamera(p, st.Local)
@@ -432,31 +470,38 @@ func (s *System) EnableDegradation(cfg degrade.Config) map[string]*degrade.Contr
 // openCircuit installs the data path for one VCI. If both endpoints
 // hang off the same fabric the VCI goes into the fabric routing table
 // (toward the destination's port); otherwise it becomes a classic
-// point-to-point circuit over the configured link path.
+// point-to-point circuit over the configured link path — including
+// bridge links between two fabric-attached nodes on different
+// fabrics, which register the VCI in the sender's bridge mux.
 func (s *System) openCircuit(p *occam.Proc, vci uint32, from, to string, video bool) {
-	if ff, okf := s.fabOf[from]; okf {
-		ft, okt := s.fabOf[to]
-		if !okt || ft != ff {
-			panic(fmt.Sprintf("core: %s is on fabric %s but %s is not", from, ff.Name(), to))
-		}
-		ff.Route(p.Now(), vci, s.fabPorts[to], video)
+	if s.sameFabric(from, to) {
+		s.fabOf[from].Route(p.Now(), vci, s.fabPorts[to], video)
 		return
-	}
-	if _, okt := s.fabOf[to]; okt {
-		panic(fmt.Sprintf("core: %s is fabric-attached but %s is not", to, from))
 	}
 	links, ok := s.paths[from+"->"+to]
 	if !ok {
+		if ff, okf := s.fabOf[from]; okf {
+			panic(fmt.Sprintf("core: %s is on fabric %s but %s is not (and no bridge link is declared)", from, ff.Name(), to))
+		}
+		if ft, okt := s.fabOf[to]; okt {
+			panic(fmt.Sprintf("core: %s is on fabric %s but %s is not (and no bridge link is declared)", to, ft.Name(), from))
+		}
 		panic(fmt.Sprintf("core: no path %s -> %s", from, to))
+	}
+	if mux, ok := s.fabMux[from]; ok {
+		mux.bridge[vci] = true
 	}
 	s.Net.OpenCircuit(vci, s.hostOf(from), s.hostOf(to), links...)
 }
 
 // closeCircuit tears down what openCircuit installed.
 func (s *System) closeCircuit(vci uint32, from, to string) {
-	if f, ok := s.fabOf[from]; ok {
-		f.Unroute(vci)
+	if s.sameFabric(from, to) {
+		s.fabOf[from].Unroute(vci)
 		return
+	}
+	if mux, ok := s.fabMux[from]; ok {
+		delete(mux.bridge, vci)
 	}
 	s.Net.CloseCircuit(vci, s.hostOf(from), s.paths[from+"->"+to]...)
 }

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/box"
+	"repro/internal/fabric"
+	"repro/internal/occam"
+	"repro/internal/workload"
+)
+
+// treeSystem builds src plus n viewers v00..vNN on one fabric.
+func treeSystem(t *testing.T, n int) (*System, []string) {
+	t.Helper()
+	s := NewSystem()
+	s.AddBox(box.Config{Name: "src", Mic: workload.NewTone(440, 9000)})
+	s.AddFabric("fab", fabric.Config{})
+	s.AttachFabric("fab", "src")
+	var viewers []string
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("v%02d", i)
+		viewers = append(viewers, name)
+		s.AddBox(box.Config{Name: name})
+		s.AttachFabric("fab", name)
+	}
+	return s, viewers
+}
+
+// TestTreePlanInvariants pins the placement algebra: every box holds
+// at most k children, destinations stripe round-robin over the trees,
+// and the source feeds exactly one root per tree.
+func TestTreePlanInvariants(t *testing.T) {
+	s, viewers := treeSystem(t, 20)
+	defer s.Shutdown()
+	var st *Stream
+	s.Control(func(p *occam.Proc) {
+		st = s.SendAudioTree(p, TreeConfig{Fanout: 3, Trees: 2}, "src", viewers...)
+	})
+	if err := s.RunFor(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	plan := st.Tree
+	if got := plan.SourceCopies(); got != 2 {
+		t.Fatalf("source sends %d copies, want one per tree (2)", got)
+	}
+	if got := plan.MaxInteriorCopies(); got > 3 {
+		t.Fatalf("a box forwards %d copies, k=3", got)
+	}
+	if got := len(plan.Members()); got != 20 {
+		t.Fatalf("%d members, want 20", got)
+	}
+	if plan.Depth() < 3 {
+		t.Fatalf("depth %d — 10 viewers per tree at fanout 3 need interior relays", plan.Depth())
+	}
+	for _, v := range viewers {
+		if got := s.Box(v).Mixer().Stats(st.VCIs[v]); got.Segments < 80 {
+			t.Fatalf("%s got %d segments", v, got.Segments)
+		}
+	}
+	// The box layer's watermark agrees with the planner.
+	for _, v := range viewers {
+		if c := s.Box(v).MaxNetCopies(); c > 3 {
+			t.Fatalf("%s forwarded %d simultaneous copies, k=3", v, c)
+		}
+	}
+}
+
+// TestTreeFlatMatchesSendAudio: a zero-fanout tree is the old tannoy —
+// same VCI allocation order, same circuits, byte-identical delivery.
+func TestTreeFlatMatchesSendAudio(t *testing.T) {
+	run := func(viaTree bool) map[string]uint64 {
+		s, viewers := treeSystem(t, 4)
+		defer s.Shutdown()
+		var st *Stream
+		s.Control(func(p *occam.Proc) {
+			if viaTree {
+				st = s.SendAudioTree(p, TreeConfig{}, "src", viewers...)
+			} else {
+				st = s.SendAudio(p, "src", viewers...)
+			}
+		})
+		if err := s.RunFor(time.Second); err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]uint64)
+		for _, v := range viewers {
+			m := s.Box(v).Mixer().Stats(st.VCIs[v])
+			if m.Segments == 0 {
+				t.Fatalf("%s silent", v)
+			}
+			out[v] = m.Digest
+		}
+		if st.Tree.Depth() != 1 || st.Tree.SourceCopies() != 4 {
+			t.Fatalf("flat plan is not flat: depth %d, source copies %d",
+				st.Tree.Depth(), st.Tree.SourceCopies())
+		}
+		return out
+	}
+	flat, tannoy := run(true), run(false)
+	for v, d := range tannoy {
+		if flat[v] != d {
+			t.Fatalf("%s differs between flat tree and SendAudio: %016x vs %016x", v, flat[v], d)
+		}
+	}
+}
+
+// TestTreePullGraft: late joiners pull from an existing member, never
+// costing the source another copy while capacity remains.
+func TestTreePullGraft(t *testing.T) {
+	s, viewers := treeSystem(t, 6)
+	defer s.Shutdown()
+	var st *Stream
+	s.Control(func(p *occam.Proc) {
+		st = s.SendAudioTree(p, TreeConfig{Fanout: 4}, "src", viewers[:3]...)
+	})
+	if err := s.RunFor(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	s.Control(func(p *occam.Proc) { s.Pull(p, st, viewers[3:]...) })
+	if err := s.RunFor(300 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Tree.SourceCopies(); got != 1 {
+		t.Fatalf("source sends %d copies after pulls, want 1", got)
+	}
+	for _, v := range viewers[3:] {
+		if got := s.Box(v).Mixer().Stats(st.VCIs[v]); got.Segments < 30 {
+			t.Fatalf("late joiner %s got %d segments", v, got.Segments)
+		}
+		if st.Tree.Parent(v) == "" {
+			t.Fatalf("late joiner %s fed by the source, should pull from a member", v)
+		}
+	}
+}
+
+// TestTreeRepairRehomes: failing an interior box re-parents its
+// subtree onto survivors mid-stream, EverUnder remembers the history,
+// and the re-homed viewers keep receiving.
+func TestTreeRepairRehomes(t *testing.T) {
+	s, viewers := treeSystem(t, 12)
+	defer s.Shutdown()
+	var st *Stream
+	s.Control(func(p *occam.Proc) {
+		st = s.SendAudioTree(p, TreeConfig{Fanout: 2}, "src", viewers...)
+	})
+	if err := s.RunFor(300 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// v00 is the root; fail it and every other viewer re-homes.
+	root := viewers[0]
+	if st.Tree.Parent(root) != "" {
+		t.Fatalf("%s is not the root", root)
+	}
+	var rehomed int
+	s.Control(func(p *occam.Proc) { rehomed = s.RepairTree(p, st, root) })
+	if err := s.RunFor(400 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if rehomed == 0 {
+		t.Fatal("repair re-homed nothing")
+	}
+	if st.Tree.Repairs() != 1 {
+		t.Fatalf("repairs counter %d, want 1", st.Tree.Repairs())
+	}
+	if got := st.Tree.RehomedFrom(root); len(got) != rehomed {
+		t.Fatalf("RehomedFrom lists %d members, repair moved %d", len(got), rehomed)
+	}
+	for _, v := range viewers[1:] {
+		if st.Tree.Parent(v) == root {
+			t.Fatalf("%s still fed by the failed root", v)
+		}
+		segsBefore := s.Box(v).Mixer().Stats(st.VCIs[v]).Segments
+		if segsBefore == 0 {
+			t.Fatalf("%s silent after repair", v)
+		}
+	}
+	// History: direct orphans record the failed box as a former parent.
+	for _, v := range st.Tree.RehomedFrom(root) {
+		if !st.Tree.EverUnder(v, root) {
+			t.Fatalf("EverUnder(%s, %s) lost the repair history", v, root)
+		}
+	}
+	// Audio still flows to a re-homed viewer after the repair.
+	moved := st.Tree.RehomedFrom(root)[0]
+	before := s.Box(moved).Mixer().Stats(st.VCIs[moved]).Segments
+	if err := s.RunFor(300 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if after := s.Box(moved).Mixer().Stats(st.VCIs[moved]).Segments; after <= before {
+		t.Fatalf("re-homed %s stalled: %d → %d segments", moved, before, after)
+	}
+}
+
+// TestTreeChurnRepairRace interleaves pulls, a repair and an interior
+// removal from two concurrent control procs while audio flows — the
+// tree counterpart of the fabric churn test, written to run under
+// `go test -race`: every mid-stream VCI reroute the repair machinery
+// issues must stay inside the runtime's scheduling discipline.
+func TestTreeChurnRepairRace(t *testing.T) {
+	s, viewers := treeSystem(t, 16)
+	defer s.Shutdown()
+	var st *Stream
+	s.Control(func(p *occam.Proc) {
+		st = s.SendAudioTree(p, TreeConfig{Fanout: 2, Trees: 2}, "src", viewers[:10]...)
+	})
+	if err := s.RunFor(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	s.Control(func(p *occam.Proc) {
+		for _, v := range viewers[10:] {
+			p.Sleep(20 * time.Millisecond)
+			s.Pull(p, st, v)
+		}
+	})
+	s.Control(func(p *occam.Proc) {
+		p.Sleep(30 * time.Millisecond)
+		s.RepairTree(p, st, viewers[0])
+		p.Sleep(45 * time.Millisecond)
+		s.RemoveDestination(p, st, viewers[1])
+	})
+	if err := s.RunFor(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(st.Tree.Members()); got != 15 {
+		t.Fatalf("%d members after churn, want 15", got)
+	}
+	for v, vci := range st.VCIs {
+		if got := s.Box(v).Mixer().Stats(vci); got.Segments == 0 {
+			t.Fatalf("%s silent after churn", v)
+		}
+	}
+}
+
+// TestTreeCloseDrains: closing a tree stream returns every wire to its
+// pool on every box.
+func TestTreeCloseDrains(t *testing.T) {
+	s, viewers := treeSystem(t, 8)
+	defer s.Shutdown()
+	var st *Stream
+	s.Control(func(p *occam.Proc) {
+		st = s.SendAudioTree(p, TreeConfig{Fanout: 2, Trees: 2}, "src", viewers...)
+	})
+	if err := s.RunFor(300 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	s.Control(func(p *occam.Proc) { s.Close(p, st) })
+	if err := s.RunFor(300 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range append([]string{"src"}, viewers...) {
+		if leaked := s.Box(n).WirePoolLeaked(); leaked != 0 {
+			t.Fatalf("%s leaked %d wires after close", n, leaked)
+		}
+	}
+}
+
+// TestTreeRemoveInteriorDestination: dropping an interior member first
+// repairs its subtree, so the remaining viewers keep playing.
+func TestTreeRemoveInteriorDestination(t *testing.T) {
+	s, viewers := treeSystem(t, 10)
+	defer s.Shutdown()
+	var st *Stream
+	s.Control(func(p *occam.Proc) {
+		st = s.SendAudioTree(p, TreeConfig{Fanout: 2}, "src", viewers...)
+	})
+	if err := s.RunFor(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	root := viewers[0]
+	s.Control(func(p *occam.Proc) { s.RemoveDestination(p, st, root) })
+	if err := s.RunFor(300 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, open := st.VCIs[root]; open {
+		t.Fatalf("%s still has a circuit after removal", root)
+	}
+	if got := len(st.Tree.Members()); got != 9 {
+		t.Fatalf("%d members after removal, want 9", got)
+	}
+	for _, v := range viewers[1:] {
+		before := s.Box(v).Mixer().Stats(st.VCIs[v]).Segments
+		if before == 0 {
+			t.Fatalf("%s silent after interior removal", v)
+		}
+	}
+}

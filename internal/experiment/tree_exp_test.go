@@ -1,0 +1,58 @@
+package experiment
+
+import "testing"
+
+// TestE23ReplicationTree asserts the documented acceptance criteria:
+// the source sends one copy per tree however many viewers, no box ever
+// forwards more than the fanout (checked at the planner, the box layer
+// and the fabric wire), the interior crash is repaired mid-stream, and
+// every viewer whose path never crossed the crashed box delivers
+// byte-identically with the fault-free twin.
+func TestE23ReplicationTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	_, r := E23()
+	if r.Viewers < 100 {
+		t.Fatalf("only %d viewers — the tannoy must span 100+", r.Viewers)
+	}
+	if r.SourceCopies != r.Trees {
+		t.Fatalf("source sends %d copies for %d trees — origin-pull violated", r.SourceCopies, r.Trees)
+	}
+	if r.MaxInterior > r.Fanout || r.BoxCopiesMax > r.Fanout {
+		t.Fatalf("copy bound broken: planner max %d, box watermark %d, k=%d",
+			r.MaxInterior, r.BoxCopiesMax, r.Fanout)
+	}
+	if !r.PerHopOK {
+		t.Fatal("a fabric port ingressed more distinct tree VCIs than the per-hop bound")
+	}
+	if r.Repairs != 1 || r.Rehomed == 0 {
+		t.Fatalf("repair did not engage: %d repairs, %d subtrees re-homed", r.Repairs, r.Rehomed)
+	}
+	if r.Excluded == 0 || r.Excluded >= r.Viewers/2 {
+		t.Fatalf("%d of %d viewers excluded — the crash should cost one subtree, not a tree",
+			r.Excluded, r.Viewers)
+	}
+	if !r.Identical {
+		t.Fatalf("a surviving viewer diverged from the fault-free twin (%d survivors)", r.Survivors)
+	}
+	if !r.AssertsPass {
+		t.Fatal("scenario copies-max asserts failed")
+	}
+	if r.Depth < 3 {
+		t.Fatalf("depth %d — 102 viewers at fanout 4 must relay through interior boxes", r.Depth)
+	}
+}
+
+// TestE23DeterministicReplay: the whole faulted run derives from the
+// seed, so a replay is byte-identical.
+func TestE23DeterministicReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	_, r1 := E23Tree(99)
+	_, r2 := E23Tree(99)
+	if r1.Fingerprint != r2.Fingerprint {
+		t.Fatalf("same seed, different runs:\n--- run 1\n%s--- run 2\n%s", r1.Fingerprint, r2.Fingerprint)
+	}
+}

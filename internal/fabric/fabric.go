@@ -182,6 +182,7 @@ func (f *Fabric) Attach(h *atm.Host) *Port {
 		host:      h,
 		shed:      make(map[uint32]bool),
 		perVCI:    make(map[uint32]*vciDigest),
+		inByVCI:   make(map[uint32]uint64),
 		forwarded: obs.NewCounter(),
 		bytes:     obs.NewCounter(),
 		cellsTx:   obs.NewCounter(),
@@ -256,6 +257,18 @@ func (f *Fabric) Unroute(vci uint32) {
 	}
 	delete(r.out.shed, vci)
 	f.trace.Emit(obs.EvStreamClose, f.nm, vci, "unrouted from "+r.out.nm)
+}
+
+// Reroute retargets an existing VCI onto a different port — the
+// mid-stream rewiring a distribution-tree repair performs when an
+// orphaned subtree is re-parented. Messages already crossing resolve
+// the route at crossing end, so the switch applies cleanly between
+// messages (principle 6); there is no conflicting-route panic because
+// replacing the target is exactly the point. A VCI not currently
+// routed is simply installed.
+func (f *Fabric) Reroute(now occam.Time, vci uint32, to *Port, video bool) {
+	f.Unroute(vci)
+	f.Route(now, vci, to, video)
 }
 
 // lookup is the per-cell route lookup: a slice index for every VCI the
@@ -361,6 +374,13 @@ type Port struct {
 	shed  map[uint32]bool
 	fault atm.FaultHook
 
+	// inByVCI counts messages the attached host offered at this port's
+	// ingress, per VCI — the per-hop copy accounting: the number of
+	// distinct VCIs a box's port carries inbound-to-fabric is exactly
+	// how many copies that box fans out, so an interior tree box's
+	// bound (≤ K) is checkable hop by hop.
+	inByVCI map[uint32]uint64
+
 	// perVCI folds each stream's delivered (corrupt flag, chunk ids,
 	// payload bytes) in delivery order — the per-port evidence the
 	// isolation experiments compare across runs. The digest is kept per
@@ -435,6 +455,18 @@ func (pt *Port) DeliveryDigest() (digest uint64, delivered uint64) {
 	return h, pt.delivered
 }
 
+// IngressCopies returns how many messages the attached host offered
+// at this port's ingress, per VCI — the per-hop copy evidence: one
+// entry per copy the box fans out, with counts near the stream's
+// segment total.
+func (pt *Port) IngressCopies() map[uint32]uint64 {
+	out := make(map[uint32]uint64, len(pt.inByVCI))
+	for vci, n := range pt.inByVCI {
+		out[vci] = n
+	}
+	return out
+}
+
 // StreamDigests returns each delivered stream's (digest, count) at
 // this port — DeliveryDigest broken out per VCI.
 func (pt *Port) StreamDigests() map[uint32][2]uint64 {
@@ -488,6 +520,7 @@ func (pt *Port) crossDur(m atm.Message) time.Duration {
 // otherwise it waits in the bounded queue, drop-tail on overflow. The
 // sender never blocks on fabric congestion.
 func (pt *Port) Send(p *occam.Proc, m atm.Message) error {
+	pt.inByVCI[m.VCI]++
 	if pt.crossBusy {
 		if len(pt.inq) >= pt.fab.cfg.IngressLimit {
 			pt.inDrops.Inc()

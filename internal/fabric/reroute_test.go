@@ -1,0 +1,57 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/occam"
+)
+
+// TestRerouteMidStream retargets a live VCI with Reroute while cells
+// are in flight — the tree-repair primitive. Route lookup happens at
+// crossing end (principle 6), so every sent cell lands on exactly one
+// of the two ports: none are lost or duplicated across the switch, and
+// the sender's ingress accounting sees every copy.
+func TestRerouteMidStream(t *testing.T) {
+	r := newRig(t, 3, Config{EgressCellLimit: 256, BatchCells: 8})
+	const cells = 400
+	r.fab.Route(0, 50, r.fab.Port(1), false)
+	r.send(t, 0, 50, cells, 500*time.Microsecond)
+	r.rt.Go("reroute", nil, occam.Low, func(p *occam.Proc) {
+		p.Sleep(100 * time.Millisecond)
+		r.fab.Reroute(p.Now(), 50, r.fab.Port(2), false)
+	})
+	if err := r.rt.RunUntil(occam.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	r.rt.Shutdown()
+	before, after := r.got[1][50], r.got[2][50]
+	if before == 0 || after == 0 {
+		t.Fatalf("reroute did not split delivery: %d before, %d after", before, after)
+	}
+	if before+after != cells {
+		t.Fatalf("cells lost or duplicated across the reroute: %d+%d of %d", before, after, cells)
+	}
+	if got := r.fab.Port(0).IngressCopies()[50]; got != cells {
+		t.Fatalf("ingress accounting saw %d cells, sender pushed %d", got, cells)
+	}
+	r.checkNoWireLeak(t)
+}
+
+// TestRerouteInstallsUnrouted: Reroute of a VCI with no existing route
+// is a plain install, not a panic — repair may race teardown.
+func TestRerouteInstallsUnrouted(t *testing.T) {
+	r := newRig(t, 2, Config{})
+	r.rt.Go("install", nil, occam.Low, func(p *occam.Proc) {
+		r.fab.Reroute(p.Now(), 60, r.fab.Port(1), false)
+	})
+	r.send(t, 0, 60, 20, time.Millisecond)
+	if err := r.rt.RunUntil(occam.Time(200 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	r.rt.Shutdown()
+	if got := r.got[1][60]; got != 20 {
+		t.Fatalf("delivered %d of 20 after install-by-reroute", got)
+	}
+	r.checkNoWireLeak(t)
+}

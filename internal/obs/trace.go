@@ -38,6 +38,11 @@ const (
 	// EvDrop so replayed fault schedules can be audited apart from the
 	// system's own reactions to them.
 	EvFault
+	// EvRepair: a distribution tree was repaired around a failed
+	// interior box — its orphaned children were re-parented onto
+	// surviving boxes mid-stream. Distinct from EvReconfig so tree
+	// repairs can be audited apart from routine route updates.
+	EvRepair
 )
 
 func (k EventKind) String() string {
@@ -56,6 +61,8 @@ func (k EventKind) String() string {
 		return "reconfig"
 	case EvFault:
 		return "fault"
+	case EvRepair:
+		return "repair"
 	}
 	return "?"
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/core"
 )
 
 // Summary is the deterministic result of a scenario's assertion phase:
@@ -88,6 +90,24 @@ func (r *Runner) cleanTwin() (*Runner, error) {
 	return c, nil
 }
 
+// deliveredThroughCrash reports whether dst's copy of st ever flowed
+// through a crashed box: dst sat (or once sat, before a repair
+// re-homed it) in a subtree rooted at a crashed interior node. Such
+// destinations lost cells while the interior box was down, so
+// survivors-identical excludes them along with the crashed boxes
+// themselves.
+func (r *Runner) deliveredThroughCrash(st *core.Stream, dst string, crashed map[string]bool) bool {
+	if st.Tree == nil {
+		return false
+	}
+	for box := range crashed {
+		if st.Tree.EverUnder(dst, box) {
+			return true
+		}
+	}
+	return false
+}
+
 // crashedBoxes is the set of boxes with any board-crash window — the
 // boxes survivors-identical excludes.
 func (r *Runner) crashedBoxes() map[string]bool {
@@ -169,7 +189,7 @@ func (r *Runner) check(a Assert, clean *Runner) (bool, string) {
 			}
 			sort.Strings(dsts)
 			for _, dst := range dsts {
-				if crashed[dst] {
+				if crashed[dst] || r.deliveredThroughCrash(st, dst, crashed) {
 					continue
 				}
 				checked++
@@ -221,17 +241,25 @@ func (r *Runner) check(a Assert, clean *Runner) (bool, string) {
 		sort.Strings(dsts)
 		ok2 := true
 		var parts []string
-		for _, dst := range dsts {
+		var minSegs, maxLost uint64
+		maxPct := 0.0
+		for i, dst := range dsts {
 			m := r.Sys.Box(dst).Mixer().Stats(st.VCIs[dst])
 			switch a.Kind {
 			case "min-segments":
 				if float64(m.Segments) < a.Value {
 					ok2 = false
 				}
+				if i == 0 || m.Segments < minSegs {
+					minSegs = m.Segments
+				}
 				parts = append(parts, fmt.Sprintf("%s=%d", dst, m.Segments))
 			case "max-lost":
 				if float64(m.LostSegments) > a.Value {
 					ok2 = false
+				}
+				if m.LostSegments > maxLost {
+					maxLost = m.LostSegments
 				}
 				parts = append(parts, fmt.Sprintf("%s=%d", dst, m.LostSegments))
 			case "max-silence-pct":
@@ -242,10 +270,29 @@ func (r *Runner) check(a Assert, clean *Runner) (bool, string) {
 				if pct > a.Value {
 					ok2 = false
 				}
+				if pct > maxPct {
+					maxPct = pct
+				}
 				parts = append(parts, fmt.Sprintf("%s=%.2f%%", dst, pct))
 			}
 		}
+		// Beyond a handful of destinations the per-box list stops being
+		// readable (a 1000-viewer tree would print 1000 numbers):
+		// summarise with the count and the binding extreme instead.
+		if len(dsts) > 8 {
+			switch a.Kind {
+			case "min-segments":
+				parts = []string{fmt.Sprintf("%d dests, min=%d", len(dsts), minSegs)}
+			case "max-lost":
+				parts = []string{fmt.Sprintf("%d dests, max=%d", len(dsts), maxLost)}
+			case "max-silence-pct":
+				parts = []string{fmt.Sprintf("%d dests, max=%.2f%%", len(dsts), maxPct)}
+			}
+		}
 		return ok2, fmt.Sprintf("%s (limit %g)", strings.Join(parts, " "), a.Value)
+	case "copies-max":
+		peak := r.Sys.Box(a.Arg).MaxNetCopies()
+		return peak <= int(a.Value), fmt.Sprintf("peak %d copies per hop at %s (limit %d)", peak, a.Arg, int(a.Value))
 	case "faults-fired":
 		var total uint64
 		for _, l := range r.Sys.Net.Links() {

@@ -41,10 +41,13 @@ func Load(path string) (*Scenario, error) {
 //	cross A B hop=I vci=N seed=N gap=DUR size=MIN+JITTER
 //	at DUR audio FROM -> TO[,TO...] [as REF]
 //	at DUR video FROM -> TO[,TO...] rect=X,Y,W,H rate=N/D [segs=K] [as REF]
+//	at DUR tree FROM -> TO[,TO...] [k=K] [trees=T] [as REF]
 //	at DUR call A B [as REF]
 //	at DUR conference M1 M2... [as REF]
 //	at DUR split REF DST
 //	at DUR drop REF DST
+//	at DUR pull REF DST[,DST...]
+//	at DUR repair REF BOX
 //	at DUR close REF
 //	at DUR netsend FROM -> TO stream=N vci=N
 //	faults FAULTSPEC            (faultinject.ParseSpec grammar, verbatim)
@@ -470,7 +473,7 @@ func (sc *Scenario) parseEvent(fields []string) error {
 		rest = rest[:n-2]
 	}
 	switch ev.Op {
-	case "audio", "video", "netsend":
+	case "audio", "video", "netsend", "tree":
 		if len(rest) < 3 || rest[1] != "->" {
 			return fmt.Errorf("%s wants: FROM -> TO[,TO...]", ev.Op)
 		}
@@ -521,6 +524,18 @@ func (sc *Scenario) parseEvent(fields []string) error {
 					return fmt.Errorf("vci wants an unsigned integer, got %q", val)
 				}
 				ev.VCI = uint32(n)
+			case "k":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 {
+					return fmt.Errorf("k wants a non-negative integer, got %q", val)
+				}
+				ev.K = n
+			case "trees":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 1 {
+					return fmt.Errorf("trees wants a positive integer, got %q", val)
+				}
+				ev.Trees = n
 			default:
 				return fmt.Errorf("unknown %s clause %q", ev.Op, key)
 			}
@@ -535,11 +550,16 @@ func (sc *Scenario) parseEvent(fields []string) error {
 			return fmt.Errorf("conference wants at least two members")
 		}
 		ev.From, ev.To = rest[0], rest[1:]
-	case "split", "drop":
+	case "split", "drop", "repair":
 		if len(rest) != 2 {
 			return fmt.Errorf("%s wants: REF DST", ev.Op)
 		}
 		ev.Ref, ev.To = rest[0], []string{rest[1]}
+	case "pull":
+		if len(rest) != 2 {
+			return fmt.Errorf("pull wants: REF DST[,DST...]")
+		}
+		ev.Ref, ev.To = rest[0], strings.Split(rest[1], ",")
 	case "close":
 		if len(rest) != 1 {
 			return fmt.Errorf("close wants: REF")

@@ -288,6 +288,15 @@ func (r *Runner) apply(p *occam.Proc, ev Event) {
 		if ev.Ref != "" {
 			r.Streams[ev.Ref] = st
 		}
+	case "tree":
+		st := s.SendAudioTree(p, core.TreeConfig{Fanout: ev.K, Trees: ev.Trees}, ev.From, ev.To...)
+		if ev.Ref != "" {
+			r.Streams[ev.Ref] = st
+		}
+	case "pull":
+		s.Pull(p, r.Streams[ev.Ref], ev.To...)
+	case "repair":
+		s.RepairTree(p, r.Streams[ev.Ref], ev.To[0])
 	case "call":
 		ab, ba := s.AudioCall(p, ev.From, ev.To[0])
 		if ev.Ref != "" {

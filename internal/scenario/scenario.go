@@ -111,11 +111,15 @@ type Cross struct {
 // circuit-setup round trips), exactly like a hand-written control
 // process with p.Sleep between commands.
 // Ops: "audio" (one-way stream From→To...), "video" (with Rect/Rate),
+// "tree" (audio distributed over replication trees: interior boxes
+// re-split locally, at most K copies each, striped over Trees trees),
 // "call" (audio both ways between From and To[0]), "conference" (full
 // mesh over From+To), "split"/"drop" (add/remove destination To[0] of
-// stream Ref), "close" (tear down stream Ref), "netsend" (raw route:
-// Stream at From onto VCI toward To[0], mic started, no speaker route
-// at the far end).
+// stream Ref), "pull" (late joiners To... graft onto tree stream Ref),
+// "repair" (re-home the orphaned subtrees of interior box To[0] of
+// tree stream Ref), "close" (tear down stream Ref), "netsend" (raw
+// route: Stream at From onto VCI toward To[0], mic started, no speaker
+// route at the far end).
 type Event struct {
 	At         time.Duration
 	Op         string
@@ -127,6 +131,8 @@ type Event struct {
 	Segs       int    // video segments per frame (0 = default)
 	Stream     uint32 // netsend: source stream number
 	VCI        uint32 // netsend: circuit id
+	K          int    // tree: per-box fanout bound (0 = flat)
+	Trees      int    // tree: number of interior-disjoint trees (0 = 1)
 	Ref        string // name for later split/drop/close/assert reference
 }
 
@@ -154,6 +160,9 @@ type Degrade struct {
 //	faults-fired                 at least one injected fault actually fired
 //	circuits SRC [N]             record SRC's open circuit count (and, with
 //	                             N, require it to be exactly N)
+//	copies-max BOX N             BOX never fanned more than N outgoing
+//	                             copies of any single stream (the per-hop
+//	                             copy invariant of the distribution trees)
 type Assert struct {
 	Kind     string
 	Arg      string
@@ -186,6 +195,7 @@ var assertKinds = map[string]struct{}{
 	"survivors-identical": {}, "wires-drain": {}, "gauge-zero": {},
 	"gauge-max": {}, "min-segments": {}, "max-lost": {},
 	"max-silence-pct": {}, "faults-fired": {}, "circuits": {},
+	"copies-max": {},
 }
 
 // Validate checks internal consistency: names resolve, events refer to
@@ -263,7 +273,7 @@ func (sc *Scenario) Validate() error {
 			return fmt.Errorf("scenario %s: %s outside the run", sc.Name, where)
 		}
 		switch ev.Op {
-		case "audio", "video", "netsend":
+		case "audio", "video", "netsend", "tree":
 			if err := need(where, ev.From); err != nil {
 				return err
 			}
@@ -280,6 +290,9 @@ func (sc *Scenario) Validate() error {
 			}
 			if ev.Op == "netsend" && (ev.Stream == 0 || ev.VCI == 0) {
 				return fmt.Errorf("scenario %s: %s needs stream= and vci=", sc.Name, where)
+			}
+			if ev.Op == "tree" && (ev.K < 0 || ev.Trees < 0) {
+				return fmt.Errorf("scenario %s: %s wants k ≥ 0 and trees ≥ 0", sc.Name, where)
 			}
 		case "call":
 			if len(ev.To) != 1 {
@@ -301,7 +314,7 @@ func (sc *Scenario) Validate() error {
 					return err
 				}
 			}
-		case "split", "drop":
+		case "split", "drop", "repair":
 			if !refs[ev.Ref] {
 				return fmt.Errorf("scenario %s: %s refers to unopened stream %q", sc.Name, where, ev.Ref)
 			}
@@ -311,6 +324,18 @@ func (sc *Scenario) Validate() error {
 			if err := need(where, ev.To[0]); err != nil {
 				return err
 			}
+		case "pull":
+			if !refs[ev.Ref] {
+				return fmt.Errorf("scenario %s: %s refers to unopened stream %q", sc.Name, where, ev.Ref)
+			}
+			if len(ev.To) == 0 {
+				return fmt.Errorf("scenario %s: %s has no destination", sc.Name, where)
+			}
+			for _, d := range ev.To {
+				if err := need(where, d); err != nil {
+					return err
+				}
+			}
 		case "close":
 			if !refs[ev.Ref] {
 				return fmt.Errorf("scenario %s: %s refers to unopened stream %q", sc.Name, where, ev.Ref)
@@ -318,7 +343,7 @@ func (sc *Scenario) Validate() error {
 		default:
 			return fmt.Errorf("scenario %s: %s: unknown op", sc.Name, where)
 		}
-		if ev.Ref != "" && (ev.Op == "audio" || ev.Op == "video" || ev.Op == "call" || ev.Op == "conference") {
+		if ev.Ref != "" && (ev.Op == "audio" || ev.Op == "video" || ev.Op == "tree" || ev.Op == "call" || ev.Op == "conference") {
 			if refs[ev.Ref] {
 				return fmt.Errorf("scenario %s: duplicate stream ref %q", sc.Name, ev.Ref)
 			}
@@ -453,7 +478,7 @@ func (sc *Scenario) Format() string {
 	for _, ev := range sc.Events {
 		fmt.Fprintf(&sb, "at %s %s", ev.At, ev.Op)
 		switch ev.Op {
-		case "audio", "video", "netsend":
+		case "audio", "video", "netsend", "tree":
 			fmt.Fprintf(&sb, " %s -> %s", ev.From, strings.Join(ev.To, ","))
 			if ev.Op == "video" {
 				fmt.Fprintf(&sb, " rect=%d,%d,%d,%d rate=%d/%d", ev.X, ev.Y, ev.W, ev.H, ev.RateNum, ev.RateDen)
@@ -464,16 +489,26 @@ func (sc *Scenario) Format() string {
 			if ev.Op == "netsend" {
 				fmt.Fprintf(&sb, " stream=%d vci=%d", ev.Stream, ev.VCI)
 			}
+			if ev.Op == "tree" {
+				if ev.K > 0 {
+					fmt.Fprintf(&sb, " k=%d", ev.K)
+				}
+				if ev.Trees > 0 {
+					fmt.Fprintf(&sb, " trees=%d", ev.Trees)
+				}
+			}
 		case "call":
 			fmt.Fprintf(&sb, " %s %s", ev.From, ev.To[0])
 		case "conference":
 			fmt.Fprintf(&sb, " %s %s", ev.From, strings.Join(ev.To, " "))
-		case "split", "drop":
+		case "split", "drop", "repair":
 			fmt.Fprintf(&sb, " %s %s", ev.Ref, ev.To[0])
+		case "pull":
+			fmt.Fprintf(&sb, " %s %s", ev.Ref, strings.Join(ev.To, ","))
 		case "close":
 			fmt.Fprintf(&sb, " %s", ev.Ref)
 		}
-		if ev.Ref != "" && (ev.Op == "audio" || ev.Op == "video" || ev.Op == "call" || ev.Op == "conference") {
+		if ev.Ref != "" && (ev.Op == "audio" || ev.Op == "video" || ev.Op == "tree" || ev.Op == "call" || ev.Op == "conference") {
 			fmt.Fprintf(&sb, " as %s", ev.Ref)
 		}
 		sb.WriteString("\n")

@@ -33,6 +33,9 @@ at 300ms conference a b c d as conf
 at 1s split main d
 at 2s drop main d
 at 3s close vid
+at 400ms tree a -> b,c,d k=2 trees=2 as t1
+at 450ms pull t1 d
+at 470ms repair t1 b
 at 500ms netsend a -> b stream=7 vci=2000
 faults burst=0.002/3,dup=0.002,jitter=300us/600us,target=fab.p00
 degrade shed=150ms hold=800ms
@@ -48,6 +51,7 @@ assert max-lost main 0
 assert max-silence-pct main 5
 assert faults-fired
 assert circuits a 3
+assert copies-max a 2
 `
 
 // roundTrip checks Parse ∘ Format is the identity on the parsed form
@@ -102,7 +106,7 @@ func TestSuitesMatchGolden(t *testing.T) {
 	for _, f := range suiteFiles(t) {
 		base := strings.TrimSuffix(filepath.Base(f), ".scn")
 		t.Run(base, func(t *testing.T) {
-			if base == "soak" && testing.Short() {
+			if (base == "soak" || base == "flashcrowd") && testing.Short() {
 				t.Skip("long suite")
 			}
 			sc, err := Load(f)
@@ -138,6 +142,10 @@ func TestParseErrors(t *testing.T) {
 		{"scenario x\nduration 1s\nbox a\nat 0s close main", `unopened stream "main"`},
 		{"scenario x\nduration 1s\nbox a\nbox b\nat 2s call a b", "outside the run"},
 		{"scenario x\nduration 1s\nbox a\nfaults burst=oops", "faultinject: token"},
+		{"scenario x\nduration 1s\nbox a\nbox b\nat 0s pull main b", `unopened stream "main"`},
+		{"scenario x\nduration 1s\nbox a\nbox b\nat 0s repair main b", `unopened stream "main"`},
+		{"scenario x\nduration 1s\nbox a\nbox b\nat 0s tree a -> b k=-1", "non-negative"},
+		{"scenario x\nduration 1s\nbox a\nbox b\nat 0s tree a -> b trees=0", "positive"},
 		{"scenario x\nduration 1s\nassert made-up-kind", "unknown assert kind"},
 		{"duration 1s", "missing name"},
 	}

@@ -44,6 +44,7 @@ var guarded = map[string]string{
 	"BenchmarkE3OneWayLatency":        "E3",
 	"BenchmarkE21OverloadDegradation": "E21",
 	"BenchmarkE22FabricIsolation":     "E22",
+	"BenchmarkE23ReplicationTree":     "E23",
 }
 
 const (
@@ -79,7 +80,7 @@ func main() {
 	}
 
 	cmd := exec.Command("go", "test",
-		"-bench", "BenchmarkE2LinkCapacity|BenchmarkE3OneWayLatency|BenchmarkE21OverloadDegradation|BenchmarkE22FabricIsolation",
+		"-bench", "BenchmarkE2LinkCapacity|BenchmarkE3OneWayLatency|BenchmarkE21OverloadDegradation|BenchmarkE22FabricIsolation|BenchmarkE23ReplicationTree",
 		"-benchtime", "1x", "-benchmem", "-run", "^$", ".")
 	out, err := cmd.CombinedOutput()
 	fmt.Print(string(out))
