@@ -173,6 +173,13 @@ func BenchmarkE23ReplicationTree(b *testing.B) {
 	}
 }
 
+func BenchmarkE24BalancerChurn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiment.E24()
+	}
+}
+
 // BenchmarkFabricCrossbar isolates the fabric fast path: segments
 // crossing the sharded crossbar into a batched egress, one per 20 µs
 // of virtual time. allocs/op is the headline — the cell path must not

@@ -110,6 +110,7 @@ func main() {
 		{"E21", func() *experiment.Table { t, _ := experiment.E21(); return t }},
 		{"E22", func() *experiment.Table { t, _ := experiment.E22(); return t }},
 		{"E23", func() *experiment.Table { t, _ := experiment.E23(); return t }},
+		{"E24", func() *experiment.Table { t, _ := experiment.E24(); return t }},
 		{"A1", experiment.A1},
 		{"A2", experiment.A2},
 		{"A3", experiment.A3},

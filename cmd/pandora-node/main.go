@@ -163,6 +163,8 @@ func main() {
 	udpBatch := flag.Int("udp-batch", udptrans.DefaultBatch, "max datagrams coalesced into one sendmmsg batch per peer (1 = unbatched)")
 	udpFlush := flag.Duration("udp-flush", 0, "flush batches after this much virtual time (0: only on full batch and each quantum)")
 	scenarioPath := flag.String("scenario", "", "take this node's box config and run length from a scenario spec file (box at -index)")
+	balanceOn := flag.Bool("balance", false, "apply a node-local admission budget to incoming peer streams: reject before degrade")
+	balanceBudget := flag.Int("balance-budget", 0, "with -balance: max peer streams admitted to the speaker (0: take the scenario's balance budget, else unlimited)")
 	flag.Parse()
 
 	peerList := strings.Split(*peers, ",")
@@ -233,6 +235,18 @@ func main() {
 	b := box.New(rt, netw, cfg)
 	b.Host().SetTransport(mux)
 
+	// The node-side slice of the balancer control plane: pandora-node
+	// runs one box, so placement and migration live in the full
+	// simulation — what a single box CAN do is admission. With -balance
+	// only the first `budget` peer streams get a speaker route; the
+	// rest are refused outright (their segments are dropped at the
+	// switch, never mixed) instead of degrading everyone's playout.
+	budget := *balanceBudget
+	if budget == 0 && spec != nil && spec.Balance != nil {
+		budget = spec.Balance.Budget
+	}
+	admitted, rejected := 0, 0
+
 	// Routes: our mic to the network on our VCI, every peer VCI to the
 	// speaker. Installed from inside virtual time, like any command.
 	rt.Go(name+".control", nil, occam.High, func(p *occam.Proc) {
@@ -241,6 +255,11 @@ func main() {
 			if j == *index {
 				continue
 			}
+			if *balanceOn && budget > 0 && admitted >= budget {
+				rejected++
+				continue
+			}
+			admitted++
 			b.SetRoute(p, box.Route{Stream: vciBase + uint32(j), Outputs: []box.Output{box.OutSpeaker}})
 		}
 		b.StartMic(p, out)
@@ -277,6 +296,10 @@ func main() {
 	rt.Shutdown()
 
 	fmt.Printf("%s: %s conference with %d peers on %s\n", name, total, len(peerList)-1, addr)
+	if *balanceOn {
+		fmt.Printf("  balance: %d peer streams admitted, %d rejected (budget %d)\n",
+			admitted, rejected, budget)
+	}
 	a := b.AudioStats()
 	batches, datagrams := mux.Stats()
 	fmt.Printf("  mic: %d segments sent on VCI %d (%d datagram sends, %d unrouted)\n",

@@ -9,6 +9,7 @@
 //	pandora-sim -boxes 4 -seconds 10 -bandwidth 100000000 -video
 //	pandora-sim -faults loss,crash -degrade -trace 40
 //	pandora-sim -boxes 8 -fabric -faults 'stall,target=fab.p01' -degrade
+//	pandora-sim -boxes 6 -fabric -balance -balance-budget 1
 //
 // With -scenario the flags above are ignored: the named file is a
 // declarative scenario spec (see internal/scenario) describing boxes,
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/atm"
+	"repro/internal/balancer"
 	"repro/internal/box"
 	"repro/internal/core"
 	"repro/internal/degrade"
@@ -72,6 +74,8 @@ func main() {
 	faults := flag.String("faults", "", "inject faults: comma list of loss, corrupt, dup, jitter, stall, sink, crash, all; add target=<prefix> to restrict link faults to matching links or fabric ports")
 	faultSeed := flag.Uint64("fault-seed", 1, "master seed for the injected fault schedules")
 	degradeOn := flag.Bool("degrade", false, "run the overload degradation controller on every box (and fabric port with -fabric)")
+	balanceOn := flag.Bool("balance", false, "run the balancer control plane: scoreboard sampling, load-aware placement, admission, migration; prints a post-run placement summary")
+	balanceBudget := flag.Int("balance-budget", 0, "with -balance: max concurrently admitted calls (0 = unlimited)")
 	fabricOn := flag.Bool("fabric", false, "mesh the conference through one cell-switched fabric instead of pairwise links")
 	scenarioPath := flag.String("scenario", "", "run a declarative scenario spec file instead of the flag-built conference")
 	flag.Parse()
@@ -140,9 +144,18 @@ func main() {
 	if *degradeOn {
 		ctrls = s.EnableDegradation(degrade.Config{})
 	}
+	var bal *balancer.Balancer
+	if *balanceOn {
+		bal = balancer.New(s, balancer.Config{Budget: *balanceBudget})
+		bal.Start()
+	}
 
 	var streams []*core.Stream
 	s.Control(func(p *occam.Proc) {
+		if bal != nil && !bal.AdmitCall() {
+			fmt.Println("balancer: conference rejected by admission budget")
+			return
+		}
 		streams = s.Conference(p, names...)
 		if *withVideo {
 			s.SendVideo(p, names[0], box.CameraStream{
@@ -240,6 +253,22 @@ func main() {
 					fmt.Printf("  %s\n", act)
 				}
 			}
+		}
+	}
+
+	if bal != nil {
+		fmt.Println("\nbalancer placement summary:")
+		fmt.Printf("  admission: %d admitted, %d rejected (budget %d)\n",
+			bal.Admitted(), bal.Rejected(), *balanceBudget)
+		for _, sc := range bal.Scores() {
+			if sc.Eff == 0 && sc.Placements == 0 {
+				continue
+			}
+			fmt.Printf("  %s: score %.3f (raw %.3f, queue %.0f%%), %d placements\n",
+				sc.Name, sc.Eff, sc.Raw, 100*sc.Queue, sc.Placements)
+		}
+		for _, m := range bal.Migrations() {
+			fmt.Printf("  %s\n", m)
 		}
 	}
 

@@ -74,6 +74,40 @@ type System struct {
 
 	nextVCI    uint32
 	nextStream map[string]uint32
+
+	placer Placer
+}
+
+// Placer is the placement seam the balancer control plane installs
+// (internal/balancer implements it; core never imports the balancer).
+// When a placer is set, the tree planner and RepairTree pick the
+// best-ranked eligible candidate instead of the first in placement
+// order. A placer must be deterministic: given the same candidate
+// slice at the same virtual time it must return the same ranking, or
+// replays stop being byte-identical.
+type Placer interface {
+	// RankBoxes orders cands best-first (least loaded first). The
+	// result must be a permutation of cands; the caller adopts
+	// element 0. Candidates arrive in placement order, so a placer
+	// that ranks stably degenerates to first-fit on score ties.
+	RankBoxes(cands []string) []string
+}
+
+// SetPlacer installs (or, with nil, removes) the placement policy.
+func (s *System) SetPlacer(pl Placer) { s.placer = pl }
+
+// Connectable reports whether openCircuit(a→b) would succeed — the
+// balancer uses it to restrict call placement to reachable boxes.
+func (s *System) Connectable(a, b string) bool { return s.connectable(a, b) }
+
+// BoxNames returns every box name (repositories excluded), sorted.
+func (s *System) BoxNames() []string {
+	out := make([]string, 0, len(s.boxes))
+	for n := range s.boxes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // NewSystem returns an empty system.

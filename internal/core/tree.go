@@ -148,6 +148,28 @@ func (t *TreePlan) SourceCopies() int {
 // Repairs returns how many RepairTree invocations reshaped the plan.
 func (t *TreePlan) Repairs() uint64 { return t.repairs }
 
+// Relays returns how many forwarded copies box currently carries for
+// this plan — 0 means box is a leaf (or not a member). The balancer's
+// migration loop uses it to find streams relayed through a hot box.
+func (t *TreePlan) Relays(box string) int {
+	n := t.nodes[box]
+	if n == nil {
+		return 0
+	}
+	return len(n.children)
+}
+
+// FeederBoxes returns how many distinct boxes (the source included)
+// currently feed at least one member — the placement spread the
+// scenario layer's `spread` assert measures.
+func (t *TreePlan) FeederBoxes() int {
+	feeders := map[string]bool{}
+	for _, n := range t.order {
+		feeders[t.feederName(n)] = true
+	}
+	return len(feeders)
+}
+
 // RehomedFrom returns the members RepairTree ever re-parented away
 // from box, in placement order.
 func (t *TreePlan) RehomedFrom(box string) []string {
@@ -216,25 +238,57 @@ func (s *System) connectable(a, b string) bool {
 	return ok
 }
 
+// pickCandidate chooses among the eligible candidate parents: the
+// installed placer's best-ranked box, or — with no placer — the first
+// in placement order (first-fit). elig holds distinct box names (tree
+// members are unique), so the ranked name maps back to one node.
+func (s *System) pickCandidate(elig []*treeNode) *treeNode {
+	if len(elig) == 0 {
+		return nil
+	}
+	if s.placer == nil {
+		return elig[0]
+	}
+	names := make([]string, len(elig))
+	for i, c := range elig {
+		names[i] = c.name
+	}
+	best := s.placer.RankBoxes(names)[0]
+	for _, c := range elig {
+		if c.name == best {
+			return c
+		}
+	}
+	return elig[0]
+}
+
 // planAttach places one more destination: round-robin onto the next
-// tree, then under the first already-placed box in that tree with
-// spare fanout that can reach it (same fabric or a declared link —
-// bridge links between fabrics are found the same way). When nothing
-// placed can host it, the destination pulls straight from the source.
+// tree, then under an already-placed box in that tree with spare
+// fanout that can reach it (same fabric or a declared link — bridge
+// links between fabrics are found the same way). Without a placer the
+// first such box in placement order wins; with one, the least-loaded.
+// When nothing placed can host it, the destination pulls straight
+// from the source.
 func (s *System) planAttach(plan *TreePlan, dst string) *treeNode {
 	t := plan.nextIdx % plan.cfg.Trees
 	plan.nextIdx++
 	n := &treeNode{name: dst, tree: t}
+	var elig []*treeNode
 	for _, cand := range plan.placed[t] {
 		// Only boxes re-split; a repository member is always a leaf.
 		if _, isBox := s.boxes[cand.name]; !isBox {
 			continue
 		}
 		if len(cand.children) < plan.cfg.Fanout && s.connectable(cand.name, dst) {
-			n.parent = cand
-			cand.children = append(cand.children, n)
-			break
+			elig = append(elig, cand)
+			if s.placer == nil {
+				break // first-fit needs no further scanning
+			}
 		}
+	}
+	if cand := s.pickCandidate(elig); cand != nil {
+		n.parent = cand
+		cand.children = append(cand.children, n)
 	}
 	if n.parent == nil && !s.connectable(plan.from, dst) {
 		panic(fmt.Sprintf("core: tree: no box can reach %s from %s's tree %d (declare a link or shared fabric)",
@@ -403,8 +457,11 @@ func (s *System) Pull(p *occam.Proc, st *Stream, dsts ...string) {
 
 // RepairTree re-homes the orphaned children of a failed interior box:
 // each orphan (its whole subtree intact) is re-parented onto the first
-// surviving box in its own tree with spare fanout that can reach it,
-// falling back to the source. Circuits are rewired mid-stream — on a
+// surviving box in its own tree with spare fanout that can reach it
+// (the least-loaded such box when a placer is installed), falling
+// back to the source. The balancer's migration loop calls this too —
+// a migration is a repair minus the fault: the "failed" box is merely
+// hot, keeps its own playout, and only stops relaying. Circuits are rewired mid-stream — on a
 // shared fabric the VCI already routes to the orphan's port, so the
 // new parent simply starts sending on it (principle 6: the change
 // applies between segments); across a bridge the old circuit closes
@@ -422,7 +479,7 @@ func (s *System) RepairTree(p *occam.Proc, st *Stream, failed string) int {
 	fn.children = nil
 	s.installNode(p, st, fn, true) // stop the failed box's forwarded copies
 	for _, o := range orphans {
-		var parent *treeNode
+		var elig []*treeNode
 		for _, cand := range plan.placed[o.tree] {
 			if cand == fn || under(cand, o) {
 				continue // never adopt into the orphan's own subtree
@@ -431,10 +488,13 @@ func (s *System) RepairTree(p *occam.Proc, st *Stream, failed string) int {
 				continue
 			}
 			if len(cand.children) < plan.cfg.Fanout && s.connectable(cand.name, o.name) {
-				parent = cand
-				break
+				elig = append(elig, cand)
+				if s.placer == nil {
+					break
+				}
 			}
 		}
+		parent := s.pickCandidate(elig)
 		feeder := plan.from
 		if parent != nil {
 			feeder = parent.name

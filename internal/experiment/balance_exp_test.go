@@ -1,0 +1,80 @@
+package experiment
+
+import "testing"
+
+// TestE24BalancerControlPlane asserts the full acceptance surface:
+// admission refuses exactly the over-budget calls, the hot relay is
+// migrated off mid-stream in both twins, audio is never shed, the
+// post-crash repair adopters avoid the hot box first-fit would pick,
+// and every surviving delivery is byte-identical with the fault-free
+// twin.
+func TestE24BalancerControlPlane(t *testing.T) {
+	_, res := E24()
+	if !res.AssertsPass {
+		t.Error("scenario asserts failed in at least one twin")
+	}
+	if res.Admitted != 2 || res.Rejected != 2 {
+		t.Errorf("admission: %d admitted, %d rejected; want 2/2", res.Admitted, res.Rejected)
+	}
+	if !res.MigrationOk || res.Migrations != 1 || res.MigratedOff != e24Hot {
+		t.Errorf("migration: %d off %q (both twins ok=%v); want exactly 1 off %s in both",
+			res.Migrations, res.MigratedOff, res.MigrationOk, e24Hot)
+	}
+	if res.AudioSheds != 0 {
+		t.Errorf("%d audio sheds; audio must never be shed", res.AudioSheds)
+	}
+	if res.VideoSheds == 0 {
+		t.Error("no video sheds: the degrade ladder never engaged, so the shed-ordering claim is vacuous")
+	}
+	if !res.AdoptersCool {
+		t.Errorf("repair adopters %v re-adopted hot %s (or the hot box was not drained/nothing re-homed)",
+			res.RepairAdopters, e24Hot)
+	}
+	if res.Rehomed == 0 {
+		t.Error("the repair re-homed nothing")
+	}
+	if res.Spread < 4 {
+		t.Errorf("feeder spread %d; want ≥ 4", res.Spread)
+	}
+	if !res.Identical || res.Survivors == 0 {
+		t.Errorf("byte-identity: identical=%v over %d survivors (%d excluded)",
+			res.Identical, res.Survivors, res.Excluded)
+	}
+}
+
+// TestE24DeterministicReplay runs the faulted churn twice at the same
+// seed: the balancer's sampling, placement, admission and migration
+// decisions must replay to the byte.
+func TestE24DeterministicReplay(t *testing.T) {
+	a := e24Churn(7, true)
+	b := e24Churn(7, true)
+	if a.sumText != b.sumText {
+		t.Errorf("assert summaries diverged:\n%s\nvs\n%s", a.sumText, b.sumText)
+	}
+	fa, fb := balanceFingerprint(a), balanceFingerprint(b)
+	if fa == "" {
+		t.Fatal("empty fingerprint")
+	}
+	if fa != fb {
+		t.Errorf("replay diverged:\n%s\nvs\n%s", fa, fb)
+	}
+	if len(a.migrations) != 1 {
+		t.Errorf("seed 7: %d migrations, want 1", len(a.migrations))
+	}
+}
+
+// TestE24ScoreboardChurnRace drives the whole churn — scoreboard ticks,
+// placement callbacks from tree attach and repair, admission from the
+// timeline, and the mid-stream migration — under the race detector
+// when CI runs `go test -race`. The balancer is lock-free by design
+// (every update runs inside the virtual-time runtime), so this is the
+// test that proves the serialization actually holds.
+func TestE24ScoreboardChurnRace(t *testing.T) {
+	r := e24Churn(11, true)
+	if len(r.migrations) != 1 {
+		t.Errorf("seed 11: %d migrations, want 1", len(r.migrations))
+	}
+	if !r.asserts {
+		t.Errorf("seed 11 asserts failed:\n%s", r.sumText)
+	}
+}

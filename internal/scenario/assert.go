@@ -324,6 +324,25 @@ func (r *Runner) check(a Assert, clean *Runner) (bool, string) {
 			return n == int(a.Value), fmt.Sprintf("%d circuits open from %s (want %d)", n, a.Arg, int(a.Value))
 		}
 		return true, fmt.Sprintf("%d circuits open from %s", n, a.Arg)
+	case "rejected":
+		var n uint64
+		if r.Bal != nil {
+			n = r.Bal.Rejected()
+		}
+		return n == uint64(a.Value), fmt.Sprintf("%d calls rejected by admission (want %d)", n, uint64(a.Value))
+	case "migrations":
+		n := 0
+		if r.Bal != nil {
+			n = r.Bal.MigrationsFrom(a.Arg)
+		}
+		return n == int(a.Value), fmt.Sprintf("%d migrations off %s (want %d)", n, a.Arg, int(a.Value))
+	case "spread":
+		st, ok := r.Streams[a.Arg]
+		if !ok || st.Tree == nil {
+			return false, fmt.Sprintf("no tree stream %q", a.Arg)
+		}
+		n := st.Tree.FeederBoxes()
+		return n >= int(a.Value), fmt.Sprintf("%d distinct feeder boxes for %s (want ≥ %d)", n, a.Arg, int(a.Value))
 	}
 	return false, "unknown assert"
 }

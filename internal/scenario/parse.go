@@ -42,7 +42,7 @@ func Load(path string) (*Scenario, error) {
 //	at DUR audio FROM -> TO[,TO...] [as REF]
 //	at DUR video FROM -> TO[,TO...] rect=X,Y,W,H rate=N/D [segs=K] [as REF]
 //	at DUR tree FROM -> TO[,TO...] [k=K] [trees=T] [as REF]
-//	at DUR call A B [as REF]
+//	at DUR call A B [as REF]        (B may be ? — balancer-placed callee)
 //	at DUR conference M1 M2... [as REF]
 //	at DUR split REF DST
 //	at DUR drop REF DST
@@ -52,6 +52,7 @@ func Load(path string) (*Scenario, error) {
 //	at DUR netsend FROM -> TO stream=N vci=N
 //	faults FAULTSPEC            (faultinject.ParseSpec grammar, verbatim)
 //	degrade shed=DUR hold=DUR
+//	balance [budget=N] [interval=DUR] [migrate=F] [cooldown=DUR] [maxmig=N]
 //	assert KIND [ARG] [VALUE]
 //
 // BITS accepts a plain count or a k/M suffix ("64k", "100M").
@@ -161,6 +162,45 @@ func (sc *Scenario) parseLine(fields []string, line string) error {
 			}
 		}
 		sc.Degrade = d
+	case "balance":
+		b := &Balance{}
+		for _, f := range fields[1:] {
+			key, val, ok := strings.Cut(f, "=")
+			if !ok {
+				return fmt.Errorf("balance clause %q wants key=value", f)
+			}
+			switch key {
+			case "budget", "maxmig":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 {
+					return fmt.Errorf("balance %s wants a non-negative integer, got %q", key, val)
+				}
+				if key == "budget" {
+					b.Budget = n
+				} else {
+					b.MaxMigrations = n
+				}
+			case "interval", "cooldown":
+				d, err := time.ParseDuration(val)
+				if err != nil || d < 0 {
+					return fmt.Errorf("balance %s: %q is not a duration", key, val)
+				}
+				if key == "interval" {
+					b.Interval = d
+				} else {
+					b.Cooldown = d
+				}
+			case "migrate":
+				v, err := strconv.ParseFloat(val, 64)
+				if err != nil || math.IsNaN(v) || v < 0 || v > 1 {
+					return fmt.Errorf("balance migrate wants a ratio in [0,1], got %q", val)
+				}
+				b.Migrate = v
+			default:
+				return fmt.Errorf("balance: unknown key %q", key)
+			}
+		}
+		sc.Balance = b
 	case "assert":
 		if len(fields) < 2 {
 			return fmt.Errorf("want: assert KIND [ARG] [VALUE]")

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/atm"
+	"repro/internal/balancer"
 	"repro/internal/box"
 	"repro/internal/core"
 	"repro/internal/degrade"
@@ -32,10 +33,16 @@ type Runner struct {
 	// Ctrls are the degradation controllers by box or fabric-port name
 	// (nil when the spec has no degrade phase).
 	Ctrls map[string]*degrade.Controller
+	// Bal is the balancer control plane (nil without a balance block).
+	// It is installed as the system's Placer before the timeline runs,
+	// so every tree attach/pull/repair is load-ranked, and the timeline
+	// consults it for call admission and `call A ?` placement.
+	Bal *balancer.Balancer
 	// FaultSpec is the parsed fault phase.
 	FaultSpec faultinject.Spec
 
-	started bool
+	started  bool
+	admitted map[string]bool // refs of admitted (budget-holding) calls
 }
 
 // NewRunner validates the spec and prepares a runner.
@@ -165,6 +172,17 @@ func (r *Runner) Start(then func(p *occam.Proc)) {
 			Hold:      sc.Degrade.Hold,
 		})
 	}
+	if sc.Balance != nil {
+		r.Bal = balancer.New(s, balancer.Config{
+			Budget:           sc.Balance.Budget,
+			Interval:         sc.Balance.Interval,
+			MigrateHighWater: sc.Balance.Migrate,
+			Cooldown:         sc.Balance.Cooldown,
+			MaxMigrations:    sc.Balance.MaxMigrations,
+		})
+		r.Bal.Start()
+		r.admitted = make(map[string]bool)
+	}
 
 	events := make([]Event, len(sc.Events))
 	copy(events, sc.Events)
@@ -293,29 +311,68 @@ func (r *Runner) apply(p *occam.Proc, ev Event) {
 		if ev.Ref != "" {
 			r.Streams[ev.Ref] = st
 		}
+		if r.Bal != nil {
+			r.Bal.Manage(st)
+		}
 	case "pull":
-		s.Pull(p, r.Streams[ev.Ref], ev.To...)
+		if st, ok := r.Streams[ev.Ref]; ok {
+			s.Pull(p, st, ev.To...)
+		}
 	case "repair":
-		s.RepairTree(p, r.Streams[ev.Ref], ev.To[0])
+		if st, ok := r.Streams[ev.Ref]; ok {
+			s.RepairTree(p, st, ev.To[0])
+		}
 	case "call":
-		ab, ba := s.AudioCall(p, ev.From, ev.To[0])
+		// Admission gate: reject before degrade — a call the budget
+		// cannot hold is refused outright instead of being served badly.
+		if r.Bal != nil && !r.Bal.AdmitCall() {
+			break
+		}
+		callee := ev.To[0]
+		if callee == "?" {
+			// Balancer-placed callee: the least-loaded reachable box.
+			picked, ok := r.Bal.PlaceCall(ev.From)
+			if !ok {
+				r.Bal.ReleaseCall()
+				break
+			}
+			callee = picked
+		}
+		ab, ba := s.AudioCall(p, ev.From, callee)
 		if ev.Ref != "" {
 			r.Streams[ev.Ref+"[0]"] = ab
 			r.Streams[ev.Ref+"[1]"] = ba
+			if r.Bal != nil {
+				r.admitted[ev.Ref] = true
+			}
 		}
 	case "conference":
+		if r.Bal != nil && !r.Bal.AdmitCall() {
+			break
+		}
 		members := append([]string{ev.From}, ev.To...)
 		sts := s.Conference(p, members...)
 		if ev.Ref != "" {
 			for i, st := range sts {
 				r.Streams[fmt.Sprintf("%s[%d]", ev.Ref, i)] = st
 			}
+			if r.Bal != nil {
+				r.admitted[ev.Ref] = true
+			}
 		}
 	case "split":
-		s.AddAudioDestination(p, r.Streams[ev.Ref], ev.To[0])
+		if st, ok := r.Streams[ev.Ref]; ok {
+			s.AddAudioDestination(p, st, ev.To[0])
+		}
 	case "drop":
-		s.RemoveDestination(p, r.Streams[ev.Ref], ev.To[0])
+		if st, ok := r.Streams[ev.Ref]; ok {
+			s.RemoveDestination(p, st, ev.To[0])
+		}
 	case "close":
+		if r.Bal != nil && r.admitted[ev.Ref] {
+			r.Bal.ReleaseCall()
+			delete(r.admitted, ev.Ref)
+		}
 		if st, ok := r.Streams[ev.Ref]; ok {
 			s.Close(p, st)
 			break

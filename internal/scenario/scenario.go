@@ -143,6 +143,18 @@ type Degrade struct {
 	Hold      time.Duration
 }
 
+// Balance enables the balancer control plane (internal/balancer):
+// load-scored placement for tree attach/pull/repair and `call A ?`
+// events, call admission against Budget, and mid-stream migration off
+// hot fabric ports. Zero fields select the balancer's defaults.
+type Balance struct {
+	Budget        int           // concurrent admitted calls (0 = unlimited)
+	Interval      time.Duration // scoreboard sampling tick
+	Migrate       float64       // egress occupancy ratio that triggers migration
+	Cooldown      time.Duration // minimum spacing between migrations
+	MaxMigrations int           // migration cap per run (0 = unlimited)
+}
+
 // Assert is one post-run check. Kinds and their Arg/Value use:
 //
 //	no-audio-shed                no controller ever shed audio
@@ -163,6 +175,13 @@ type Degrade struct {
 //	copies-max BOX N             BOX never fanned more than N outgoing
 //	                             copies of any single stream (the per-hop
 //	                             copy invariant of the distribution trees)
+//	rejected N                   the balancer's admission control rejected
+//	                             exactly N calls (requires a balance block)
+//	migrations BOX N             exactly N balancer migrations moved load
+//	                             off BOX (requires a balance block)
+//	spread REF N                 tree stream REF ends the run fed by ≥N
+//	                             distinct boxes (source included) — the
+//	                             placement spread witness
 type Assert struct {
 	Kind     string
 	Arg      string
@@ -187,6 +206,7 @@ type Scenario struct {
 	// crashes to the first box, exactly as pandora-sim -faults does.
 	Faults  string
 	Degrade *Degrade
+	Balance *Balance
 	Asserts []Assert
 }
 
@@ -195,7 +215,7 @@ var assertKinds = map[string]struct{}{
 	"survivors-identical": {}, "wires-drain": {}, "gauge-zero": {},
 	"gauge-max": {}, "min-segments": {}, "max-lost": {},
 	"max-silence-pct": {}, "faults-fired": {}, "circuits": {},
-	"copies-max": {},
+	"copies-max": {}, "rejected": {}, "migrations": {}, "spread": {},
 }
 
 // Validate checks internal consistency: names resolve, events refer to
@@ -301,7 +321,13 @@ func (sc *Scenario) Validate() error {
 			if err := need(where, ev.From); err != nil {
 				return err
 			}
-			if err := need(where, ev.To[0]); err != nil {
+			if ev.To[0] == "?" {
+				// Balancer-placed callee: the control plane picks the
+				// least-loaded reachable box at event time.
+				if sc.Balance == nil {
+					return fmt.Errorf("scenario %s: %s: placed call (peer ?) needs a balance block", sc.Name, where)
+				}
+			} else if err := need(where, ev.To[0]); err != nil {
 				return err
 			}
 		case "conference":
@@ -363,6 +389,9 @@ func (sc *Scenario) Validate() error {
 	for _, a := range sc.Asserts {
 		if _, ok := assertKinds[a.Kind]; !ok {
 			return fmt.Errorf("scenario %s: unknown assert kind %q", sc.Name, a.Kind)
+		}
+		if (a.Kind == "rejected" || a.Kind == "migrations") && sc.Balance == nil {
+			return fmt.Errorf("scenario %s: assert %s needs a balance block", sc.Name, a.Kind)
 		}
 	}
 	return nil
@@ -518,6 +547,25 @@ func (sc *Scenario) Format() string {
 	}
 	if sc.Degrade != nil {
 		fmt.Fprintf(&sb, "degrade shed=%s hold=%s\n", sc.Degrade.ShedEvery, sc.Degrade.Hold)
+	}
+	if b := sc.Balance; b != nil {
+		sb.WriteString("balance")
+		if b.Budget > 0 {
+			fmt.Fprintf(&sb, " budget=%d", b.Budget)
+		}
+		if b.Interval > 0 {
+			fmt.Fprintf(&sb, " interval=%s", b.Interval)
+		}
+		if b.Migrate > 0 {
+			fmt.Fprintf(&sb, " migrate=%s", fmtFloat(b.Migrate))
+		}
+		if b.Cooldown > 0 {
+			fmt.Fprintf(&sb, " cooldown=%s", b.Cooldown)
+		}
+		if b.MaxMigrations > 0 {
+			fmt.Fprintf(&sb, " maxmig=%d", b.MaxMigrations)
+		}
+		sb.WriteString("\n")
 	}
 	for _, a := range sc.Asserts {
 		sb.WriteString("assert " + a.Kind)

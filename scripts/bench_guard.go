@@ -1,9 +1,9 @@
 //go:build ignore
 
-// bench_guard runs the E2/E3/E21/E22 benchmarks once and ratchets
+// bench_guard runs the E2/E3/E21–E24 benchmarks once and ratchets
 // them against the committed BENCH_e2e.json baseline (the single-copy
-// data path's headline numbers plus the overload and fabric-isolation
-// paths).
+// data path's headline numbers plus the overload, fabric-isolation,
+// replication-tree and balancer-churn paths).
 //
 // Ratchet policy:
 //
@@ -45,6 +45,7 @@ var guarded = map[string]string{
 	"BenchmarkE21OverloadDegradation": "E21",
 	"BenchmarkE22FabricIsolation":     "E22",
 	"BenchmarkE23ReplicationTree":     "E23",
+	"BenchmarkE24BalancerChurn":       "E24",
 }
 
 const (
@@ -80,7 +81,7 @@ func main() {
 	}
 
 	cmd := exec.Command("go", "test",
-		"-bench", "BenchmarkE2LinkCapacity|BenchmarkE3OneWayLatency|BenchmarkE21OverloadDegradation|BenchmarkE22FabricIsolation|BenchmarkE23ReplicationTree",
+		"-bench", "BenchmarkE2LinkCapacity|BenchmarkE3OneWayLatency|BenchmarkE21OverloadDegradation|BenchmarkE22FabricIsolation|BenchmarkE23ReplicationTree|BenchmarkE24BalancerChurn",
 		"-benchtime", "1x", "-benchmem", "-run", "^$", ".")
 	out, err := cmd.CombinedOutput()
 	fmt.Print(string(out))

@@ -4,7 +4,11 @@
 // package-level doc comment — the documentation layer's enforcement
 // hook: every package must say which part of the paper it reproduces
 // and, where segment wires cross its boundary, who owns the
-// reference. Run from the repository root:
+// reference. Packages that sit above the wire layer and drive route
+// changes (listed in ownershipRequired) must additionally spell out
+// their ownership rules in the package comment, so a reader never has
+// to reverse-engineer who releases what. Run from the repository
+// root:
 //
 //	go run scripts/doc_guard.go
 package main
@@ -18,20 +22,32 @@ import (
 	"strings"
 )
 
+// ownershipRequired lists packages whose package comment must contain
+// an explicit ownership statement (a paragraph mentioning
+// "Ownership"): control-plane packages that cause wires to move
+// without ever holding one.
+var ownershipRequired = map[string]bool{
+	filepath.Join("internal", "balancer"): true,
+}
+
 func main() {
-	var bad []string
+	var bad, badOwn []string
 	for _, root := range []string{"internal", "cmd"} {
 		dirs, err := packageDirs(root)
 		if err != nil {
 			fatal("walking %s: %v", root, err)
 		}
 		for _, dir := range dirs {
-			documented, err := hasPackageComment(dir)
+			doc, err := packageComment(dir)
 			if err != nil {
 				fatal("parsing %s: %v", dir, err)
 			}
-			if !documented {
+			if strings.TrimSpace(doc) == "" {
 				bad = append(bad, dir)
+				continue
+			}
+			if ownershipRequired[dir] && !strings.Contains(doc, "Ownership") {
+				badOwn = append(badOwn, dir)
 			}
 		}
 	}
@@ -40,9 +56,17 @@ func main() {
 		for _, dir := range bad {
 			fmt.Fprintf(os.Stderr, "  %s\n", dir)
 		}
+	}
+	if len(badOwn) > 0 {
+		fmt.Fprintf(os.Stderr, "doc_guard: %d package(s) lack the required Ownership statement in their package comment:\n", len(badOwn))
+		for _, dir := range badOwn {
+			fmt.Fprintf(os.Stderr, "  %s\n", dir)
+		}
+	}
+	if len(bad) > 0 || len(badOwn) > 0 {
 		os.Exit(1)
 	}
-	fmt.Println("doc_guard: every package has a package doc comment")
+	fmt.Println("doc_guard: every package has a package doc comment (and ownership rules where required)")
 }
 
 // packageDirs returns every directory under root that contains at
@@ -67,25 +91,25 @@ func packageDirs(root string) ([]string, error) {
 	return dirs, err
 }
 
-// hasPackageComment reports whether any non-test file in dir carries
-// a doc comment on its package clause (the standard "// Package x ..."
-// position; build-tagged files like the scripts count too).
-func hasPackageComment(dir string) (bool, error) {
+// packageComment returns the first non-empty doc comment on any
+// non-test file's package clause in dir (the standard "// Package x
+// ..." position; build-tagged files like the scripts count too).
+func packageComment(dir string) (string, error) {
 	fset := token.NewFileSet()
 	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
 		return !strings.HasSuffix(fi.Name(), "_test.go")
 	}, parser.ParseComments|parser.PackageClauseOnly)
 	if err != nil {
-		return false, err
+		return "", err
 	}
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
-				return true, nil
+				return f.Doc.Text(), nil
 			}
 		}
 	}
-	return false, nil
+	return "", nil
 }
 
 func fatal(format string, args ...any) {
